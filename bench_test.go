@@ -1,0 +1,303 @@
+package elin
+
+// One benchmark per experiment table of EXPERIMENTS.md (E1..E15), plus the
+// design-choice ablations and micro-benchmarks of the decision procedures.
+// The experiment benchmarks time a full table regeneration; run
+// `go run ./cmd/elbench` to see the tables themselves.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/exp"
+	"github.com/elin-go/elin/internal/gen"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := exp.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		table, err := e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkE1MinTMonotone(b *testing.B)    { benchExperiment(b, "E1") }
+func BenchmarkE2Locality(b *testing.B)        { benchExperiment(b, "E2") }
+func BenchmarkE3InfiniteObjects(b *testing.B) { benchExperiment(b, "E3") }
+func BenchmarkE4NotSafety(b *testing.B)       { benchExperiment(b, "E4") }
+func BenchmarkE5Announce(b *testing.B)        { benchExperiment(b, "E5") }
+func BenchmarkE6LocalCopy(b *testing.B)       { benchExperiment(b, "E6") }
+func BenchmarkE7Trivial(b *testing.B)         { benchExperiment(b, "E7") }
+func BenchmarkE8Valency(b *testing.B)         { benchExperiment(b, "E8") }
+func BenchmarkE9ELConsensus(b *testing.B)     { benchExperiment(b, "E9") }
+func BenchmarkE10TestSet(b *testing.B)        { benchExperiment(b, "E10") }
+func BenchmarkE11Stabilize(b *testing.B)      { benchExperiment(b, "E11") }
+func BenchmarkE12Divergence(b *testing.B)     { benchExperiment(b, "E12") }
+func BenchmarkE13Throughput(b *testing.B)     { benchExperiment(b, "E13") }
+func BenchmarkE14Checker(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkE15Progress(b *testing.B)       { benchExperiment(b, "E15") }
+func BenchmarkE16Hierarchy(b *testing.B)      { benchExperiment(b, "E16") }
+
+// ----------------------------------------------------------------------------
+// Ablations (design choices called out in DESIGN.md).
+
+// Ablation 1: failure memoization in the generic engine. The engine
+// explores orderings of overlapping operations; without the (mask, state)
+// failure table the search revisits exponentially many equivalent suffixes.
+func BenchmarkAblationMemoOn(b *testing.B) {
+	objs, h := ablationHistory()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.Linearizable(objs, h, check.Options{NoFastPath: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMemoOff(b *testing.B) {
+	objs, h := ablationHistory()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opts := check.Options{NoFastPath: true, NoMemo: true, Budget: 1 << 28}
+		if _, err := check.Linearizable(objs, h, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func ablationHistory() (map[string]spec.Object, *history.History) {
+	// A highly concurrent, UNSATISFIABLE register history: 8 overlapping
+	// writes of distinct values plus a read of a never-written value.
+	// Deciding it requires exhausting the orderings of the writes — 8!
+	// paths without memoization, ~2^8 distinct (mask, state) pairs with it.
+	// (Fetch&inc would not do here: its per-state response uniqueness
+	// collapses the search regardless.)
+	h := history.New()
+	const n = 8
+	for p := 0; p < n; p++ {
+		if err := h.Invoke(p, "X", spec.MakeOp1(spec.MethodWrite, int64(p+1))); err != nil {
+			panic(err)
+		}
+	}
+	if err := h.Invoke(n, "X", spec.MakeOp(spec.MethodRead)); err != nil {
+		panic(err)
+	}
+	if err := h.Respond(n, 99); err != nil {
+		panic(err)
+	}
+	for p := 0; p < n; p++ {
+		if err := h.Respond(p, 0); err != nil {
+			panic(err)
+		}
+	}
+	return map[string]spec.Object{"X": spec.NewObject(spec.Register{})}, h
+}
+
+// Ablation 2: MinT by binary search (Lemma 5) vs linear scan.
+func BenchmarkAblationMinTBinary(b *testing.B) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := sloppyHistory(48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := check.MinT(obj, h, check.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMinTLinear(b *testing.B) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := sloppyHistory(48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		found := false
+		for t := 0; t <= h.Len() && !found; t++ {
+			ok, err := check.TLinearizable(obj, h, t, check.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			found = ok
+		}
+		if !found {
+			b.Fatal("no t found")
+		}
+	}
+}
+
+func sloppyHistory(nops int) *history.History {
+	h := history.New()
+	for i := 0; i < nops; i++ {
+		if err := h.Call(i%2, "X", spec.MakeOp(spec.MethodFetchInc), int64(i/2)); err != nil {
+			panic(err)
+		}
+	}
+	return h
+}
+
+// Ablation 3: the Lemma 17 fast path vs the generic engine at the largest
+// size the generic engine can handle.
+func BenchmarkAblationFastPathOn(b *testing.B) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := atomicCounterHistory(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.TLinearizable(obj, h, 8, check.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationFastPathOff(b *testing.B) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := atomicCounterHistory(32)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.TLinearizable(obj, h, 8, check.Options{NoFastPath: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Micro-benchmarks: decision procedures.
+
+func atomicCounterHistory(nops int) *history.History {
+	h := history.New()
+	for i := 0; i < nops; i++ {
+		if err := h.Call(i%2, "X", spec.MakeOp(spec.MethodFetchInc), int64(i)); err != nil {
+			panic(err)
+		}
+	}
+	return h
+}
+
+func BenchmarkFetchIncFastPath64(b *testing.B) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := atomicCounterHistory(64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := check.TLinearizable(obj, h, 0, check.Options{})
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+func BenchmarkFetchIncGeneric16(b *testing.B) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := atomicCounterHistory(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ok, err := check.TLinearizable(obj, h, 0, check.Options{NoFastPath: true})
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+func BenchmarkMinTBinarySearch256(b *testing.B) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := atomicCounterHistory(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := check.MinT(obj, h, check.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRegisterLinearizable(b *testing.B) {
+	objs := map[string]spec.Object{"X": spec.NewObject(spec.Register{})}
+	r := rand.New(rand.NewSource(9))
+	h := gen.Register(r, gen.HistoryConfig{Procs: 3, Ops: 10, PendingBias: 0.3})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.Linearizable(objs, h, check.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeakConsistencyRegister(b *testing.B) {
+	objs := map[string]spec.Object{"X": spec.NewObject(spec.Register{})}
+	r := rand.New(rand.NewSource(10))
+	h := gen.Register(r, gen.HistoryConfig{Procs: 3, Ops: 12})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.WeaklyConsistent(objs, h, check.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWeakResponsesELRegister(b *testing.B) {
+	// The inner loop of every eventually linearizable base-object action.
+	obj := spec.NewObject(spec.Register{})
+	h := history.New()
+	for i := 0; i < 8; i++ {
+		if err := h.Call(i%3, "R", spec.MakeOp1(spec.MethodWrite, int64(i)), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := h.Invoke(0, "R", spec.MakeOp(spec.MethodRead)); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := check.WeakResponses(obj, h, 0, check.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Micro-benchmarks: the execution runtime.
+
+func BenchmarkSimCASCounter(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Impl:      counter.CAS{},
+			Workload:  sim.UniformWorkload(4, 8, spec.MakeOp(spec.MethodFetchInc)),
+			Scheduler: sim.Random{},
+			Seed:      int64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSystemClone(b *testing.B) {
+	sys, err := sim.NewSystem(counter.CAS{},
+		sim.UniformWorkload(4, 4, spec.MakeOp(spec.MethodFetchInc)), nil, check.Options{}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := sys.Advance(i%4, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sys.Clone() == nil {
+			b.Fatal("nil clone")
+		}
+	}
+}

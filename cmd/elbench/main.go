@@ -1,0 +1,71 @@
+// Command elbench regenerates the experiment tables of EXPERIMENTS.md —
+// one experiment per paper artifact (lemmas, counterexamples, algorithms,
+// constructions, and the headline Proposition 18 paradox).
+//
+// Usage:
+//
+//	elbench              run the full suite
+//	elbench -list        list experiments
+//	elbench -run E11,E12 run selected experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/elin-go/elin/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "elbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elbench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiments and exit")
+	sel := fs.String("run", "", "comma-separated experiment ids (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := exp.All()
+	if *list {
+		for _, e := range all {
+			fmt.Fprintln(out, e.ID)
+		}
+		return nil
+	}
+
+	var chosen []exp.Experiment
+	if *sel == "" {
+		chosen = all
+	} else {
+		for _, id := range strings.Split(*sel, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			chosen = append(chosen, e)
+		}
+	}
+
+	for _, e := range chosen {
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if err := table.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

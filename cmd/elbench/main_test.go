@@ -1,0 +1,40 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"E1", "E11", "E14"} {
+		if !strings.Contains(buf.String(), id) {
+			t.Errorf("missing %s in list: %q", id, buf.String())
+		}
+	}
+}
+
+func TestRunSelected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E3,E4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Proposition 9") || !strings.Contains(out, "Section 3.2") {
+		t.Errorf("output: %q", out)
+	}
+	if strings.Contains(out, "Proposition 18") {
+		t.Errorf("unselected experiment ran: %q", out)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-run", "E99"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

@@ -1,0 +1,152 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeHistory(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "h.txt")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const dupHistory = `
+inv p0 X fetchinc
+inv p1 X fetchinc
+res p0 X 0
+res p1 X 0
+`
+
+func TestModes(t *testing.T) {
+	path := writeHistory(t, dupHistory)
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-obj", "X=fetchinc", "-mode", "lin", path}, "linearizable: false"},
+		{[]string{"-obj", "X=fetchinc", "-mode", "weak", path}, "weakly consistent: true"},
+		{[]string{"-obj", "X=fetchinc", "-mode", "mint", path}, "MinT: 3"},
+		{[]string{"-obj", "X=fetchinc", "-mode", "tlin", "-t", "3", path}, "3-linearizable: true"},
+		{[]string{"-obj", "X=fetchinc", "-mode", "tlin", "-t", "0", path}, "0-linearizable: false"},
+		{[]string{"-obj", "X=fetchinc", "-mode", "track", "-stride", "2", path}, "trend:"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		if err := run(tc.args, &buf); err != nil {
+			t.Errorf("%v: %v", tc.args, err)
+			continue
+		}
+		if !strings.Contains(buf.String(), tc.want) {
+			t.Errorf("%v output %q, want %q", tc.args, buf.String(), tc.want)
+		}
+	}
+}
+
+func TestWitness(t *testing.T) {
+	path := writeHistory(t, dupHistory)
+	var buf bytes.Buffer
+	err := run([]string{"-obj", "X=fetchinc", "-mode", "mint", "-witness", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "witness 3-linearization") ||
+		!strings.Contains(buf.String(), "(reassigned)") {
+		t.Errorf("witness output: %q", buf.String())
+	}
+}
+
+func TestLegalMode(t *testing.T) {
+	path := writeHistory(t, "inv p0 X write(5)\nres p0 X 0\ninv p0 X read\nres p0 X 5\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-obj", "X=register", "-mode", "legal", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "legal sequential history: true") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestMinTLocalMode(t *testing.T) {
+	path := writeHistory(t, `
+inv p0 R1 write(1)
+res p0 R1 0
+inv p1 R1 read
+res p1 R1 0
+inv p0 R2 write(1)
+res p0 R2 0
+inv p1 R2 read
+res p1 R2 0
+`)
+	var buf bytes.Buffer
+	err := run([]string{"-obj", "R1=register", "-obj", "R2=register",
+		"-mode", "mintlocal", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "t_R1 = 2") || !strings.Contains(out, "t_R2 = 2") {
+		t.Errorf("per-object cuts: %q", out)
+	}
+	if !strings.Contains(out, "global MinT <= 6") {
+		t.Errorf("global lift: %q", out)
+	}
+}
+
+func TestMultiObjectWeak(t *testing.T) {
+	path := writeHistory(t, "inv p0 X fetchinc\nres p0 X 0\ninv p0 Y write(1)\nres p0 Y 0\n")
+	var buf bytes.Buffer
+	err := run([]string{"-obj", "X=fetchinc", "-obj", "Y=register", "-mode", "weak", path}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "weakly consistent: true") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestJSONInput(t *testing.T) {
+	path := writeHistory(t, `[{"kind":"inv","proc":0,"obj":"X","op":"fetchinc"},{"kind":"res","proc":0,"obj":"X","resp":0}]`)
+	var buf bytes.Buffer
+	if err := run([]string{"-obj", "X=fetchinc", "-mode", "lin", "-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "linearizable: true") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestInitValue(t *testing.T) {
+	path := writeHistory(t, "inv p0 X fetchinc\nres p0 X 10\n")
+	var buf bytes.Buffer
+	if err := run([]string{"-obj", "X=fetchinc:10", "-mode", "lin", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "linearizable: true") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	path := writeHistory(t, dupHistory)
+	bad := [][]string{
+		{path}, // no -obj
+		{"-obj", "X", path},
+		{"-obj", "X=nosuchtype", path},
+		{"-obj", "X=fetchinc", "-mode", "zap", path},
+		{"-obj", "Y=fetchinc", "-mode", "mint", path}, // wrong object name
+		{"-obj", "X=fetchinc", "-mode", "lin", "/nonexistent/file"},
+	}
+	for _, args := range bad {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

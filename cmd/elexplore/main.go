@@ -1,0 +1,121 @@
+// Command elexplore exhaustively explores bounded execution trees: it can
+// certify linearizability or weak consistency over every interleaving,
+// run the Proposition 15 valency analysis, or search for a Proposition 18
+// stable configuration.
+//
+// Usage:
+//
+//	elexplore -impl cas-counter   -procs 2 -ops 2 -mode lin     -depth 22
+//	elexplore -impl sloppy-counter -procs 2 -ops 1 -mode lin    -depth 10
+//	elexplore -impl reg-consensus -procs 2 -ops 1 -mode valency -depth 18
+//	elexplore -impl warmup-counter:2 -procs 2 -ops 3 -mode stable -depth 8 -verify-depth 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/explore"
+	"github.com/elin-go/elin/internal/registry"
+	"github.com/elin-go/elin/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "elexplore:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elexplore", flag.ContinueOnError)
+	implName := fs.String("impl", "cas-counter", "implementation (see elsim -list)")
+	procs := fs.Int("procs", 2, "number of processes")
+	ops := fs.Int("ops", 1, "operations per process")
+	mode := fs.String("mode", "lin", "analysis: lin | weak | valency | stable")
+	depth := fs.Int("depth", 16, "exploration depth bound")
+	verifyDepth := fs.Int("verify-depth", 14, "stability verification depth (mode stable)")
+	policyName := fs.String("policy", "never", "EL stabilization policy: immediate | never | window:K")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	impl, err := registry.Impl(*implName)
+	if err != nil {
+		return err
+	}
+	policy, err := registry.Policy(*policyName)
+	if err != nil {
+		return err
+	}
+	root, err := sim.NewSystem(impl, registry.Workload(impl, *procs, *ops),
+		base.SamePolicy(policy), check.Options{}, false)
+	if err != nil {
+		return err
+	}
+
+	switch *mode {
+	case "lin":
+		ok, bad, st, err := explore.LinearizableEverywhere(root, *depth, check.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "linearizable everywhere: %v (nodes=%d leaves=%d truncated=%v)\n",
+			ok, st.Nodes, st.Leaves, st.Truncated)
+		if !ok {
+			fmt.Fprintln(out, "violating history:")
+			fmt.Fprint(out, bad.History().String())
+		}
+	case "weak":
+		ok, bad, st, err := explore.WeaklyConsistentEverywhere(root, *depth, check.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "weakly consistent everywhere: %v (nodes=%d leaves=%d truncated=%v)\n",
+			ok, st.Nodes, st.Leaves, st.Truncated)
+		if !ok {
+			fmt.Fprintln(out, "violating history:")
+			fmt.Fprint(out, bad.History().String())
+		}
+	case "valency":
+		rep, err := explore.Analyze(root, *depth)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "root valence: %v (truncated=%v)\n", rep.Root.Values(), rep.Stats.Truncated)
+		fmt.Fprintf(out, "multivalent=%d univalent=%d critical=%d agreement-violations=%d\n",
+			rep.Multivalent, rep.Univalent, len(rep.Criticals), rep.AgreementViolations)
+		for i, c := range rep.Criticals {
+			if i >= 3 {
+				fmt.Fprintf(out, "... %d more critical configurations\n", len(rep.Criticals)-3)
+				break
+			}
+			fmt.Fprintf(out, "critical #%d at depth %d (same-object=%v):\n", i+1, c.Depth, c.SameObject)
+			for _, pa := range c.Pending {
+				fmt.Fprintf(out, "  p%d -> %s (type=%s eventual=%v)\n", pa.Proc, pa.Desc, pa.BaseType, pa.Eventually)
+			}
+		}
+		if rep.AgreementViolations > 0 && rep.ViolationHistory != "" {
+			fmt.Fprintln(out, "example agreement violation:")
+			fmt.Fprint(out, rep.ViolationHistory)
+		}
+	case "stable":
+		res, err := explore.FindStable(root, *depth, *verifyDepth, check.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "stable configuration found at depth %d (t=%d, searched %d nodes)\n",
+			res.Depth, res.T, res.NodesSearched)
+		fmt.Fprintf(out, "verification: nodes=%d leaves=%d truncated=%v\n",
+			res.VerifyStats.Nodes, res.VerifyStats.Leaves, res.VerifyStats.Truncated)
+		fmt.Fprintln(out, "history at the stable configuration:")
+		fmt.Fprint(out, res.System.History().String())
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestLinMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "cas-counter", "-procs", "2", "-ops", "1",
+		"-mode", "lin", "-depth", "14"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "linearizable everywhere: true") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestLinModeViolation(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "sloppy-counter", "-procs", "2", "-ops", "1",
+		"-mode", "lin", "-depth", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "linearizable everywhere: false") ||
+		!strings.Contains(out, "violating history") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestWeakMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "sloppy-counter", "-procs", "2", "-ops", "1",
+		"-mode", "weak", "-depth", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "weakly consistent everywhere: true") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestValencyMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "reg-consensus", "-procs", "2", "-ops", "1",
+		"-mode", "valency", "-depth", "18"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "agreement-violations=") || !strings.Contains(out, "root valence") {
+		t.Errorf("output: %q", out)
+	}
+	if !strings.Contains(out, "example agreement violation") {
+		t.Errorf("expected a violation example: %q", out)
+	}
+}
+
+func TestValencyStrongPivot(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "base-consensus", "-procs", "2", "-ops", "1",
+		"-mode", "valency", "-depth", "10"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "critical=1") || !strings.Contains(out, "type=consensus") {
+		t.Errorf("output: %q", out)
+	}
+}
+
+func TestStableMode(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "warmup-counter:2", "-procs", "2", "-ops", "3",
+		"-mode", "stable", "-depth", "8", "-verify-depth", "14"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "stable configuration found at depth") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := [][]string{
+		{"-impl", "nosuch"},
+		{"-impl", "cas-counter", "-mode", "zap"},
+		{"-impl", "cas-counter", "-policy", "zap"},
+	}
+	for _, args := range bad {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

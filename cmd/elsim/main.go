@@ -1,0 +1,139 @@
+// Command elsim runs one of the built-in implementations under a chosen
+// scheduler and base-object adversary, prints the recorded history, and
+// optionally checks it on the spot.
+//
+// Usage:
+//
+//	elsim -impl cas-counter -procs 3 -ops 4 -sched random -seed 7 -check
+//	elsim -impl el-consensus -procs 3 -ops 2 -chooser stale -policy window:2 -check
+//	elsim -impl sloppy-counter -procs 2 -ops 8 -sched random -check -quiet
+//	elsim -impl warmup-counter:4 -procs 2 -ops 8 -check -track
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/registry"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "elsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elsim", flag.ContinueOnError)
+	implName := fs.String("impl", "cas-counter", "implementation (see -list)")
+	list := fs.Bool("list", false, "list implementations and exit")
+	procs := fs.Int("procs", 2, "number of processes")
+	ops := fs.Int("ops", 3, "operations per process")
+	schedName := fs.String("sched", "rr", "scheduler: rr | random | solo:P | burst:N")
+	chooserName := fs.String("chooser", "stale", "EL response chooser: true | stale | mix:P")
+	policyName := fs.String("policy", "window:4", "EL stabilization policy: immediate | never | window:K")
+	seed := fs.Int64("seed", 0, "random seed")
+	maxSteps := fs.Int("max-steps", 0, "step bound (0 = default)")
+	doCheck := fs.Bool("check", false, "check the history (lin, weak, MinT)")
+	doTrack := fs.Bool("track", false, "track MinT across prefixes")
+	quiet := fs.Bool("quiet", false, "suppress the history dump")
+	emitJSON := fs.Bool("emit-json", false, "emit the history as a JSON event array (for elcheck -json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range registry.ImplNames() {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	}
+
+	impl, err := registry.Impl(*implName)
+	if err != nil {
+		return err
+	}
+	sched, err := registry.Scheduler(*schedName)
+	if err != nil {
+		return err
+	}
+	chooser, err := registry.Chooser(*chooserName)
+	if err != nil {
+		return err
+	}
+	policy, err := registry.Policy(*policyName)
+	if err != nil {
+		return err
+	}
+
+	res, err := sim.Run(sim.Config{
+		Impl:      impl,
+		Workload:  registry.Workload(impl, *procs, *ops),
+		Scheduler: sched,
+		Chooser:   chooser,
+		Policies:  base.SamePolicy(policy),
+		Seed:      *seed,
+		MaxSteps:  *maxSteps,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *emitJSON {
+		data, err := json.Marshal(res.History)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(data))
+		return nil
+	}
+	fmt.Fprintf(out, "impl=%s procs=%d ops=%d sched=%s chooser=%s policy=%s seed=%d\n",
+		impl.Name(), *procs, *ops, sched.Name(), chooser.Name(), policy.Name(), *seed)
+	fmt.Fprintf(out, "steps=%d timedout=%v events=%d\n", res.Steps, res.TimedOut, res.History.Len())
+	for name, at := range res.StabilizedAt {
+		fmt.Fprintf(out, "stabilized %s at event %d\n", name, at)
+	}
+	if !*quiet {
+		fmt.Fprint(out, res.History.String())
+	}
+
+	objs := map[string]spec.Object{impl.Name(): impl.Spec()}
+	if *doCheck {
+		lin, err := check.Linearizable(objs, res.History, check.Options{})
+		if err != nil {
+			return err
+		}
+		wc, err := check.WeaklyConsistent(objs, res.History, check.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "linearizable=%v weakly-consistent=%v", lin, wc)
+		mt, ok, err := check.MinT(impl.Spec(), res.History, check.Options{})
+		if err == nil && ok {
+			fmt.Fprintf(out, " MinT=%d", mt)
+		}
+		fmt.Fprintln(out)
+	}
+	if *doTrack {
+		v, err := check.TrackMinT(impl.Spec(), res.History, maxInt(res.History.Len()/8, 2), check.Options{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "trend=%s final-MinT=%d slope=%.4f\n", v.Trend, v.FinalMinT, v.Slope)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

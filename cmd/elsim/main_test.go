@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cas-counter") ||
+		!strings.Contains(buf.String(), "el-consensus") {
+		t.Errorf("list output: %q", buf.String())
+	}
+}
+
+func TestRunCASCounter(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "cas-counter", "-procs", "2", "-ops", "2",
+		"-sched", "random", "-seed", "3", "-check"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "linearizable=true") || !strings.Contains(out, "MinT=0") {
+		t.Errorf("output: %q", out)
+	}
+	if !strings.Contains(out, "inv p0") {
+		t.Errorf("history dump missing: %q", out)
+	}
+}
+
+func TestRunELConsensusQuietTrack(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "el-consensus", "-procs", "3", "-ops", "2",
+		"-chooser", "stale", "-policy", "window:2", "-quiet", "-track"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "inv p0") {
+		t.Errorf("quiet run dumped the history: %q", out)
+	}
+	if !strings.Contains(out, "trend=") {
+		t.Errorf("track output missing: %q", out)
+	}
+}
+
+func TestRunWarmupCounterParam(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "warmup-counter:2", "-procs", "2", "-ops", "3",
+		"-check", "-quiet"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "weakly-consistent=true") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestRunMaxSteps(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "cas-counter", "-procs", "2", "-ops", "50",
+		"-max-steps", "10", "-quiet"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "timedout=true") {
+		t.Errorf("output: %q", buf.String())
+	}
+}
+
+func TestEmitJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "cas-counter", "-procs", "2", "-ops", "1", "-emit-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := strings.TrimSpace(buf.String())
+	if !strings.HasPrefix(out, "[{") || !strings.Contains(out, `"kind":"inv"`) {
+		t.Errorf("json output: %q", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := [][]string{
+		{"-impl", "nosuch"},
+		{"-impl", "cas-counter", "-sched", "nosuch"},
+		{"-impl", "cas-counter", "-chooser", "nosuch"},
+		{"-impl", "cas-counter", "-policy", "nosuch"},
+		{"-impl", "warmup-counter:xx"},
+	}
+	for _, args := range bad {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

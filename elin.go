@@ -1,0 +1,189 @@
+// Package elin is a verification and simulation toolkit for eventual
+// linearizability in asynchronous shared memory, reproducing Guerraoui &
+// Ruppert, "A Paradox of Eventual Linearizability in Shared Memory"
+// (PODC 2014).
+//
+// The library provides:
+//
+//   - sequential specifications of shared-object types (registers,
+//     fetch&increment, consensus, test&set, compare&swap, queues, ...);
+//   - histories with invocation/response events, projections and
+//     serialization;
+//   - decision procedures for linearizability, t-linearizability
+//     (Definition 2), weak consistency (Definition 1), and a MinT monitor
+//     that classifies eventual-linearizability behaviour on growing
+//     prefixes (Definitions 3/4);
+//   - an implementation model (deterministic step machines over shared
+//     base objects), linearizable and eventually linearizable base-object
+//     substrates, randomized/adversarial schedulers, and a bounded
+//     exhaustive model checker with valency analysis (Proposition 15) and
+//     stable-configuration search (Proposition 18);
+//   - the paper's algorithms and constructions: the Figure 1
+//     announce/verify wrapper (Proposition 11), consensus from eventually
+//     linearizable registers (Proposition 16), the communication-free
+//     test&set, the local-copy construction (Theorem 12), the
+//     stable-configuration transformation (Proposition 18), and the
+//     triviality decision procedure (Proposition 14).
+//
+// This package is the façade: it re-exports the surface most users need.
+// The full API lives in the internal packages and is exercised by the
+// example programs under examples/ and the experiment suite in
+// cmd/elbench.
+package elin
+
+import (
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/explore"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// Specification layer.
+type (
+	// Op is an operation invocation (method name plus arguments).
+	Op = spec.Op
+	// State is an immutable, comparable object state.
+	State = spec.State
+	// Outcome is one (response, next state) pair of a transition relation.
+	Outcome = spec.Outcome
+	// Type is a sequential object type (Q, Q0, INV, RES, delta).
+	Type = spec.Type
+	// Object pairs a type with an initial state.
+	Object = spec.Object
+
+	// Register is a read/write register type.
+	Register = spec.Register
+	// FetchInc is the fetch&increment counter type.
+	FetchInc = spec.FetchInc
+	// Consensus is the one-shot consensus type.
+	Consensus = spec.Consensus
+	// TestSet is the test&set type.
+	TestSet = spec.TestSet
+	// CAS is the compare&swap type.
+	CAS = spec.CAS
+	// Queue is the FIFO queue type.
+	Queue = spec.Queue
+	// MaxRegister is the max-register type.
+	MaxRegister = spec.MaxRegister
+)
+
+// History layer.
+type (
+	// History is a well-formed finite history of invocation and response
+	// events.
+	History = history.History
+	// Event is a single event <p, o, x>.
+	Event = history.Event
+	// Operation is an invocation with its matching response, if any.
+	Operation = history.Operation
+)
+
+// Checking layer.
+type (
+	// Options tunes the decision procedures.
+	Options = check.Options
+	// Verdict is a TrackMinT result.
+	Verdict = check.Verdict
+	// Sample is one (prefix length, MinT) measurement.
+	Sample = check.Sample
+	// Trend classifies MinT growth.
+	Trend = check.Trend
+)
+
+// Trend values re-exported for callers of TrackMinT.
+const (
+	TrendStabilized   = check.TrendStabilized
+	TrendDiverging    = check.TrendDiverging
+	TrendInconclusive = check.TrendInconclusive
+)
+
+// Execution layer.
+type (
+	// Impl is an implementation of a shared object from base objects.
+	Impl = machine.Impl
+	// Process is one process's deterministic step machine.
+	Process = machine.Process
+	// Action is a process's next step (base invocation or return).
+	Action = machine.Action
+	// Base describes one shared base object of an implementation.
+	Base = machine.Base
+	// System is a live configuration of an execution.
+	System = sim.System
+	// RunConfig describes one simulation run.
+	RunConfig = sim.Config
+	// RunResult is a simulation run's outcome.
+	RunResult = sim.Result
+	// Scheduler picks which process steps next.
+	Scheduler = sim.Scheduler
+	// Policy decides when an eventually linearizable base stabilizes.
+	Policy = base.Policy
+)
+
+// Operation constructors.
+var (
+	// MakeOp returns an operation with no arguments.
+	MakeOp = spec.MakeOp
+	// MakeOp1 returns an operation with one argument.
+	MakeOp1 = spec.MakeOp1
+	// MakeOp2 returns an operation with two arguments.
+	MakeOp2 = spec.MakeOp2
+	// ParseOp parses an operation from its string form.
+	ParseOp = spec.ParseOp
+	// NewObject pairs a type with its canonical initial state.
+	NewObject = spec.NewObject
+)
+
+// History constructors and serialization.
+var (
+	// NewHistory returns an empty history.
+	NewHistory = history.New
+	// HistoryFromEvents validates and builds a history.
+	HistoryFromEvents = history.FromEvents
+	// ReadHistoryText parses the compact text serialization.
+	ReadHistoryText = history.ReadText
+)
+
+// Decision procedures.
+var (
+	// Legal reports legality of a sequential history.
+	Legal = check.Legal
+	// Linearizable checks linearizability per object (locality).
+	Linearizable = check.Linearizable
+	// TLinearizable checks Definition 2 on a single-object history.
+	TLinearizable = check.TLinearizable
+	// MinT computes the least t making a history t-linearizable.
+	MinT = check.MinT
+	// MinTLocal computes per-object t_o values (Lemma 7).
+	MinTLocal = check.MinTLocal
+	// WeaklyConsistent checks Definition 1 (locality per Lemma 8).
+	WeaklyConsistent = check.WeaklyConsistent
+	// WeakResponses enumerates the Definition 1 candidate responses for a
+	// pending operation.
+	WeakResponses = check.WeakResponses
+	// TrackMinT measures MinT over growing prefixes and classifies the
+	// trend — the finite-data instrument for Definitions 3/4.
+	TrackMinT = check.TrackMinT
+)
+
+// Execution and exploration.
+var (
+	// Run executes an implementation under a scheduler and records its
+	// history.
+	Run = sim.Run
+	// NewSystem builds a live configuration for step-by-step control.
+	NewSystem = sim.NewSystem
+	// UniformWorkload builds an n-process workload repeating one
+	// operation.
+	UniformWorkload = sim.UniformWorkload
+	// ExploreDFS walks every interleaving to a depth bound.
+	ExploreDFS = explore.DFS
+	// LinearizableEverywhere checks all bounded interleavings.
+	LinearizableEverywhere = explore.LinearizableEverywhere
+	// AnalyzeValency performs the Proposition 15 valency analysis.
+	AnalyzeValency = explore.Analyze
+	// FindStable searches for a Proposition 18 stable configuration.
+	FindStable = explore.FindStable
+)

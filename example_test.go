@@ -1,0 +1,64 @@
+package elin_test
+
+import (
+	"fmt"
+
+	elin "github.com/elin-go/elin"
+	"github.com/elin-go/elin/internal/core/counter"
+)
+
+// Checking a hand-built history for linearizability and weak consistency.
+func Example_checkHistory() {
+	h := elin.NewHistory()
+	_ = h.Invoke(0, "X", elin.MakeOp("fetchinc"))
+	_ = h.Invoke(1, "X", elin.MakeOp("fetchinc"))
+	_ = h.Respond(0, 0)
+	_ = h.Respond(1, 0) // duplicate: not linearizable, but weakly consistent
+
+	objs := map[string]elin.Object{"X": elin.NewObject(elin.FetchInc{})}
+	lin, _ := elin.Linearizable(objs, h, elin.Options{})
+	weak, _ := elin.WeaklyConsistent(objs, h, elin.Options{})
+	fmt.Println("linearizable:", lin)
+	fmt.Println("weakly consistent:", weak)
+	// Output:
+	// linearizable: false
+	// weakly consistent: true
+}
+
+// MinT: the least cut t after which a history has a legal sequential
+// explanation (Definition 2).
+func Example_minT() {
+	h := elin.NewHistory()
+	_ = h.Call(0, "X", elin.MakeOp("fetchinc"), 0)
+	_ = h.Call(1, "X", elin.MakeOp("fetchinc"), 0) // stale duplicate
+	_ = h.Call(0, "X", elin.MakeOp("fetchinc"), 2)
+
+	t, ok, _ := elin.MinT(elin.NewObject(elin.FetchInc{}), h, elin.Options{})
+	fmt.Println(ok, t)
+	// Output:
+	// true 2
+}
+
+// Running an implementation and checking the recorded history.
+func Example_runAndCheck() {
+	res, _ := elin.Run(elin.RunConfig{
+		Impl:     counter.CAS{},
+		Workload: elin.UniformWorkload(2, 2, elin.MakeOp("fetchinc")),
+		Seed:     1,
+	})
+	objs := map[string]elin.Object{"cas-counter": counter.CAS{}.Spec()}
+	lin, _ := elin.Linearizable(objs, res.History, elin.Options{})
+	fmt.Println("ops:", len(res.History.Operations()), "linearizable:", lin)
+	// Output:
+	// ops: 4 linearizable: true
+}
+
+// Exhaustive bounded exploration: every interleaving of a two-process run.
+func Example_exploreEverywhere() {
+	root, _ := elin.NewSystem(counter.CAS{},
+		elin.UniformWorkload(2, 1, elin.MakeOp("fetchinc")), nil, elin.Options{}, false)
+	ok, _, st, _ := elin.LinearizableEverywhere(root, 12, elin.Options{})
+	fmt.Println("all interleavings linearizable:", ok, "leaves:", st.Leaves)
+	// Output:
+	// all interleavings linearizable: true leaves: 28
+}

@@ -1,0 +1,104 @@
+// Gossipconsensus demonstrates Proposition 16: consensus — the hardest
+// object to implement linearizably — has a trivial wait-free EVENTUALLY
+// linearizable implementation from eventually linearizable registers.
+//
+// The example runs the paper's Proposals-array algorithm over base
+// registers whose adversary may answer with any weakly consistent value
+// for a configurable window, and shows that (i) every run is weakly
+// consistent and t-linearizable for a finite t, and (ii) the stabilization
+// cut MinT tracks the adversary window, collapsing to 0 once the base
+// registers behave.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	elin "github.com/elin-go/elin"
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/elconsensus"
+	"github.com/elin-go/elin/internal/sim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "gossipconsensus:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const procs = 3
+	impl := elconsensus.Impl{}
+	objs := map[string]elin.Object{impl.Name(): impl.Spec()}
+
+	fmt.Println("Proposition 16: consensus from eventually linearizable registers")
+	fmt.Printf("%d processes, each proposing its id+1 twice; stale-preferring adversary\n\n", procs)
+	fmt.Printf("%-10s %-6s %-18s %-6s %s\n", "window", "seeds", "weakly-consistent", "maxT", "decisions observed")
+
+	for _, window := range []int{0, 2, 6} {
+		allWC := true
+		maxT := 0
+		decisions := map[int64]bool{}
+		for seed := int64(0); seed < 10; seed++ {
+			w := make([][]elin.Op, procs)
+			for p := 0; p < procs; p++ {
+				w[p] = []elin.Op{
+					elin.MakeOp1("propose", int64(p+1)),
+					elin.MakeOp1("propose", int64(p+1)),
+				}
+			}
+			res, err := elin.Run(elin.RunConfig{
+				Impl:      impl,
+				Workload:  w,
+				Scheduler: sim.Random{},
+				Chooser:   sim.StaleChooser{},
+				Policies:  base.SamePolicy(base.Window{K: window}),
+				Seed:      seed,
+			})
+			if err != nil {
+				return err
+			}
+			wc, err := elin.WeaklyConsistent(objs, res.History, elin.Options{})
+			if err != nil {
+				return err
+			}
+			allWC = allWC && wc
+			t, ok, err := check.MinT(impl.Spec(), res.History, check.Options{})
+			if err != nil || !ok {
+				return fmt.Errorf("MinT failed: %v %v", ok, err)
+			}
+			if t > maxT {
+				maxT = t
+			}
+			for _, op := range res.History.Operations() {
+				if !op.Pending() {
+					decisions[op.Resp] = true
+				}
+			}
+		}
+		fmt.Printf("%-10d %-6d %-18v %-6d %v\n", window, 10, allWC, maxT, keys(decisions))
+	}
+
+	fmt.Println()
+	fmt.Println("Even with window 0 (atomic base registers) early proposes can disagree —")
+	fmt.Println("registers cannot solve consensus (Proposition 15), so the algorithm is only")
+	fmt.Println("EVENTUALLY linearizable; but every run stabilizes at a finite MinT, which is")
+	fmt.Println("Definition 3's requirement, and larger adversary windows only push MinT up.")
+	fmt.Println("Contrast with fetch&increment, where Proposition 18 shows no such shortcut exists.")
+	return nil
+}
+
+func keys(m map[int64]bool) []int64 {
+	out := make([]int64, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

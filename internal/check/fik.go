@@ -1,0 +1,174 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// fetchIncTLinearizable decides t-linearizability of a fetch&increment
+// history in polynomial time. The algorithm is the combinatorial core of
+// the proof of Lemma 17 turned into a decision procedure:
+//
+//   - Operations answered in the suffix after event t ("constrained") must
+//     occupy slot v in any t-linearization S, where v is their response
+//     (offset by the initial counter value). Two equal responses in the
+//     suffix are an immediate violation.
+//   - Real-time edges between suffix operations force slot order.
+//   - The remaining slots below the top constrained slot ("the set E of the
+//     proof") must be filled by operations answered in the prefix (free
+//     fillers, the proof's A1) or pending operations (the proof's A4). A
+//     pending operation invoked in the suffix may only take a slot greater
+//     than the slots of all constrained operations that precede it in real
+//     time. Feasibility of that assignment is a greedy matching: gap
+//     eligibility is upward closed in the slot, so scanning gaps in
+//     ascending order and consuming any eligible filler is exact.
+//
+// Complexity: O(n^2) for the edge scan on n operations (n log n for the
+// matching), versus the exponential generic engine.
+func fetchIncTLinearizable(obj spec.Object, h *history.History, t int) (bool, error) {
+	initVal, ok := obj.Init.(int64)
+	if !ok {
+		return false, fmt.Errorf("check: fetch&inc initial state %v is not int64", obj.Init)
+	}
+	ops := h.Operations()
+	for _, op := range ops {
+		if op.Op.Method != spec.MethodFetchInc || op.Op.NArgs != 0 {
+			return false, fmt.Errorf("check: non-fetchinc operation %s in fetch&inc history", op.Op)
+		}
+	}
+
+	// Partition: constrained (response in suffix), free (response in
+	// prefix), pending. Constrained ops carry fixed slots.
+	type cop struct {
+		inv, res int
+		slot     int64
+	}
+	var constrained []cop
+	freeCount := 0
+	var pendingInv []int // invocation indices of pending ops
+	slots := make(map[int64]bool)
+	for _, op := range ops {
+		switch {
+		case op.Res >= t:
+			slot := op.Resp - initVal
+			if slot < 0 {
+				return false, nil // response below the initial value is illegal
+			}
+			if slots[slot] {
+				return false, nil // duplicate responses in the suffix
+			}
+			slots[slot] = true
+			constrained = append(constrained, cop{inv: op.Inv, res: op.Res, slot: slot})
+		case op.Res >= 0:
+			freeCount++
+		default:
+			pendingInv = append(pendingInv, op.Inv)
+		}
+	}
+	if len(constrained) == 0 {
+		// No response constraints and no real-time edges: any ordering of
+		// the completed operations with reassigned responses is legal
+		// (fetch&inc is total).
+		return true, nil
+	}
+
+	// Real-time edges among suffix events: for op1 constrained and op2 with
+	// invocation in the suffix, res(op1) < inv(op2) forces slot order (for
+	// constrained op2) or a slot lower bound (for pending op2).
+	sort.Slice(constrained, func(i, j int) bool { return constrained[i].res < constrained[j].res })
+	// maxSlotByRes[i] = max slot among constrained[0..i].
+	maxSlotByRes := make([]int64, len(constrained))
+	running := int64(-1)
+	for i, c := range constrained {
+		if c.slot > running {
+			running = c.slot
+		}
+		maxSlotByRes[i] = running
+	}
+	// maxSlotBefore returns the largest slot of a constrained op whose
+	// response event precedes event index ev, or -1.
+	maxSlotBefore := func(ev int) int64 {
+		// Binary search for the last constrained op with res < ev.
+		lo, hi := 0, len(constrained)
+		for lo < hi {
+			mid := lo + (hi-lo)/2
+			if constrained[mid].res < ev {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == 0 {
+			return -1
+		}
+		return maxSlotByRes[lo-1]
+	}
+	for _, c := range constrained {
+		if c.inv < t {
+			continue
+		}
+		if maxSlotBefore(c.inv) >= c.slot {
+			return false, nil // a real-time predecessor has an equal or larger slot
+		}
+	}
+
+	// Gap filling: slots 0..maxSlot not taken by constrained ops must be
+	// filled. Fillers: free ops (eligible for any gap) and pending ops
+	// (eligible for gaps strictly above their real-time lower bound).
+	maxSlot := running
+	var gaps []int64
+	for s := int64(0); s <= maxSlot; s++ {
+		if !slots[s] {
+			gaps = append(gaps, s)
+		}
+	}
+	if len(gaps) == 0 {
+		return true, nil
+	}
+	thresholds := make([]int64, 0, len(pendingInv))
+	for _, inv := range pendingInv {
+		if inv < t {
+			thresholds = append(thresholds, -1) // no incoming edges: universal
+		} else {
+			thresholds = append(thresholds, maxSlotBefore(inv))
+		}
+	}
+	sort.Slice(thresholds, func(i, j int) bool { return thresholds[i] < thresholds[j] })
+
+	available := freeCount // free fillers are eligible everywhere
+	next := 0
+	for _, g := range gaps {
+		for next < len(thresholds) && thresholds[next] < g {
+			available++
+			next++
+		}
+		if available == 0 {
+			return false, nil
+		}
+		available--
+	}
+	return true, nil
+}
+
+// FetchIncSlots returns, for a t-linearizable fetch&inc history, the slot
+// (position in the t-linearization) that each suffix-constrained operation
+// must occupy, keyed by operation index in h.Operations(). It exposes the
+// "slot exhaustion" phenomenon behind the Section 3.2 counterexample: as
+// the constrained operations fill an initial segment of the naturals, any
+// prefix-answered operation is forced to ever larger slots.
+func FetchIncSlots(obj spec.Object, h *history.History, t int) (map[int]int64, error) {
+	initVal, ok := obj.Init.(int64)
+	if !ok {
+		return nil, fmt.Errorf("check: fetch&inc initial state %v is not int64", obj.Init)
+	}
+	out := make(map[int]int64)
+	for i, op := range h.Operations() {
+		if op.Res >= t {
+			out[i] = op.Resp - initVal
+		}
+	}
+	return out, nil
+}

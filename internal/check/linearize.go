@@ -1,0 +1,423 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// TLinearizable reports whether the single-object history h is
+// t-linearizable with respect to obj (Definition 2): there is a legal
+// sequential history S containing every operation completed in h (plus,
+// optionally, pending ones) such that
+//
+//   - real-time order is respected between operations whose response and
+//     invocation events both lie in the suffix of h after the first t
+//     events, and
+//   - every operation whose response lies in that suffix has the same
+//     response in S. Operations answered within the first t events may take
+//     any legal response in S.
+//
+// All events of h must be on a single object; Linearizable and the *Local
+// variants handle multi-object histories via locality (Lemmas 7 and 8).
+func TLinearizable(obj spec.Object, h *history.History, t int, opts Options) (bool, error) {
+	if err := oneObject(h); err != nil {
+		return false, err
+	}
+	if t < 0 {
+		t = 0
+	}
+	if !opts.NoFastPath {
+		switch obj.Type.(type) {
+		case spec.FetchInc:
+			return fetchIncTLinearizable(obj, h, t)
+		case spec.Consensus:
+			return consensusTLinearizable(obj, h, t)
+		}
+	}
+	ops := h.Operations()
+	if len(ops) > MaxOpsPerObject {
+		return false, ErrTooLarge
+	}
+	pr := newTLinProblem(obj, ops, t, opts)
+	return pr.solve()
+}
+
+// Linearizable reports whether h is linearizable with respect to objs,
+// checking each object's projection independently (linearizability is a
+// local property; 0-linearizability coincides with linearizability).
+func Linearizable(objs map[string]spec.Object, h *history.History, opts Options) (bool, error) {
+	ok, _, err := LinearizableExplain(objs, h, opts)
+	return ok, err
+}
+
+// LinearizableExplain is Linearizable but also names the first object whose
+// projection fails.
+func LinearizableExplain(objs map[string]spec.Object, h *history.History, opts Options) (bool, string, error) {
+	for _, name := range h.Objects() {
+		obj, ok := objs[name]
+		if !ok {
+			return false, name, fmt.Errorf("check: no specification for object %q", name)
+		}
+		lin, err := TLinearizable(obj, h.ByObject(name), 0, opts)
+		if err != nil {
+			return false, name, fmt.Errorf("object %q: %w", name, err)
+		}
+		if !lin {
+			return false, name, nil
+		}
+	}
+	return true, "", nil
+}
+
+// MinT returns the least t for which the single-object history h is
+// t-linearizable (binary search, justified by the monotonicity of
+// t-linearizability in t, Lemma 5). The boolean result is false if h is not
+// t-linearizable even for t = h.Len(), which cannot happen for total types.
+func MinT(obj spec.Object, h *history.History, opts Options) (int, bool, error) {
+	ok, err := TLinearizable(obj, h, h.Len(), opts)
+	if err != nil {
+		return 0, false, err
+	}
+	if !ok {
+		return 0, false, nil
+	}
+	lo, hi := 0, h.Len()
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := TLinearizable(obj, h, mid, opts)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, true, nil
+}
+
+// MinTLocal returns the per-object minimum t values {t_o} of Lemma 7: for
+// each object o in h, the least t_o such that H|o is t_o-linearizable
+// (counted in H|o's own events).
+func MinTLocal(objs map[string]spec.Object, h *history.History, opts Options) (map[string]int, error) {
+	out := make(map[string]int)
+	for _, name := range h.Objects() {
+		obj, ok := objs[name]
+		if !ok {
+			return nil, fmt.Errorf("check: no specification for object %q", name)
+		}
+		t, ok2, err := MinT(obj, h.ByObject(name), opts)
+		if err != nil {
+			return nil, fmt.Errorf("object %q: %w", name, err)
+		}
+		if !ok2 {
+			return nil, fmt.Errorf("object %q: not t-linearizable for any t (non-total type?)", name)
+		}
+		out[name] = t
+	}
+	return out, nil
+}
+
+// MinTGlobalUpper lifts per-object t_o values to a global t via the
+// construction in the proof of Lemma 7: the least t such that the first t
+// events of h include, for every object o, the first t_o events of H|o.
+// It is an upper bound for the exact global MinT.
+func MinTGlobalUpper(objs map[string]spec.Object, h *history.History, opts Options) (int, error) {
+	local, err := MinTLocal(objs, h, opts)
+	if err != nil {
+		return 0, err
+	}
+	t := 0
+	for name, to := range local {
+		if to == 0 {
+			continue
+		}
+		idx := h.ObjectEventIndex(name)
+		if to > len(idx) {
+			to = len(idx)
+		}
+		if g := idx[to-1] + 1; g > t {
+			t = g
+		}
+	}
+	return t, nil
+}
+
+// TLinearizableLocal checks the necessary condition of Lemma 7's only-if
+// direction: if the multi-object history h is t-linearizable, then every
+// per-object projection is t-linearizable with the same numeral t. A false
+// result certifies that h is not t-linearizable (cheaply — no product
+// state); a true result is NOT sufficient, as the Proposition 9
+// counterexample shows even for histories over finitely many objects when
+// t is fixed: each projection can pass while the global cut fails.
+func TLinearizableLocal(objs map[string]spec.Object, h *history.History, t int, opts Options) (bool, string, error) {
+	for _, name := range h.Objects() {
+		obj, ok := objs[name]
+		if !ok {
+			return false, name, fmt.Errorf("check: no specification for object %q", name)
+		}
+		lin, err := TLinearizable(obj, h.ByObject(name), t, opts)
+		if err != nil {
+			return false, name, fmt.Errorf("object %q: %w", name, err)
+		}
+		if !lin {
+			return false, name, nil
+		}
+	}
+	return true, "", nil
+}
+
+// MinTMulti computes the exact least global t for which a multi-object
+// history is t-linearizable, by binary search over the product-state
+// checker (Lemma 5's monotonicity holds verbatim for multi-object
+// histories). It is exponential in the concurrent-operation count; for
+// real workloads use MinTGlobalUpper (the Lemma 7 lift), which bounds it
+// from above.
+func MinTMulti(objs map[string]spec.Object, h *history.History, opts Options) (int, bool, error) {
+	ok, err := TLinearizableMulti(objs, h, h.Len(), opts)
+	if err != nil {
+		return 0, false, err
+	}
+	if !ok {
+		return 0, false, nil
+	}
+	lo, hi := 0, h.Len()
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		ok, err := TLinearizableMulti(objs, h, mid, opts)
+		if err != nil {
+			return 0, false, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return hi, true, nil
+}
+
+// TLinearizableMulti checks t-linearizability of a multi-object history
+// directly, using a product-state search (no locality shortcut). It exists
+// to cross-validate the locality lemmas on small histories and to handle
+// histories where a single global t matters; prefer the per-object entry
+// points for real workloads.
+func TLinearizableMulti(objs map[string]spec.Object, h *history.History, t int, opts Options) (bool, error) {
+	if t < 0 {
+		t = 0
+	}
+	ops := h.Operations()
+	if len(ops) > MaxOpsPerObject {
+		return false, ErrTooLarge
+	}
+	names := h.Objects()
+	objIdx := make(map[string]int, len(names))
+	states := make([]spec.State, len(names))
+	for i, name := range names {
+		obj, ok := objs[name]
+		if !ok {
+			return false, fmt.Errorf("check: no specification for object %q", name)
+		}
+		objIdx[name] = i
+		states[i] = obj.Init
+	}
+	pr := &multiProblem{
+		objs:   objs,
+		names:  names,
+		objIdx: objIdx,
+		ops:    ops,
+		budget: opts.budget(),
+		memo:   make(map[multiKey]struct{}),
+	}
+	pr.prepare(t)
+	return pr.dfs(states, 0)
+}
+
+// oneObject verifies that all events of h are on one object.
+func oneObject(h *history.History) error {
+	objs := h.Objects()
+	if len(objs) > 1 {
+		return fmt.Errorf("check: single-object checker given %d objects %v", len(objs), objs)
+	}
+	return nil
+}
+
+// opConstraints precomputes, for an operation list and a cut t, the
+// predecessor masks, the constrained-response set and the completed set.
+// Shared by the single-object and product-state engines.
+func opConstraints(ops []history.Operation, t int) (pred []uint64, constrained, completed uint64) {
+	pred = make([]uint64, len(ops))
+	for j, opj := range ops {
+		if opj.Res >= 0 {
+			completed |= 1 << uint(j)
+			if opj.Res >= t {
+				constrained |= 1 << uint(j)
+			}
+		}
+		if opj.Inv < t {
+			continue // invocation in the prefix: no incoming real-time edges
+		}
+		for i, opi := range ops {
+			if i == j || opi.Res < 0 || opi.Res < t {
+				continue
+			}
+			if opi.Res < opj.Inv {
+				pred[j] |= 1 << uint(i)
+			}
+		}
+	}
+	return pred, constrained, completed
+}
+
+// ----------------------------------------------------------------------------
+// Single-object engine.
+
+type tlinProblem struct {
+	typ         spec.Type
+	init        spec.State
+	ops         []history.Operation
+	pred        []uint64
+	constrained uint64
+	completed   uint64
+	budget      int64
+	memo        map[memoKey]struct{}
+	noMemo      bool
+}
+
+type memoKey struct {
+	mask  uint64
+	state spec.State
+}
+
+func newTLinProblem(obj spec.Object, ops []history.Operation, t int, opts Options) *tlinProblem {
+	pr := &tlinProblem{
+		typ:    obj.Type,
+		init:   obj.Init,
+		ops:    ops,
+		budget: opts.budget(),
+		memo:   make(map[memoKey]struct{}),
+		noMemo: opts.NoMemo,
+	}
+	pr.pred, pr.constrained, pr.completed = opConstraints(ops, t)
+	return pr
+}
+
+func (pr *tlinProblem) solve() (bool, error) {
+	return pr.dfs(pr.init, 0)
+}
+
+func (pr *tlinProblem) dfs(state spec.State, chosen uint64) (bool, error) {
+	if chosen&pr.completed == pr.completed {
+		return true, nil
+	}
+	pr.budget--
+	if pr.budget < 0 {
+		return false, ErrBudget
+	}
+	key := memoKey{mask: chosen, state: state}
+	if !pr.noMemo {
+		if _, seen := pr.memo[key]; seen {
+			return false, nil
+		}
+	}
+	for i := range pr.ops {
+		bit := uint64(1) << uint(i)
+		if chosen&bit != 0 || pr.pred[i]&^chosen != 0 {
+			continue
+		}
+		for _, out := range pr.typ.Step(state, pr.ops[i].Op) {
+			if pr.constrained&bit != 0 && out.Resp != pr.ops[i].Resp {
+				continue
+			}
+			ok, err := pr.dfs(out.Next, chosen|bit)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	if !pr.noMemo {
+		pr.memo[key] = struct{}{}
+	}
+	return false, nil
+}
+
+// ----------------------------------------------------------------------------
+// Product-state engine for multi-object histories.
+
+type multiProblem struct {
+	objs        map[string]spec.Object
+	names       []string
+	objIdx      map[string]int
+	ops         []history.Operation
+	pred        []uint64
+	constrained uint64
+	completed   uint64
+	budget      int64
+	memo        map[multiKey]struct{}
+}
+
+type multiKey struct {
+	mask  uint64
+	state string
+}
+
+func (pr *multiProblem) prepare(t int) {
+	pr.pred, pr.constrained, pr.completed = opConstraints(pr.ops, t)
+}
+
+func productKey(states []spec.State) string {
+	var b strings.Builder
+	for i, s := range states {
+		if i > 0 {
+			b.WriteByte('|')
+		}
+		fmt.Fprintf(&b, "%v", s)
+	}
+	return b.String()
+}
+
+func (pr *multiProblem) dfs(states []spec.State, chosen uint64) (bool, error) {
+	if chosen&pr.completed == pr.completed {
+		return true, nil
+	}
+	pr.budget--
+	if pr.budget < 0 {
+		return false, ErrBudget
+	}
+	key := multiKey{mask: chosen, state: productKey(states)}
+	if _, seen := pr.memo[key]; seen {
+		return false, nil
+	}
+	for i := range pr.ops {
+		bit := uint64(1) << uint(i)
+		if chosen&bit != 0 || pr.pred[i]&^chosen != 0 {
+			continue
+		}
+		oi := pr.objIdx[pr.ops[i].Obj]
+		typ := pr.objs[pr.ops[i].Obj].Type
+		for _, out := range typ.Step(states[oi], pr.ops[i].Op) {
+			if pr.constrained&bit != 0 && out.Resp != pr.ops[i].Resp {
+				continue
+			}
+			next := make([]spec.State, len(states))
+			copy(next, states)
+			next[oi] = out.Next
+			ok, err := pr.dfs(next, chosen|bit)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	pr.memo[key] = struct{}{}
+	return false, nil
+}

@@ -1,0 +1,177 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func TestTrackMinTStabilized(t *testing.T) {
+	// An atomic counter history: MinT is identically 0 -> stabilized.
+	obj := spec.NewObject(spec.FetchInc{})
+	h := history.New()
+	for i := 0; i < 40; i++ {
+		if err := h.Call(i%2, "X", fi, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := TrackMinT(obj, h, 8, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Trend != TrendStabilized {
+		t.Fatalf("trend = %v, want stabilized (samples %v)", v.Trend, v.Samples)
+	}
+	if v.FinalMinT != 0 {
+		t.Fatalf("final MinT = %d, want 0", v.FinalMinT)
+	}
+}
+
+func TestTrackMinTStabilizedAfterWarmup(t *testing.T) {
+	// Garbage responses for the first 10 ops, atomic afterwards: MinT
+	// settles at the warmup boundary -> stabilized with nonzero MinT.
+	obj := spec.NewObject(spec.FetchInc{})
+	h := history.New()
+	next := int64(0)
+	for i := 0; i < 40; i++ {
+		resp := next
+		if i < 10 {
+			resp = 0 // duplicated garbage during warmup
+		}
+		next++
+		if err := h.Call(i%2, "X", fi, resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Recompute responses after warmup to be the true values starting from
+	// 10 increments already applied: they are 10, 11, ... which is what
+	// the loop produced for i >= 10.
+	v, err := TrackMinT(obj, h, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Trend != TrendStabilized {
+		t.Fatalf("trend = %v, want stabilized (samples %v)", v.Trend, v.Samples)
+	}
+	if v.FinalMinT == 0 || v.FinalMinT > 20 {
+		t.Fatalf("final MinT = %d, want in (0,20]", v.FinalMinT)
+	}
+}
+
+func TestTrackMinTDiverging(t *testing.T) {
+	// A sloppy counter that duplicates every response: MinT grows with the
+	// run -> diverging (the Corollary 19 signature).
+	obj := spec.NewObject(spec.FetchInc{})
+	h := history.New()
+	for i := 0; i < 60; i++ {
+		if err := h.Call(i%2, "X", fi, int64(i/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := TrackMinT(obj, h, 10, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Trend != TrendDiverging {
+		t.Fatalf("trend = %v, want diverging (samples %v, slope %f)", v.Trend, v.Samples, v.Slope)
+	}
+	if v.Slope <= 0 {
+		t.Fatalf("slope = %f, want positive", v.Slope)
+	}
+}
+
+func TestTrackMinTShortRunInconclusive(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := history.New()
+	if err := h.Call(0, "X", fi, 0); err != nil {
+		t.Fatal(err)
+	}
+	v, err := TrackMinT(obj, h, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Trend != TrendInconclusive {
+		t.Fatalf("trend = %v, want inconclusive", v.Trend)
+	}
+}
+
+func TestTrackMinTStrideClamp(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := history.New()
+	for i := 0; i < 6; i++ {
+		if err := h.Call(0, "X", fi, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := TrackMinT(obj, h, 0, Options{}) // stride 0 clamps to 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Samples) != h.Len() {
+		t.Fatalf("samples = %d, want %d", len(v.Samples), h.Len())
+	}
+}
+
+func TestTrendString(t *testing.T) {
+	for _, tc := range []struct {
+		tr   Trend
+		want string
+	}{
+		{TrendStabilized, "stabilized"},
+		{TrendDiverging, "diverging"},
+		{TrendInconclusive, "inconclusive"},
+		{Trend(42), "trend(42)"},
+	} {
+		if got := tc.tr.String(); got != tc.want {
+			t.Errorf("Trend(%d).String() = %q, want %q", int(tc.tr), got, tc.want)
+		}
+	}
+}
+
+func TestVerdictSamplesMonotoneEvents(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := history.New()
+	for i := 0; i < 23; i++ {
+		if err := h.Call(i%3, "X", fi, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := TrackMinT(obj, h, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(v.Samples); i++ {
+		if v.Samples[i].Events <= v.Samples[i-1].Events {
+			t.Fatalf("sample events not increasing: %v", v.Samples)
+		}
+	}
+	if last := v.Samples[len(v.Samples)-1]; last.Events != h.Len() {
+		t.Fatalf("last sample at %d, want %d", last.Events, h.Len())
+	}
+}
+
+func TestTrendDivergenceSlopeReflectsRate(t *testing.T) {
+	// Sanity on the slope: duplicating every response forces the cut past
+	// roughly half the events, so slope should be near 1 (MinT grows about
+	// one event per event... actually per two events per duplicated pair,
+	// slope around 1 for full duplication across prefix growth).
+	obj := spec.NewObject(spec.FetchInc{})
+	h := history.New()
+	for i := 0; i < 80; i++ {
+		if err := h.Call(i%2, "X", fi, int64(i/2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v, err := TrackMinT(obj, h, 16, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Slope < 0.5 {
+		t.Fatalf("slope = %f, want >= 0.5 for fully sloppy counter", v.Slope)
+	}
+	if !strings.Contains(v.Trend.String(), "diverging") {
+		t.Fatalf("trend = %v", v.Trend)
+	}
+}

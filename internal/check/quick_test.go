@@ -1,0 +1,170 @@
+package check
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/elin-go/elin/internal/gen"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// Property: MinT is monotone under prefixes (a consequence of Lemma 6): a
+// prefix never needs a larger cut than the full history.
+func TestQuickMinTPrefixMonotone(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := gen.FetchInc(r, gen.HistoryConfig{Procs: 3, Ops: 10, Corrupt: 0.4, PendingBias: 0.2})
+		full, ok, err := MinT(obj, h, Options{})
+		if err != nil || !ok {
+			return false
+		}
+		for k := 0; k <= h.Len(); k += 3 {
+			pre, ok, err := MinT(obj, h.Prefix(k), Options{})
+			if err != nil || !ok {
+				return false
+			}
+			if pre > full {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a history is 0-linearizable iff MinT is 0.
+func TestQuickMinTZeroIffLinearizable(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := gen.FetchInc(r, gen.HistoryConfig{Procs: 2, Ops: 8, Corrupt: 0.3})
+		lin, err := TLinearizable(obj, h, 0, Options{})
+		if err != nil {
+			return false
+		}
+		mt, ok, err := MinT(obj, h, Options{})
+		if err != nil || !ok {
+			return false
+		}
+		return lin == (mt == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: weak consistency is implied by linearizability (a legal
+// 0-linearization restricted appropriately witnesses Definition 1).
+func TestQuickLinearizableImpliesWeaklyConsistent(t *testing.T) {
+	objs := map[string]spec.Object{"X": spec.NewObject(spec.Register{})}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := gen.Register(r, gen.HistoryConfig{Procs: 3, Ops: 8, Corrupt: 0.3})
+		lin, err := Linearizable(objs, h, Options{})
+		if err != nil {
+			return false
+		}
+		if !lin {
+			return true // implication vacuous
+		}
+		wc, err := WeaklyConsistent(objs, h, Options{})
+		if err != nil {
+			return false
+		}
+		return wc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: exact multi-object MinT never exceeds the Lemma 7 lift, and
+// the lift is itself sufficient.
+func TestQuickMinTMultiBelowLift(t *testing.T) {
+	objs := map[string]spec.Object{
+		"X": spec.NewObject(spec.Register{}),
+		"Y": spec.NewObject(spec.FetchInc{}),
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := randomTwoObjectHistory(r, 3, 6, 0.3)
+		exact, ok, err := MinTMulti(objs, h, Options{})
+		if err != nil || !ok {
+			return false
+		}
+		lift, err := MinTGlobalUpper(objs, h, Options{})
+		if err != nil {
+			return false
+		}
+		return exact <= lift
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every response enumerated by WeakResponses is accepted by the
+// weak-consistency checker once appended, and every other small value is
+// rejected (soundness and completeness of the candidate set).
+func TestQuickWeakResponsesExact(t *testing.T) {
+	obj := spec.NewObject(spec.Register{})
+	objs := map[string]spec.Object{"X": obj}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := gen.Register(r, gen.HistoryConfig{Procs: 3, Ops: 6})
+		// Append a fresh pending read by a new process.
+		if err := h.Invoke(3, "X", spec.MakeOp(spec.MethodRead)); err != nil {
+			return false
+		}
+		cands, err := WeakResponses(obj, h, 3, Options{})
+		if err != nil {
+			return false
+		}
+		inCands := make(map[int64]bool, len(cands))
+		for _, c := range cands {
+			inCands[c] = true
+		}
+		for v := int64(-1); v <= 5; v++ {
+			probe := h.Clone()
+			if err := probe.Respond(3, v); err != nil {
+				return false
+			}
+			wc, err := WeaklyConsistent(objs, probe, Options{})
+			if err != nil {
+				return false
+			}
+			if wc != inCands[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: NoMemo changes performance, never answers.
+func TestQuickMemoAblationSameAnswers(t *testing.T) {
+	objs := map[string]spec.Object{"X": spec.NewObject(spec.Register{})}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := gen.Register(r, gen.HistoryConfig{Procs: 3, Ops: 6, Corrupt: 0.4})
+		a, err := Linearizable(objs, h, Options{})
+		if err != nil {
+			return false
+		}
+		b, err := Linearizable(objs, h, Options{NoMemo: true})
+		if err != nil {
+			return false
+		}
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

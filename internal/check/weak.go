@@ -1,0 +1,307 @@
+package check
+
+import (
+	"fmt"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// WeaklyConsistent reports whether every completed operation of h satisfies
+// Definition 1: for each operation op with a response, there is a legal
+// sequential history S that (i) contains only operations invoked in h
+// before op terminates, (ii) contains all operations by op's process that
+// precede op, and (iii) ends with op returning the same response as in h.
+//
+// Weak consistency is a local property (Lemma 8), so the check partitions h
+// by object.
+func WeaklyConsistent(objs map[string]spec.Object, h *history.History, opts Options) (bool, error) {
+	ok, _, err := WeaklyConsistentExplain(objs, h, opts)
+	return ok, err
+}
+
+// WeaklyConsistentExplain is WeaklyConsistent but also reports the first
+// violating operation (as rendered by history.Operation.String), if any.
+func WeaklyConsistentExplain(objs map[string]spec.Object, h *history.History, opts Options) (bool, string, error) {
+	for _, name := range h.Objects() {
+		obj, ok := objs[name]
+		if !ok {
+			return false, "", fmt.Errorf("check: no specification for object %q", name)
+		}
+		proj := h.ByObject(name)
+		ops := proj.Operations()
+		for k, op := range ops {
+			if op.Pending() {
+				continue
+			}
+			ok, err := weakWitness(obj, ops, k, op.Resp, op.Res, opts)
+			if err != nil {
+				return false, op.String(), fmt.Errorf("object %q op %s: %w", name, op, err)
+			}
+			if !ok {
+				return false, op.String(), nil
+			}
+		}
+	}
+	return true, "", nil
+}
+
+// WeakResponses returns the set of responses r such that, were process
+// proc's pending operation on the (single-object) history h to return r
+// now, the operation would satisfy Definition 1. This is the candidate set
+// an eventually linearizable object may answer from before stabilizing:
+// anything else would be "out of left field". The history must contain a
+// pending operation by proc.
+func WeakResponses(obj spec.Object, h *history.History, proc int, opts Options) ([]int64, error) {
+	if err := oneObject(h); err != nil {
+		return nil, err
+	}
+	ops := h.Operations()
+	k := -1
+	for i, op := range ops {
+		if op.Proc == proc && op.Pending() {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return nil, fmt.Errorf("check: process p%d has no pending operation", proc)
+	}
+	// The hypothetical response event would land at index h.Len(), so every
+	// operation already invoked is a candidate member of S.
+	if !opts.NoFastPath {
+		switch obj.Type.(type) {
+		case spec.Register:
+			return weakRegisterResponses(obj, ops, k, h.Len())
+		case spec.FetchInc:
+			return weakFetchIncResponses(obj, ops, k, h.Len())
+		}
+	}
+	return weakResponseSet(obj, ops, k, h.Len(), opts)
+}
+
+// weakRegisterResponses computes the Definition 1 candidate set for a
+// register in linear time: a write may only be acked; a read may return any
+// value written by an operation invoked before the response position, or
+// the initial value provided the reader has no earlier writes of its own.
+func weakRegisterResponses(obj spec.Object, ops []history.Operation, k, respIdx int) ([]int64, error) {
+	init, ok := obj.Init.(int64)
+	if !ok {
+		return nil, fmt.Errorf("check: register initial state %v is not int64", obj.Init)
+	}
+	op := ops[k]
+	switch op.Op.Method {
+	case spec.MethodWrite:
+		return []int64{0}, nil
+	case spec.MethodRead:
+		seen := make(map[int64]bool)
+		var out []int64
+		selfWrote := false
+		for i, other := range ops {
+			if i == k || other.Op.Method != spec.MethodWrite || other.Inv >= respIdx {
+				continue
+			}
+			if v := other.Op.Args[0]; !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+			if other.Proc == op.Proc && other.Inv < op.Inv {
+				selfWrote = true
+			}
+		}
+		if !selfWrote && !seen[init] {
+			out = append(out, init)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("check: unexpected register method %q", op.Op.Method)
+	}
+}
+
+// weakFetchIncResponses computes the Definition 1 candidate set for a
+// fetch&increment in linear time: the contiguous range
+// [init+m, init+m+c] where m counts mandatory same-process predecessors and
+// c counts optional candidates.
+func weakFetchIncResponses(obj spec.Object, ops []history.Operation, k, respIdx int) ([]int64, error) {
+	init, ok := obj.Init.(int64)
+	if !ok {
+		return nil, fmt.Errorf("check: fetch&inc initial state %v is not int64", obj.Init)
+	}
+	must, opt := weakCandidates(ops, k, respIdx)
+	out := make([]int64, 0, len(opt)+1)
+	for r := init + int64(len(must)); r <= init+int64(len(must))+int64(len(opt)); r++ {
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// weakWitness decides Definition 1 for operation index k with response resp,
+// whose response event index is respIdx. Fast paths exist for registers and
+// fetch&increment; the generic path is a budgeted DFS.
+func weakWitness(obj spec.Object, ops []history.Operation, k int, resp int64, respIdx int, opts Options) (bool, error) {
+	if !opts.NoFastPath {
+		switch t := obj.Type.(type) {
+		case spec.Register:
+			return weakRegister(obj, ops, k, resp, respIdx)
+		case spec.FetchInc:
+			return weakFetchInc(obj, ops, k, resp, respIdx)
+		default:
+			_ = t
+		}
+	}
+	set, err := weakResponseSet(obj, ops, k, respIdx, opts)
+	if err != nil {
+		return false, err
+	}
+	for _, r := range set {
+		if r == resp {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// weakRegister: a read may return any value written by an operation invoked
+// before the read's response, or the initial value provided the reading
+// process has no earlier writes (its own writes must appear in S before the
+// read). A write is weakly consistent iff its response is the ack 0.
+func weakRegister(obj spec.Object, ops []history.Operation, k int, resp int64, respIdx int) (bool, error) {
+	init, ok := obj.Init.(int64)
+	if !ok {
+		return false, fmt.Errorf("check: register initial state %v is not int64", obj.Init)
+	}
+	op := ops[k]
+	switch op.Op.Method {
+	case spec.MethodWrite:
+		return resp == 0, nil
+	case spec.MethodRead:
+		selfWrote := false
+		for i, other := range ops {
+			if i == k || other.Op.Method != spec.MethodWrite {
+				continue
+			}
+			if other.Inv >= respIdx {
+				continue // invoked after the read terminated: not in S
+			}
+			if other.Op.NArgs == 1 && other.Op.Args[0] == resp {
+				return true, nil
+			}
+			if other.Proc == op.Proc && other.Inv < op.Inv {
+				selfWrote = true
+			}
+		}
+		return resp == init && !selfWrote, nil
+	default:
+		return false, fmt.Errorf("check: unexpected register method %q", op.Op.Method)
+	}
+}
+
+// weakFetchInc: with m mandatory same-process predecessors and c optional
+// candidates, a fetch&inc may return any r with m <= r - init <= m + c.
+func weakFetchInc(obj spec.Object, ops []history.Operation, k int, resp int64, respIdx int) (bool, error) {
+	init, ok := obj.Init.(int64)
+	if !ok {
+		return false, fmt.Errorf("check: fetch&inc initial state %v is not int64", obj.Init)
+	}
+	must, opt := weakCandidates(ops, k, respIdx)
+	m, c := int64(len(must)), int64(len(opt))
+	return resp-init >= m && resp-init <= m+c, nil
+}
+
+// weakCandidates splits the operations other than k into the mandatory set
+// (same process, preceding k) and the optional set (anything else invoked
+// before respIdx).
+func weakCandidates(ops []history.Operation, k, respIdx int) (must, opt []int) {
+	op := ops[k]
+	for i, other := range ops {
+		if i == k {
+			continue
+		}
+		if other.Proc == op.Proc && other.Inv < op.Inv {
+			must = append(must, i)
+			continue
+		}
+		if other.Inv < respIdx {
+			opt = append(opt, i)
+		}
+	}
+	return must, opt
+}
+
+// weakResponseSet enumerates every response the operation at index k could
+// legally return at response position respIdx under Definition 1, by
+// searching arrangements of mandatory and optional candidate operations.
+func weakResponseSet(obj spec.Object, ops []history.Operation, k, respIdx int, opts Options) ([]int64, error) {
+	must, opt := weakCandidates(ops, k, respIdx)
+	if len(must)+len(opt) > MaxOpsPerObject {
+		return nil, ErrTooLarge
+	}
+	// Index candidate ops with bits: must occupy bits [0,len(must)),
+	// optional the rest.
+	cand := make([]history.Operation, 0, len(must)+len(opt))
+	for _, i := range must {
+		cand = append(cand, ops[i])
+	}
+	for _, i := range opt {
+		cand = append(cand, ops[i])
+	}
+	mustMask := uint64(1)<<uint(len(must)) - 1
+
+	e := &weakEnum{
+		typ:      obj.Type,
+		cand:     cand,
+		mustMask: mustMask,
+		op:       ops[k].Op,
+		budget:   opts.budget(),
+		memo:     make(map[memoKey]struct{}),
+		found:    make(map[int64]bool),
+	}
+	if err := e.dfs(obj.Init, 0); err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, len(e.found))
+	for r := range e.found {
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+type weakEnum struct {
+	typ      spec.Type
+	cand     []history.Operation
+	mustMask uint64
+	op       spec.Op
+	budget   int64
+	memo     map[memoKey]struct{}
+	found    map[int64]bool
+}
+
+func (e *weakEnum) dfs(state spec.State, used uint64) error {
+	e.budget--
+	if e.budget < 0 {
+		return ErrBudget
+	}
+	key := memoKey{mask: used, state: state}
+	if _, seen := e.memo[key]; seen {
+		return nil
+	}
+	e.memo[key] = struct{}{}
+	if used&e.mustMask == e.mustMask {
+		// All mandatory predecessors placed: op may terminate here.
+		for _, out := range e.typ.Step(state, e.op) {
+			e.found[out.Resp] = true
+		}
+	}
+	for i := range e.cand {
+		bit := uint64(1) << uint(i)
+		if used&bit != 0 {
+			continue
+		}
+		for _, out := range e.typ.Step(state, e.cand[i].Op) {
+			if err := e.dfs(out.Next, used|bit); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

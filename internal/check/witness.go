@@ -1,0 +1,106 @@
+package check
+
+import (
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// SequentialWitness reports whether there is a legal sequential execution,
+// from obj's initial state, that consists of all operations in must, any
+// subset of opt, and ends with final returning resp. This is exactly the
+// test on line 13 of Figure 1 (the announce/verify wrapper of
+// Proposition 11): must is the verifier's own announced operations, opt the
+// operations announced by others, final the operation being completed.
+func SequentialWitness(obj spec.Object, must, opt []spec.Op, final spec.Op, resp int64, opts Options) (bool, error) {
+	if !opts.NoFastPath {
+		if _, ok := obj.Type.(spec.FetchInc); ok {
+			return fetchIncWitness(obj, must, opt, final, resp)
+		}
+	}
+	if len(must)+len(opt) > MaxOpsPerObject {
+		return false, ErrTooLarge
+	}
+	w := &witnessSearch{
+		typ:      obj.Type,
+		must:     must,
+		opt:      opt,
+		mustMask: uint64(1)<<uint(len(must)) - 1,
+		final:    final,
+		resp:     resp,
+		budget:   opts.budget(),
+		memo:     make(map[memoKey]struct{}),
+	}
+	return w.dfs(obj.Init, 0)
+}
+
+// fetchIncWitness: all operations are fetch&incs, so only counts matter:
+// the final op returns r iff exactly r - init operations precede it, which
+// requires len(must) <= r - init <= len(must) + len(opt).
+func fetchIncWitness(obj spec.Object, must, opt []spec.Op, final spec.Op, resp int64) (bool, error) {
+	init, ok := obj.Init.(int64)
+	if !ok {
+		return false, nil
+	}
+	if final.Method != spec.MethodFetchInc {
+		return false, nil
+	}
+	for _, op := range append(append([]spec.Op{}, must...), opt...) {
+		if op.Method != spec.MethodFetchInc {
+			return false, nil
+		}
+	}
+	d := resp - init
+	return d >= int64(len(must)) && d <= int64(len(must)+len(opt)), nil
+}
+
+type witnessSearch struct {
+	typ      spec.Type
+	must     []spec.Op
+	opt      []spec.Op
+	mustMask uint64
+	final    spec.Op
+	resp     int64
+	budget   int64
+	memo     map[memoKey]struct{}
+}
+
+func (w *witnessSearch) dfs(state spec.State, used uint64) (bool, error) {
+	w.budget--
+	if w.budget < 0 {
+		return false, ErrBudget
+	}
+	key := memoKey{mask: used, state: state}
+	if _, seen := w.memo[key]; seen {
+		return false, nil
+	}
+	if used&w.mustMask == w.mustMask {
+		for _, out := range w.typ.Step(state, w.final) {
+			if out.Resp == w.resp {
+				return true, nil
+			}
+		}
+	}
+	total := len(w.must) + len(w.opt)
+	for i := 0; i < total; i++ {
+		bit := uint64(1) << uint(i)
+		if used&bit != 0 {
+			continue
+		}
+		var op spec.Op
+		if i < len(w.must) {
+			op = w.must[i]
+		} else {
+			op = w.opt[i-len(w.must)]
+		}
+		for _, out := range w.typ.Step(state, op) {
+			ok, err := w.dfs(out.Next, used|bit)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+	}
+	w.memo[key] = struct{}{}
+	return false, nil
+}

@@ -1,0 +1,121 @@
+package check
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func TestSequentialWitnessFetchIncFastPath(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	must := []spec.Op{fi, fi}
+	opt := []spec.Op{fi, fi, fi}
+	cases := []struct {
+		resp int64
+		want bool
+	}{
+		{1, false}, // below the mandatory count
+		{2, true},  // exactly the mandatory predecessors
+		{4, true},  // two optional ops included
+		{5, true},  // all optional ops included
+		{6, false}, // more predecessors than exist
+	}
+	for _, tc := range cases {
+		got, err := SequentialWitness(obj, must, opt, fi, tc.resp, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("resp %d: witness = %v, want %v", tc.resp, got, tc.want)
+		}
+	}
+	// Foreign operations disqualify the fast path's premise.
+	ok, err := SequentialWitness(obj, []spec.Op{rd}, nil, fi, 0, Options{})
+	if err != nil || ok {
+		t.Errorf("foreign must op: %v %v", ok, err)
+	}
+	ok, err = SequentialWitness(obj, nil, nil, rd, 0, Options{})
+	if err != nil || ok {
+		t.Errorf("foreign final op: %v %v", ok, err)
+	}
+}
+
+func TestSequentialWitnessGenericRegister(t *testing.T) {
+	// Force the generic search (registers have no SequentialWitness fast
+	// path anyway).
+	obj := spec.NewObject(spec.Register{})
+	// must: my write(5); opt: someone's write(9).
+	must := []spec.Op{wr(5)}
+	opt := []spec.Op{wr(9)}
+	read := rd
+
+	// Reading 5 works: [write(9)?, write(5), read->5] or [write(5), read].
+	ok, err := SequentialWitness(obj, must, opt, read, 5, Options{})
+	if err != nil || !ok {
+		t.Fatalf("read->5: %v %v", ok, err)
+	}
+	// Reading 9 works: [write(5), write(9), read->9].
+	ok, err = SequentialWitness(obj, must, opt, read, 9, Options{})
+	if err != nil || !ok {
+		t.Fatalf("read->9: %v %v", ok, err)
+	}
+	// Reading 0 (initial) fails: my write(5) must precede the read.
+	ok, err = SequentialWitness(obj, must, opt, read, 0, Options{})
+	if err != nil || ok {
+		t.Fatalf("read->0: %v %v", ok, err)
+	}
+	// With no mandatory writes, the initial value is readable.
+	ok, err = SequentialWitness(obj, nil, opt, read, 0, Options{})
+	if err != nil || !ok {
+		t.Fatalf("fresh read->0: %v %v", ok, err)
+	}
+}
+
+func TestSequentialWitnessGenericQueue(t *testing.T) {
+	obj := spec.NewObject(spec.Queue{})
+	enq := func(v int64) spec.Op { return spec.MakeOp1(spec.MethodEnq, v) }
+	deq := spec.MakeOp(spec.MethodDeq)
+
+	// My enqueues 1,2 must appear; a dequeue can return 1 (FIFO head).
+	ok, err := SequentialWitness(obj, []spec.Op{enq(1), enq(2)}, nil, deq, 1, Options{})
+	if err != nil || !ok {
+		t.Fatalf("deq->1: %v %v", ok, err)
+	}
+	// A dequeue returning 2 also works: order the enqueues 2 then 1.
+	ok, err = SequentialWitness(obj, []spec.Op{enq(1), enq(2)}, nil, deq, 2, Options{})
+	if err != nil || !ok {
+		t.Fatalf("deq->2: %v %v", ok, err)
+	}
+	// A dequeue returning 7 is out of left field.
+	ok, err = SequentialWitness(obj, []spec.Op{enq(1)}, []spec.Op{enq(2)}, deq, 7, Options{})
+	if err != nil || ok {
+		t.Fatalf("deq->7: %v %v", ok, err)
+	}
+	// Empty dequeue fails when a mandatory enqueue exists...
+	ok, err = SequentialWitness(obj, []spec.Op{enq(1)}, nil, deq, spec.EmptyDeq, Options{})
+	if err != nil || ok {
+		t.Fatalf("empty deq with mandatory enq: %v %v", ok, err)
+	}
+	// ... but succeeds when the enqueue is optional.
+	ok, err = SequentialWitness(obj, nil, []spec.Op{enq(1)}, deq, spec.EmptyDeq, Options{})
+	if err != nil || !ok {
+		t.Fatalf("empty deq with optional enq: %v %v", ok, err)
+	}
+}
+
+func TestSequentialWitnessLimits(t *testing.T) {
+	obj := spec.NewObject(spec.Register{})
+	big := make([]spec.Op, MaxOpsPerObject+1)
+	for i := range big {
+		big[i] = wr(int64(i))
+	}
+	_, err := SequentialWitness(obj, big, nil, rd, 0, Options{})
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+	_, err = SequentialWitness(obj, []spec.Op{wr(1), wr(2), wr(3)}, []spec.Op{wr(4)}, rd, 9, Options{Budget: 1})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("err = %v, want ErrBudget", err)
+	}
+}

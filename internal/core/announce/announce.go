@@ -1,0 +1,244 @@
+// Package announce implements Figure 1 of the paper (the proof of
+// Proposition 11): a wrapper that upgrades any implementation satisfying
+// only the liveness half of eventual linearizability (t-linearizability for
+// some t) into one that also satisfies the safety half (weak consistency,
+// Definition 1) — hence into an eventually linearizable implementation —
+// using a family of single-writer announcement registers.
+//
+// Per operation, the wrapper:
+//
+//  1. announces the operation by writing it into the process's announcement
+//     array R_i[c_i] (line 2);
+//  2. computes a private fallback response r_private by applying the
+//     operation to a local copy q_i of the object that has seen only this
+//     process's operations (line 4);
+//  3. runs the inner implementation to obtain r_shared (line 5);
+//  4. reads every process's announcement array to collect all announced
+//     operations (lines 6-12);
+//  5. returns r_shared if some permutation of a subset of the announced
+//     operations — including all of its own — forms a legal sequential
+//     execution in which the operation returns r_shared (line 13), and
+//     otherwise returns r_private (line 14).
+package announce
+
+import (
+	"fmt"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// MaxProcs bounds the number of processes (one announcement array each).
+const MaxProcs = 8
+
+// Codec translates operations to and from announcement register values
+// (which must be non-negative; spec.NoValue marks empty cells).
+type Codec struct {
+	// Encode maps an operation to a non-negative announcement value.
+	Encode func(spec.Op) (int64, error)
+	// Decode inverts Encode.
+	Decode func(int64) (spec.Op, error)
+}
+
+// FetchIncCodec encodes the single fetch&inc operation as 0.
+func FetchIncCodec() Codec {
+	return Codec{
+		Encode: func(op spec.Op) (int64, error) {
+			if op.Method != spec.MethodFetchInc {
+				return 0, fmt.Errorf("announce: cannot encode %s", op)
+			}
+			return 0, nil
+		},
+		Decode: func(v int64) (spec.Op, error) {
+			if v != 0 {
+				return spec.Op{}, fmt.Errorf("announce: cannot decode %d", v)
+			}
+			return spec.MakeOp(spec.MethodFetchInc), nil
+		},
+	}
+}
+
+// Impl is the Figure 1 wrapper around an inner implementation.
+type Impl struct {
+	inner machine.Impl
+	codec Codec
+	opts  check.Options
+}
+
+var _ machine.Impl = (*Impl)(nil)
+
+// New wraps inner with the Figure 1 algorithm. The inner implementation's
+// type must have finite nondeterminism (all types in this module do); codec
+// translates its operations into announcement values.
+func New(inner machine.Impl, codec Codec, opts check.Options) (*Impl, error) {
+	if codec.Encode == nil || codec.Decode == nil {
+		return nil, fmt.Errorf("announce: codec must provide Encode and Decode")
+	}
+	return &Impl{inner: inner, codec: codec, opts: opts}, nil
+}
+
+// Name implements machine.Impl.
+func (im *Impl) Name() string { return im.inner.Name() + "-announced" }
+
+// Spec implements machine.Impl.
+func (im *Impl) Spec() spec.Object { return im.inner.Spec() }
+
+// Bases implements machine.Impl: the inner bases followed by one
+// linearizable announcement array per process (Proposition 11's "system
+// that includes linearizable registers as base objects").
+func (im *Impl) Bases() []machine.Base {
+	inner := im.inner.Bases()
+	out := make([]machine.Base, 0, len(inner)+MaxProcs)
+	out = append(out, inner...)
+	for i := 0; i < MaxProcs; i++ {
+		out = append(out, machine.Base{
+			Name: fmt.Sprintf("R%d", i),
+			Obj: spec.Object{
+				Type: spec.RegisterArray{InitVal: spec.NoValue},
+				Init: spec.RegisterArray{InitVal: spec.NoValue}.Init(),
+			},
+		})
+	}
+	return out
+}
+
+// NewProcess implements machine.Impl.
+func (im *Impl) NewProcess(p, n int) machine.Process {
+	return &proc{
+		me:        p,
+		n:         n,
+		arrayBase: len(im.inner.Bases()),
+		inner:     im.inner.NewProcess(p, n),
+		codec:     im.codec,
+		obj:       im.inner.Spec(),
+		q:         im.inner.Spec().Init,
+		opts:      im.opts,
+	}
+}
+
+const (
+	phStart = iota
+	phAnnounced
+	phInner
+	phScan
+)
+
+type proc struct {
+	me, n     int
+	arrayBase int
+	inner     machine.Process
+	codec     Codec
+	obj       spec.Object
+	opts      check.Options
+
+	// Cross-operation state (the paper's c_i and q_i).
+	c int64      // operations announced so far
+	q spec.State // object state seen through own operations only
+
+	// Per-operation state.
+	phase    int
+	op       spec.Op
+	rprivate int64
+	rshared  int64
+	scanJ    int
+	scanK    int64
+	ownOps   []spec.Op
+	otherOps []spec.Op
+}
+
+func (c *proc) Begin(op spec.Op) {
+	c.phase = phStart
+	c.op = op
+}
+
+func (c *proc) Step(resp int64) machine.Action {
+	switch c.phase {
+	case phStart:
+		code, err := c.codec.Encode(c.op)
+		if err != nil || code < 0 {
+			panic(fmt.Sprintf("announce: encode %s: %v (code %d)", c.op, err, code))
+		}
+		c.phase = phAnnounced
+		return machine.Invoke(c.arrayBase+c.me, spec.MakeOp2(spec.MethodWrite, c.c, code))
+	case phAnnounced:
+		c.c++
+		outs := c.obj.Type.Step(c.q, c.op)
+		if len(outs) == 0 {
+			panic(fmt.Sprintf("announce: %s inapplicable to private state %v", c.op, c.q))
+		}
+		c.q = outs[0].Next
+		c.rprivate = outs[0].Resp
+		c.inner.Begin(c.op)
+		return c.driveInner(0)
+	case phInner:
+		return c.driveInner(resp)
+	default: // phScan: resp answers the read of R_scanJ[scanK]
+		return c.scanStep(resp)
+	}
+}
+
+// driveInner forwards the inner implementation's actions; when the inner
+// operation completes, the announcement scan begins.
+func (c *proc) driveInner(resp int64) machine.Action {
+	act := c.inner.Step(resp)
+	if act.Kind == machine.ActInvoke {
+		c.phase = phInner
+		return act
+	}
+	c.rshared = act.Ret
+	c.phase = phScan
+	c.scanJ = 0
+	c.scanK = 0
+	c.ownOps = c.ownOps[:0]
+	c.otherOps = c.otherOps[:0]
+	return machine.Invoke(c.arrayBase, spec.MakeOp1(spec.MethodRead, 0))
+}
+
+// scanStep consumes one announcement-array read and issues the next, or
+// finishes the operation once every array has been drained.
+func (c *proc) scanStep(resp int64) machine.Action {
+	if resp == spec.NoValue {
+		c.scanJ++
+		c.scanK = 0
+	} else {
+		op, err := c.codec.Decode(resp)
+		if err != nil {
+			panic(fmt.Sprintf("announce: decode announcement %d: %v", resp, err))
+		}
+		if c.scanJ == c.me {
+			c.ownOps = append(c.ownOps, op)
+		} else {
+			c.otherOps = append(c.otherOps, op)
+		}
+		c.scanK++
+	}
+	if c.scanJ < c.n {
+		return machine.Invoke(c.arrayBase+c.scanJ, spec.MakeOp1(spec.MethodRead, c.scanK))
+	}
+	return machine.Return(c.finish())
+}
+
+// finish performs the line 13 test and picks r_shared or r_private.
+func (c *proc) finish() int64 {
+	if len(c.ownOps) == 0 || c.ownOps[len(c.ownOps)-1] != c.op {
+		panic(fmt.Sprintf("announce: own announcement missing: read %v, current %s", c.ownOps, c.op))
+	}
+	must := c.ownOps[:len(c.ownOps)-1]
+	ok, err := check.SequentialWitness(c.obj, must, c.otherOps, c.op, c.rshared, c.opts)
+	if err != nil {
+		panic(fmt.Sprintf("announce: witness search: %v", err))
+	}
+	if ok {
+		return c.rshared
+	}
+	return c.rprivate
+}
+
+func (c *proc) Clone() machine.Process {
+	cp := *c
+	cp.inner = c.inner.Clone()
+	cp.ownOps = append([]spec.Op(nil), c.ownOps...)
+	cp.otherOps = append([]spec.Op(nil), c.otherOps...)
+	return &cp
+}

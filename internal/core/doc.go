@@ -1,0 +1,21 @@
+// Package core groups the paper's objects, algorithms and constructions,
+// one subpackage per artifact:
+//
+//   - counter: fetch&increment implementations (linearizable CAS counter,
+//     the introduction's sloppy counter, the eventually-linearizable warmup
+//     counter, and the deliberately inconsistent junk counter).
+//   - elconsensus: Proposition 16 — wait-free eventually linearizable
+//     consensus from eventually linearizable registers.
+//   - eltestset: the Section 4/5 test&set pair (communication-free
+//     eventually linearizable, and linearizable from CAS).
+//   - announce: Figure 1 / Proposition 11 — the announce/verify wrapper
+//     that adds weak consistency to any liveness-only implementation.
+//   - localcopy: Theorem 12 — the local-copy construction eliminating
+//     eventually linearizable base objects.
+//   - stabilize: Proposition 18 — the stable-configuration construction
+//     turning an eventually linearizable fetch&increment into a fully
+//     linearizable one.
+//   - trivial: Definition 13 / Proposition 14 — the triviality decision
+//     procedure.
+//   - passthrough: the identity implementation used by several experiments.
+package core

@@ -1,0 +1,211 @@
+package stabilize
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/core/eltestset"
+	"github.com/elin-go/elin/internal/explore"
+	"github.com/elin-go/elin/internal/progress"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+var fetchinc = spec.MakeOp(spec.MethodFetchInc)
+
+func TestTransformWarmupCounter(t *testing.T) {
+	// The headline paradox, end to end: the eventually linearizable (but
+	// non-linearizable) warmup counter is transformed into A′, and A′ is
+	// exhaustively verified to be fully linearizable.
+	impl := counter.Warmup{Threshold: 2}
+	out, rep, err := Transform(impl, Config{
+		NumProcs:    2,
+		OpsPerProc:  4,
+		SearchDepth: 8,
+		VerifyDepth: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StableDepth == 0 {
+		t.Fatal("warmup counter's root must not be stable")
+	}
+	if rep.V0 <= 0 {
+		t.Fatalf("v0 = %d, want positive", rep.V0)
+	}
+	if out.V0() != rep.V0 {
+		t.Fatalf("V0 mismatch: %d vs %d", out.V0(), rep.V0)
+	}
+	if !strings.HasSuffix(out.Name(), "-stabilized") {
+		t.Errorf("name = %q", out.Name())
+	}
+
+	// A′'s first operation by any process must return 0, 1, ... — verify
+	// exhaustively that every interleaving is linearizable.
+	root, err := sim.NewSystem(out, sim.UniformWorkload(2, 2, fetchinc), nil, check.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, bad, st, err := explore.LinearizableEverywhere(root, 24, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("A′ is not linearizable:\n%s", bad.History())
+	}
+	if st.Truncated {
+		t.Fatalf("verification truncated: %+v", st)
+	}
+}
+
+func TestTransformedCounterSequentialSemantics(t *testing.T) {
+	impl := counter.Warmup{Threshold: 2}
+	out, _, err := Transform(impl, Config{
+		NumProcs:    2,
+		OpsPerProc:  5,
+		SearchDepth: 8,
+		VerifyDepth: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A solo run of A′ must produce 0, 1, 2, ...
+	res, err := sim.Run(sim.Config{
+		Impl:     out,
+		Workload: [][]spec.Op{{fetchinc, fetchinc, fetchinc}, {}},
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0)
+	for _, op := range res.History.Operations() {
+		if op.Pending() {
+			continue
+		}
+		if op.Resp != want {
+			t.Fatalf("solo A′ returned %d, want %d\n%s", op.Resp, want, res.History)
+		}
+		want++
+	}
+}
+
+func TestTransformRejectsNonFetchInc(t *testing.T) {
+	if _, _, err := Transform(eltestset.FromCAS{}, Config{NumProcs: 2, OpsPerProc: 2, SearchDepth: 2, VerifyDepth: 4}); err == nil {
+		t.Fatal("accepted a test&set implementation")
+	}
+}
+
+func TestTransformRejectsEventualBases(t *testing.T) {
+	if _, _, err := Transform(counter.Sloppy{EventualBases: true}, Config{NumProcs: 2, OpsPerProc: 2, SearchDepth: 2, VerifyDepth: 4}); err == nil {
+		t.Fatal("accepted eventually linearizable bases")
+	}
+}
+
+func TestTransformRejectsBadConfig(t *testing.T) {
+	impl := counter.Warmup{Threshold: 1}
+	if _, _, err := Transform(impl, Config{NumProcs: 0}); err == nil {
+		t.Fatal("accepted zero processes")
+	}
+	if _, _, err := Transform(impl, Config{NumProcs: 2, SoloProc: 5, OpsPerProc: 2, SearchDepth: 2, VerifyDepth: 4}); err == nil {
+		t.Fatal("accepted out-of-range solo process")
+	}
+}
+
+func TestTransformNotEventuallyLinearizableFails(t *testing.T) {
+	// The sloppy counter (atomic register bases) is NOT eventually
+	// linearizable; Claim 1 fails and the stable search must come up
+	// empty. (This is Corollary 19 seen from the construction's side.)
+	impl := counter.Sloppy{}
+	_, _, err := Transform(impl, Config{
+		NumProcs:    2,
+		OpsPerProc:  3,
+		SearchDepth: 5,
+		VerifyDepth: 12,
+	})
+	if err == nil {
+		t.Fatal("Transform succeeded on the sloppy counter")
+	}
+}
+
+func TestCASCounterTransformIsIdentityLike(t *testing.T) {
+	// A counter that is already linearizable stabilizes at the root with
+	// v0 equal to the operations consumed by the solo probe.
+	impl := counter.CAS{}
+	out, rep, err := Transform(impl, Config{
+		NumProcs:    2,
+		OpsPerProc:  3,
+		SearchDepth: 4,
+		VerifyDepth: 14,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StableDepth != 0 {
+		t.Fatalf("stable depth = %d, want 0 (already linearizable)", rep.StableDepth)
+	}
+	// op0 is the very first solo op: returns 0 with 0 invocations before.
+	if rep.V0 != 1 {
+		t.Fatalf("v0 = %d, want 1", rep.V0)
+	}
+	root, err := sim.NewSystem(out, sim.UniformWorkload(2, 2, fetchinc), nil, check.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, bad, _, err := explore.LinearizableEverywhere(root, 22, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("transformed CAS counter not linearizable:\n%s", bad.History())
+	}
+}
+
+func TestTransformPreservesProgress(t *testing.T) {
+	// The Remark after Proposition 18: the construction preserves the
+	// progress condition. The warmup counter is non-blocking (CAS loop);
+	// A′ must remain obstruction-free/non-blocking — probed empirically.
+	out, _, err := Transform(counter.Warmup{Threshold: 2}, Config{
+		NumProcs:    2,
+		OpsPerProc:  6,
+		SearchDepth: 8,
+		VerifyDepth: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := progress.Probe(out, progress.Config{Procs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ObstructionFree {
+		t.Error("A′ lost obstruction-freedom")
+	}
+	if !rep.NonBlocking {
+		t.Error("A′ lost the non-blocking property")
+	}
+	// Like its source, A′ keeps the CAS retry loop, so the starvation
+	// adversary still works — it must NOT have silently become wait-free
+	// (the construction changes initial state, not control structure).
+	if !rep.StarvationFound {
+		t.Error("A′ unexpectedly immune to the starvation adversary")
+	}
+}
+
+func TestNewProcessOutOfRangePanics(t *testing.T) {
+	impl := counter.CAS{}
+	out, _, err := Transform(impl, Config{
+		NumProcs: 2, OpsPerProc: 3, SearchDepth: 4, VerifyDepth: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-range process")
+		}
+	}()
+	out.NewProcess(7, 8)
+}

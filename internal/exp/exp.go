@@ -1,0 +1,130 @@
+// Package exp implements the experiment suite of EXPERIMENTS.md: one
+// experiment per paper artifact (lemma, proposition, theorem,
+// counterexample, algorithm), each regenerating a table that records what
+// the paper claims and what this reproduction measures. The experiments
+// are deterministic (fixed seeds) and shared by cmd/elbench and the root
+// benchmark suite.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	// ID is the experiment identifier, e.g. "E1".
+	ID string
+	// Artifact names the paper artifact reproduced, e.g. "Lemma 5".
+	Artifact string
+	// Title is a one-line description.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the data rows.
+	Rows [][]string
+	// Notes explain how to read the table and what "passing" means.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n%s\n", t.ID, t.Artifact, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Experiment pairs an identifier with its runner.
+type Experiment struct {
+	// ID is the experiment identifier.
+	ID string
+	// Run executes the experiment.
+	Run func() (*Table, error)
+}
+
+// All returns the full suite in order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", E1MonotonePrefix},
+		{"E2", E2Locality},
+		{"E3", E3InfiniteObjects},
+		{"E4", E4NotSafety},
+		{"E5", E5Announce},
+		{"E6", E6LocalCopy},
+		{"E7", E7Trivial},
+		{"E8", E8Valency},
+		{"E9", E9ELConsensus},
+		{"E10", E10TestSet},
+		{"E11", E11Stabilize},
+		{"E12", E12Divergence},
+		{"E13", E13Throughput},
+		{"E14", E14Checker},
+		{"E15", E15Progress},
+		{"E16", E16Hierarchy},
+	}
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

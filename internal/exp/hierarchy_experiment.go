@@ -1,0 +1,129 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/core/elconsensus"
+	"github.com/elin-go/elin/internal/core/eltestset"
+	"github.com/elin-go/elin/internal/core/localcopy"
+	"github.com/elin-go/elin/internal/core/passthrough"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// E16Hierarchy probes the paper's closing open question (Section 6): for
+// which types is an eventually linearizable implementation easier to
+// attain than a linearizable one? The measured MinT trends sort the
+// paper's example types into a three-level hierarchy of "how much
+// synchronization eventual linearizability still requires":
+//
+//   - free (no shared objects): test&set — all interesting behaviour lives
+//     in a finite prefix; its communication-free implementation stabilizes.
+//     Contrast: communication-free consensus and fetch&inc diverge.
+//   - registers suffice: consensus (Proposition 16) — the Proposals-array
+//     algorithm stabilizes even over eventually linearizable registers.
+//     Contrast: register-only fetch&inc diverges (Corollary 19).
+//   - consensus power required: fetch&inc — only with CAS does the MinT
+//     trend stabilize, and by Proposition 18 any such implementation
+//     already contains a fully linearizable one.
+func E16Hierarchy() (*Table, error) {
+	t := &Table{
+		ID:       "E16",
+		Artifact: "Section 6 (open question)",
+		Title:    "How much synchronization does eventual linearizability still need?",
+		Columns:  []string{"type", "implementation", "shared bases", "MinT trend", "max MinT", "EL?"},
+		Notes: []string{
+			"trend over 3 contended runs of growing length (seeds 1-3); 'diverging' anywhere = not EL;",
+			"the table is the paper's hierarchy: t&s free; consensus needs registers (P16);",
+			"fetch&inc needs consensus power (C19), and then contains a linearizable core (P18)",
+		},
+	}
+
+	lcConsensus, err := localcopy.New(
+		passthrough.New("consensus", spec.NewObject(spec.Consensus{}), true), 0)
+	if err != nil {
+		return nil, err
+	}
+	lcFetchInc, err := localcopy.New(
+		passthrough.New("fetchinc", spec.NewObject(spec.FetchInc{}), true), 0)
+	if err != nil {
+		return nil, err
+	}
+
+	cases := []struct {
+		typeName string
+		impl     machine.Impl
+		bases    string
+		pol      base.PolicyFor
+	}{
+		{"testset", eltestset.Local{}, "none", nil},
+		{"consensus", lcConsensus, "none", nil},
+		{"fetchinc", lcFetchInc, "none", nil},
+		{"consensus", elconsensus.Impl{}, "EL registers", base.SamePolicy(base.Window{K: 2})},
+		{"fetchinc", counter.Sloppy{}, "registers", nil},
+		{"fetchinc", counter.Warmup{Threshold: 4}, "CAS", nil},
+	}
+	for _, tc := range cases {
+		worstTrend := check.TrendStabilized
+		maxT := 0
+		for seed := int64(1); seed <= 3; seed++ {
+			ops := 6 * int(seed)
+			res, err := sim.Run(sim.Config{
+				Impl:      tc.impl,
+				Workload:  workloadFor(tc.impl, 2, ops),
+				Scheduler: sim.Random{},
+				Chooser:   sim.StaleChooser{},
+				Policies:  tc.pol,
+				Seed:      seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E16 %s/%s seed %d: %w", tc.typeName, tc.impl.Name(), seed, err)
+			}
+			v, err := check.TrackMinT(tc.impl.Spec(), res.History, maxInt(res.History.Len()/8, 2), check.Options{})
+			if err != nil {
+				return nil, err
+			}
+			if v.FinalMinT > maxT {
+				maxT = v.FinalMinT
+			}
+			if v.Trend == check.TrendDiverging {
+				worstTrend = check.TrendDiverging
+			} else if v.Trend == check.TrendInconclusive && worstTrend != check.TrendDiverging {
+				worstTrend = check.TrendInconclusive
+			}
+		}
+		t.AddRow(tc.typeName, tc.impl.Name(), tc.bases, worstTrend.String(), maxT,
+			worstTrend != check.TrendDiverging)
+	}
+	return t, nil
+}
+
+func workloadFor(impl machine.Impl, procs, ops int) [][]spec.Op {
+	w := make([][]spec.Op, procs)
+	for p := 0; p < procs; p++ {
+		var op spec.Op
+		switch impl.Spec().Type.(type) {
+		case spec.Consensus:
+			op = spec.MakeOp1(spec.MethodPropose, int64(10*(p+1)))
+		case spec.TestSet:
+			op = spec.MakeOp(spec.MethodTestSet)
+		default:
+			op = spec.MakeOp(spec.MethodFetchInc)
+		}
+		for k := 0; k < ops; k++ {
+			w[p] = append(w[p], op)
+		}
+	}
+	return w
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

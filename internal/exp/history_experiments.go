@@ -1,0 +1,263 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/gen"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// E1MonotonePrefix verifies Lemma 5 (t-linearizability is monotone in t)
+// and Lemma 6 (t-linearizability is prefix-closed) on randomized histories
+// of three types, counting verified implications.
+func E1MonotonePrefix() (*Table, error) {
+	t := &Table{
+		ID:       "E1",
+		Artifact: "Lemma 5 + Lemma 6",
+		Title:    "Monotonicity in t and prefix closure of t-linearizability on random histories",
+		Columns:  []string{"type", "trials", "monotone checks", "prefix checks", "violations"},
+		Notes: []string{
+			"a violation would falsify the lemma (and indicate a checker bug); the expected count is 0",
+		},
+	}
+	kinds := []struct {
+		name string
+		gen  func(r *rand.Rand) (*TableHistory, error)
+	}{
+		{"register", func(r *rand.Rand) (*TableHistory, error) {
+			h := gen.Register(r, gen.HistoryConfig{Procs: 3, Ops: 6, Corrupt: 0.4, PendingBias: 0.2})
+			return &TableHistory{H: h, Obj: spec.NewObject(spec.Register{})}, nil
+		}},
+		{"fetchinc", func(r *rand.Rand) (*TableHistory, error) {
+			h := gen.FetchInc(r, gen.HistoryConfig{Procs: 3, Ops: 6, Corrupt: 0.4, PendingBias: 0.2})
+			return &TableHistory{H: h, Obj: spec.NewObject(spec.FetchInc{})}, nil
+		}},
+	}
+	const trials = 40
+	for _, kind := range kinds {
+		r := rand.New(rand.NewSource(11))
+		monotone, prefix, violations := 0, 0, 0
+		for trial := 0; trial < trials; trial++ {
+			th, err := kind.gen(r)
+			if err != nil {
+				return nil, err
+			}
+			h, obj := th.H, th.Obj
+			prev := false
+			for tt := 0; tt <= h.Len(); tt++ {
+				ok, err := check.TLinearizable(obj, h, tt, check.Options{})
+				if err != nil {
+					return nil, fmt.Errorf("E1 %s trial %d t=%d: %w", kind.name, trial, tt, err)
+				}
+				if tt > 0 {
+					monotone++
+					if prev && !ok {
+						violations++
+					}
+				}
+				if ok && tt%3 == 0 {
+					for k := 0; k <= h.Len(); k += 3 {
+						pok, err := check.TLinearizable(obj, h.Prefix(k), tt, check.Options{})
+						if err != nil {
+							return nil, err
+						}
+						prefix++
+						if !pok {
+							violations++
+						}
+					}
+				}
+				prev = ok
+			}
+		}
+		t.AddRow(kind.name, trials, monotone, prefix, violations)
+	}
+	return t, nil
+}
+
+// TableHistory pairs a history with its object specification.
+type TableHistory struct {
+	H   *history.History
+	Obj spec.Object
+}
+
+// randomTwoObject generates a random history over a register X and a
+// fetch&inc Y, with corrupted responses so both verdicts occur.
+func randomTwoObject(r *rand.Rand) *history.History {
+	hx := gen.Register(r, gen.HistoryConfig{Procs: 2, Ops: 4, Corrupt: 0.3, Object: "X"})
+	hy := gen.FetchInc(r, gen.HistoryConfig{Procs: 2, Ops: 4, Corrupt: 0.3, Object: "Y"})
+	// Interleave the two histories process-disjointly: X's events keep
+	// processes 0..1, Y's shift to 2..3, preserving well-formedness.
+	out := history.New()
+	ex, ey := hx.Events(), hy.Events()
+	i, j := 0, 0
+	for i < len(ex) || j < len(ey) {
+		pick := i < len(ex) && (j >= len(ey) || r.Intn(2) == 0)
+		if pick {
+			e := ex[i]
+			i++
+			if err := out.Append(e); err != nil {
+				panic(fmt.Sprintf("exp: interleave: %v", err))
+			}
+			continue
+		}
+		e := ey[j]
+		j++
+		e.Proc += 2
+		if err := out.Append(e); err != nil {
+			panic(fmt.Sprintf("exp: interleave: %v", err))
+		}
+	}
+	return out
+}
+
+// E2Locality verifies Lemma 7/Lemma 8 empirically: per-object
+// (locality-based) linearizability and weak-consistency verdicts agree
+// with the direct product-state check on random two-object histories.
+func E2Locality() (*Table, error) {
+	t := &Table{
+		ID:       "E2",
+		Artifact: "Lemma 7 + Lemma 8 (locality)",
+		Title:    "Per-object verdicts vs direct product-state verdicts on two-object histories",
+		Columns:  []string{"check", "trials", "agreements", "disagreements"},
+		Notes: []string{
+			"Herlihy-Wing locality carries over to the paper's definitions for finitely many objects",
+		},
+	}
+	objs := map[string]spec.Object{
+		"X": spec.NewObject(spec.Register{}),
+		"Y": spec.NewObject(spec.FetchInc{}),
+	}
+	r := rand.New(rand.NewSource(12))
+	const trials = 50
+	agree, disagree := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		h := randomTwoObject(r)
+		perObj, err := check.Linearizable(objs, h, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		direct, err := check.TLinearizableMulti(objs, h, 0, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if perObj == direct {
+			agree++
+		} else {
+			disagree++
+		}
+	}
+	t.AddRow("linearizability", trials, agree, disagree)
+
+	// MinT lift soundness: the Lemma 7 construction's global t really
+	// t-linearizes the history.
+	sound, unsound := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		h := randomTwoObject(r)
+		tUp, err := check.MinTGlobalUpper(objs, h, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		ok, err := check.TLinearizableMulti(objs, h, tUp, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			sound++
+		} else {
+			unsound++
+		}
+	}
+	t.AddRow("MinT lift (Lemma 7 construction)", trials, sound, unsound)
+	return t, nil
+}
+
+// E3InfiniteObjects reproduces the Proposition 9 counterexample: the
+// history over registers R1..Rk in which every per-object projection has
+// t_o = 2 but the global MinT grows linearly in k, because the "write 1 /
+// read 0" pattern keeps recurring on fresh objects.
+func E3InfiniteObjects() (*Table, error) {
+	t := &Table{
+		ID:       "E3",
+		Artifact: "Proposition 9 counterexample",
+		Title:    "Per-object t_o stays 2 while global MinT grows with the object count",
+		Columns:  []string{"objects k", "events", "max per-object t_o", "global MinT (Lemma 7 lift)"},
+		Notes: []string{
+			"paper: eventual linearizability is local for finitely many objects only;",
+			"the global t must cover the last inconsistent block, so it grows without bound",
+		},
+	}
+	for _, k := range []int{2, 4, 8, 12, 16} {
+		h, objs, err := gen.Proposition9Counterexample(k)
+		if err != nil {
+			return nil, err
+		}
+		local, err := check.MinTLocal(objs, h, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		maxLocal := 0
+		for _, to := range local {
+			if to > maxLocal {
+				maxLocal = to
+			}
+		}
+		global, err := check.MinTGlobalUpper(objs, h, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(k, h.Len(), maxLocal, global)
+	}
+	return t, nil
+}
+
+// E4NotSafety reproduces the Section 3.2 counterexample: every finite
+// prefix of the fetch&inc history is 2-linearizable, yet the witness
+// placement of p's operation escapes to infinity, so the infinite history
+// is not 2-linearizable and t-linearizability is not limit-closed.
+func E4NotSafety() (*Table, error) {
+	t := &Table{
+		ID:       "E4",
+		Artifact: "Section 3.2 (t-linearizability is not a safety property)",
+		Title:    "Prefixes stay 2-linearizable while p's forced slot grows without bound",
+		Columns:  []string{"q-ops k", "2-linearizable", "1-linearizable", "min slot for p's op"},
+		Notes: []string{
+			"p's operation must take a slot above every constrained response; the slot equals k,",
+			"so no single placement works for the infinite limit — exactly the paper's argument",
+		},
+	}
+	obj := spec.NewObject(spec.FetchInc{})
+	for _, k := range []int{1, 2, 4, 8, 16, 32} {
+		h, err := gen.Section32Counterexample(k)
+		if err != nil {
+			return nil, err
+		}
+		two, err := check.TLinearizable(obj, h, 2, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		one, err := check.TLinearizable(obj, h, 1, check.Options{})
+		if err != nil {
+			return nil, err
+		}
+		// q's constrained ops occupy slots 0..k-1, so the only free slot
+		// for p's operation is k.
+		slots, err := check.FetchIncSlots(obj, h, 2)
+		if err != nil {
+			return nil, err
+		}
+		used := make(map[int64]bool, len(slots))
+		for _, s := range slots {
+			used[s] = true
+		}
+		minFree := int64(0)
+		for used[minFree] {
+			minFree++
+		}
+		t.AddRow(k, two, one, minFree)
+	}
+	return t, nil
+}

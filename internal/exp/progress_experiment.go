@@ -1,0 +1,44 @@
+package exp
+
+import (
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/core/elconsensus"
+	"github.com/elin-go/elin/internal/core/eltestset"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/progress"
+)
+
+// E15Progress probes the progress conditions of Section 3 (wait-free,
+// non-blocking, obstruction-free) for the main implementations: solo runs
+// certify obstruction-freedom, the starvation adversary separates
+// wait-freedom from the non-blocking property, and per-operation step
+// bounds estimate wait-free bounds.
+func E15Progress() (*Table, error) {
+	t := &Table{
+		ID:       "E15",
+		Artifact: "Section 3 (progress conditions)",
+		Title:    "Progress probes: solo completion, starvation adversary, step bounds",
+		Columns: []string{"implementation", "obstruction-free", "starvation found",
+			"others completed", "max steps/op", "verdict"},
+		Notes: []string{
+			"the CAS counter is the paper's canonical non-blocking-but-not-wait-free object:",
+			"under the ratio adversary its victim's read-CAS window always spans another's",
+			"success; the sloppy counter and P16 consensus finish in a fixed number of own steps",
+		},
+	}
+	impls := []machine.Impl{
+		counter.CAS{},
+		counter.Sloppy{},
+		elconsensus.Impl{},
+		eltestset.Local{},
+	}
+	for _, impl := range impls {
+		rep, err := progress.Probe(impl, progress.Config{})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(impl.Name(), rep.ObstructionFree, rep.StarvationFound,
+			rep.OthersCompleted, rep.MaxStepsPerOp, progress.Classify(rep))
+	}
+	return t, nil
+}

@@ -1,0 +1,177 @@
+// Package explore performs bounded exhaustive exploration of the execution
+// trees of Section 4 and 5: every interleaving of process steps and, for
+// eventually linearizable base objects, every weakly consistent response.
+//
+// Nodes of the paper's execution trees are configurations; here they are
+// cloned sim.Systems. The package provides the two searches the paper's
+// proofs are built on:
+//
+//   - valency analysis (Proposition 15): classify configurations by the set
+//     of reachable consensus decisions and locate critical configurations;
+//   - stable-node search (Proposition 18, Claim 1): find a configuration C
+//     such that every bounded extension's history is |αC|-linearizable.
+//
+// Exploration is bounded by depth; results are exhaustive up to the bound
+// and reports state whether the horizon truncated anything.
+package explore
+
+import (
+	"fmt"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// Stats aggregates exploration counters.
+type Stats struct {
+	// Nodes is the number of configurations visited (including the root).
+	Nodes int
+	// Leaves is the number of terminal or horizon configurations.
+	Leaves int
+	// Truncated reports whether any leaf was cut off by the depth bound
+	// rather than workload completion.
+	Truncated bool
+}
+
+// Visitor observes a configuration during DFS. Returning descend=false
+// prunes the subtree below the node.
+type Visitor func(s *sim.System, depth int) (descend bool, err error)
+
+// DFS explores every interleaving (and every eventually linearizable
+// response choice) from root down to maxDepth, invoking visit on each node
+// in preorder. The root system is never mutated.
+func DFS(root *sim.System, maxDepth int, visit Visitor) (Stats, error) {
+	var st Stats
+	err := dfs(root, 0, maxDepth, visit, &st)
+	return st, err
+}
+
+func dfs(s *sim.System, depth, maxDepth int, visit Visitor, st *Stats) error {
+	st.Nodes++
+	descend := true
+	if visit != nil {
+		var err error
+		descend, err = visit(s, depth)
+		if err != nil {
+			return err
+		}
+	}
+	enabled := s.Enabled()
+	if len(enabled) == 0 {
+		st.Leaves++
+		return nil
+	}
+	if !descend {
+		return nil
+	}
+	if depth >= maxDepth {
+		st.Leaves++
+		st.Truncated = true
+		return nil
+	}
+	for _, p := range enabled {
+		cands, err := s.Candidates(p)
+		if err != nil {
+			return fmt.Errorf("explore: candidates for p%d at depth %d: %w", p, depth, err)
+		}
+		for branch := range cands {
+			child := s.Clone()
+			if err := child.Advance(p, branch); err != nil {
+				return fmt.Errorf("explore: advance p%d branch %d at depth %d: %w", p, branch, depth, err)
+			}
+			if err := dfs(child, depth+1, maxDepth, visit, st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Leaves explores to maxDepth and invokes fn on every leaf (terminal or
+// horizon configuration).
+func Leaves(root *sim.System, maxDepth int, fn func(leaf *sim.System) error) (Stats, error) {
+	var st Stats
+	err := leaves(root, 0, maxDepth, fn, &st)
+	return st, err
+}
+
+func leaves(s *sim.System, depth, maxDepth int, fn func(*sim.System) error, st *Stats) error {
+	st.Nodes++
+	enabled := s.Enabled()
+	if len(enabled) == 0 || depth >= maxDepth {
+		st.Leaves++
+		if len(enabled) > 0 {
+			st.Truncated = true
+		}
+		return fn(s)
+	}
+	for _, p := range enabled {
+		cands, err := s.Candidates(p)
+		if err != nil {
+			return fmt.Errorf("explore: candidates for p%d at depth %d: %w", p, depth, err)
+		}
+		for branch := range cands {
+			child := s.Clone()
+			if err := child.Advance(p, branch); err != nil {
+				return fmt.Errorf("explore: advance p%d branch %d at depth %d: %w", p, branch, depth, err)
+			}
+			if err := leaves(child, depth+1, maxDepth, fn, st); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// LinearizableEverywhere checks that every leaf history of the bounded
+// execution tree is linearizable against the implemented object's spec.
+// It returns the first violating history, if any.
+func LinearizableEverywhere(root *sim.System, maxDepth int, opts check.Options) (bool, *sim.System, Stats, error) {
+	var bad *sim.System
+	specs := implSpecs(root)
+	st, err := Leaves(root, maxDepth, func(leaf *sim.System) error {
+		if bad != nil {
+			return nil
+		}
+		ok, err := check.Linearizable(specs, leaf.History(), opts)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			bad = leaf
+		}
+		return nil
+	})
+	if err != nil {
+		return false, nil, st, err
+	}
+	return bad == nil, bad, st, nil
+}
+
+// WeaklyConsistentEverywhere checks weak consistency of every leaf history.
+func WeaklyConsistentEverywhere(root *sim.System, maxDepth int, opts check.Options) (bool, *sim.System, Stats, error) {
+	var bad *sim.System
+	specs := implSpecs(root)
+	st, err := Leaves(root, maxDepth, func(leaf *sim.System) error {
+		if bad != nil {
+			return nil
+		}
+		ok, err := check.WeaklyConsistent(specs, leaf.History(), opts)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			bad = leaf
+		}
+		return nil
+	})
+	if err != nil {
+		return false, nil, st, err
+	}
+	return bad == nil, bad, st, nil
+}
+
+func implSpecs(s *sim.System) map[string]spec.Object {
+	return map[string]spec.Object{s.Impl().Name(): s.Impl().Spec()}
+}

@@ -1,0 +1,111 @@
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/sim"
+)
+
+// errUnstable aborts the leaf enumeration as soon as one violating leaf is
+// found.
+var errUnstable = errors.New("unstable")
+
+// StableResult describes a stable configuration found by FindStable.
+type StableResult struct {
+	// System is the configuration C (a clone; safe to keep and advance).
+	System *sim.System
+	// Depth is C's depth in the execution tree.
+	Depth int
+	// T is |αC| measured in implemented-level history events: every
+	// bounded extension of C is T-linearizable.
+	T int
+	// VerifyStats aggregates the verification exploration of C's subtree.
+	VerifyStats Stats
+	// NodesSearched counts configurations examined before C was found.
+	NodesSearched int
+}
+
+// NodeStable reports whether every leaf history within verifyDepth below
+// node is t-linearizable for t = node's current history length — the
+// bounded-evidence version of the paper's "stable" (Proposition 18): "every
+// execution with prefix αC is |αC|-linearizable". By the prefix closure of
+// t-linearizability (Lemma 6), checking the maximal (leaf) extensions
+// covers every intermediate configuration.
+func NodeStable(node *sim.System, verifyDepth int, opts check.Options) (bool, Stats, error) {
+	t := node.History().Len()
+	obj := node.Impl().Spec()
+	st, err := Leaves(node, verifyDepth, func(leaf *sim.System) error {
+		ok, err := check.TLinearizable(obj, leaf.History(), t, opts)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return errUnstable
+		}
+		return nil
+	})
+	if errors.Is(err, errUnstable) {
+		return false, st, nil
+	}
+	if err != nil {
+		return false, st, err
+	}
+	return true, st, nil
+}
+
+// FindStable searches the execution tree of root for a stable configuration
+// (Claim 1 in the proof of Proposition 18 guarantees one exists for any
+// eventually linearizable implementation). The search walks configurations
+// in breadth-first order up to searchDepth and verifies stability of each
+// candidate with NodeStable at verifyDepth. It returns the shallowest
+// stable configuration found.
+//
+// The implementation under test must use only linearizable base objects
+// (Proposition 18's hypothesis); eventually linearizable bases make the
+// tree branch on responses, which is supported but usually unintended here.
+func FindStable(root *sim.System, searchDepth, verifyDepth int, opts check.Options) (*StableResult, error) {
+	type queued struct {
+		sys   *sim.System
+		depth int
+	}
+	queue := []queued{{sys: root.Clone(), depth: 0}}
+	searched := 0
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		searched++
+		stable, vst, err := NodeStable(cur.sys, verifyDepth, opts)
+		if err != nil {
+			return nil, fmt.Errorf("explore: stability check at depth %d: %w", cur.depth, err)
+		}
+		if stable {
+			return &StableResult{
+				System:        cur.sys,
+				Depth:         cur.depth,
+				T:             cur.sys.History().Len(),
+				VerifyStats:   vst,
+				NodesSearched: searched,
+			}, nil
+		}
+		if cur.depth >= searchDepth {
+			continue
+		}
+		for _, p := range cur.sys.Enabled() {
+			cands, err := cur.sys.Candidates(p)
+			if err != nil {
+				return nil, err
+			}
+			for branch := range cands {
+				child := cur.sys.Clone()
+				if err := child.Advance(p, branch); err != nil {
+					return nil, err
+				}
+				queue = append(queue, queued{sys: child, depth: cur.depth + 1})
+			}
+		}
+	}
+	return nil, fmt.Errorf("explore: no stable configuration within depth %d (verify depth %d)",
+		searchDepth, verifyDepth)
+}

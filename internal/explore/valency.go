@@ -1,0 +1,220 @@
+package explore
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/sim"
+)
+
+// Valence is the set of consensus decisions reachable from a configuration.
+type Valence struct {
+	// Decisions holds each value some terminal run below the node decides.
+	Decisions map[int64]bool
+	// Truncated reports that some run below the node hit the horizon
+	// before terminating, so Decisions may be incomplete.
+	Truncated bool
+}
+
+// Multivalent reports whether at least two decisions are reachable.
+func (v Valence) Multivalent() bool { return len(v.Decisions) >= 2 }
+
+// Values returns the reachable decisions in ascending order.
+func (v Valence) Values() []int64 {
+	out := make([]int64, 0, len(v.Decisions))
+	for d := range v.Decisions {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PendingAction describes the next atomic action of one process at a
+// configuration, for the critical-configuration case analysis of
+// Proposition 15.
+type PendingAction struct {
+	// Proc is the process.
+	Proc int
+	// IsReturn reports whether the next action completes an operation
+	// rather than accessing a base object.
+	IsReturn bool
+	// Base is the base object index (when !IsReturn).
+	Base int
+	// BaseName is the base object's name.
+	BaseName string
+	// BaseType is the base object's type name (e.g. "register").
+	BaseType string
+	// Eventually reports whether the base object is eventually
+	// linearizable.
+	Eventually bool
+	// Desc renders the base operation.
+	Desc string
+}
+
+// Critical describes a critical configuration: a multivalent configuration
+// all of whose children are univalent — the pivot of the valency argument
+// in Proposition 15 (and of FLP).
+type Critical struct {
+	// Depth is the configuration's depth in the tree.
+	Depth int
+	// Valence is the configuration's own valence.
+	Valence Valence
+	// Pending lists each enabled process's next action.
+	Pending []PendingAction
+	// SameObject reports whether all pending actions touch one base
+	// object — which the paper's proof shows must be the case (otherwise
+	// the steps commute).
+	SameObject bool
+	// History renders the configuration's implemented-level history.
+	History string
+}
+
+// ValencyReport is the outcome of Analyze.
+type ValencyReport struct {
+	// Root is the root configuration's valence.
+	Root Valence
+	// Univalent and Multivalent count non-leaf configurations by valence.
+	Univalent, Multivalent int
+	// Criticals lists the critical configurations found.
+	Criticals []Critical
+	// AgreementViolations counts terminal runs in which two processes
+	// decided differently (a broken protocol).
+	AgreementViolations int
+	// ViolationHistory is one violating history, if any.
+	ViolationHistory string
+	// Stats aggregates exploration counters.
+	Stats Stats
+}
+
+// Analyze explores the execution tree of a consensus implementation (each
+// process's workload should consist of propose operations) and performs
+// the valency analysis of Proposition 15: it computes valences, counts
+// uni/multivalent configurations, finds critical configurations, and
+// records the case analysis data (are the two pending steps on the same
+// object? of what kind?).
+//
+// Decisions are read from completed propose operations; runs in which two
+// completed operations return different values are recorded as agreement
+// violations (their "decision set" contains both values, which keeps the
+// valence bookkeeping meaningful for broken protocols too).
+func Analyze(root *sim.System, maxDepth int) (*ValencyReport, error) {
+	rep := &ValencyReport{}
+	rootVal, err := analyze(root, 0, maxDepth, rep)
+	if err != nil {
+		return nil, err
+	}
+	rep.Root = rootVal
+	return rep, nil
+}
+
+func analyze(s *sim.System, depth, maxDepth int, rep *ValencyReport) (Valence, error) {
+	rep.Stats.Nodes++
+	enabled := s.Enabled()
+	if len(enabled) == 0 {
+		rep.Stats.Leaves++
+		return terminalValence(s, rep), nil
+	}
+	if depth >= maxDepth {
+		rep.Stats.Leaves++
+		rep.Stats.Truncated = true
+		return Valence{Decisions: map[int64]bool{}, Truncated: true}, nil
+	}
+	val := Valence{Decisions: map[int64]bool{}}
+	allChildrenUnivalent := true
+	for _, p := range enabled {
+		cands, err := s.Candidates(p)
+		if err != nil {
+			return Valence{}, fmt.Errorf("explore: candidates for p%d: %w", p, err)
+		}
+		for branch := range cands {
+			child := s.Clone()
+			if err := child.Advance(p, branch); err != nil {
+				return Valence{}, fmt.Errorf("explore: advance p%d: %w", p, err)
+			}
+			cv, err := analyze(child, depth+1, maxDepth, rep)
+			if err != nil {
+				return Valence{}, err
+			}
+			for d := range cv.Decisions {
+				val.Decisions[d] = true
+			}
+			val.Truncated = val.Truncated || cv.Truncated
+			if cv.Multivalent() || cv.Truncated {
+				allChildrenUnivalent = false
+			}
+		}
+	}
+	if val.Multivalent() {
+		rep.Multivalent++
+		if allChildrenUnivalent {
+			crit, err := describeCritical(s, depth, val)
+			if err != nil {
+				return Valence{}, err
+			}
+			rep.Criticals = append(rep.Criticals, crit)
+		}
+	} else if !val.Truncated {
+		rep.Univalent++
+	}
+	return val, nil
+}
+
+// terminalValence extracts the decision(s) of a completed run.
+func terminalValence(s *sim.System, rep *ValencyReport) Valence {
+	val := Valence{Decisions: map[int64]bool{}}
+	for _, op := range s.History().Operations() {
+		if !op.Pending() {
+			val.Decisions[op.Resp] = true
+		}
+	}
+	if len(val.Decisions) > 1 {
+		rep.AgreementViolations++
+		if rep.ViolationHistory == "" {
+			rep.ViolationHistory = s.History().String()
+		}
+	}
+	return val
+}
+
+func describeCritical(s *sim.System, depth int, val Valence) (Critical, error) {
+	bases := s.Impl().Bases()
+	crit := Critical{
+		Depth:   depth,
+		Valence: val,
+		History: s.History().String(),
+	}
+	for _, p := range s.Enabled() {
+		act, _, err := s.NextAction(p)
+		if err != nil {
+			return Critical{}, err
+		}
+		pa := PendingAction{Proc: p}
+		if act.Kind == machine.ActReturn {
+			pa.IsReturn = true
+			pa.Desc = act.String()
+		} else {
+			pa.Base = act.Obj
+			pa.BaseName = bases[act.Obj].Name
+			pa.BaseType = bases[act.Obj].Obj.Type.Name()
+			pa.Eventually = bases[act.Obj].Eventually
+			pa.Desc = fmt.Sprintf("%s.%s", pa.BaseName, act.Op)
+		}
+		crit.Pending = append(crit.Pending, pa)
+	}
+	crit.SameObject = true
+	firstBase := -1
+	for _, pa := range crit.Pending {
+		if pa.IsReturn {
+			crit.SameObject = false
+			break
+		}
+		if firstBase == -1 {
+			firstBase = pa.Base
+		} else if pa.Base != firstBase {
+			crit.SameObject = false
+			break
+		}
+	}
+	return crit, nil
+}

@@ -1,0 +1,192 @@
+// Package gen generates workloads and random histories for tests,
+// experiments and benchmarks: concurrent histories with controllable
+// correctness (responses drawn from an atomic simulation, optionally
+// corrupted), and the two counterexample histories written out in the
+// paper (Section 3.2 and Proposition 9).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// HistoryConfig controls random history generation.
+type HistoryConfig struct {
+	// Procs is the number of processes.
+	Procs int
+	// Ops is the number of operations to invoke.
+	Ops int
+	// Corrupt is the probability that a response is replaced by a random
+	// value (producing histories that violate consistency conditions).
+	Corrupt float64
+	// PendingBias is the probability that a completed operation's response
+	// is withheld for a while (increasing overlap).
+	PendingBias float64
+	// Object is the object name (default "X").
+	Object string
+}
+
+// Register generates a random register history: responses are produced by
+// an atomic register at the response point, then corrupted per config.
+func Register(r *rand.Rand, cfg HistoryConfig) *history.History {
+	cfg = cfg.defaults()
+	h := history.New()
+	val := int64(0)
+	type pendingOp struct {
+		isRead bool
+		arg    int64
+	}
+	pending := make(map[int]*pendingOp)
+	invoked := 0
+	for steps := 0; steps < 8*cfg.Ops+16; steps++ {
+		p := r.Intn(cfg.Procs)
+		if po, ok := pending[p]; ok {
+			if r.Float64() < cfg.PendingBias {
+				continue
+			}
+			var resp int64
+			if po.isRead {
+				resp = val
+			} else {
+				val = po.arg
+			}
+			if r.Float64() < cfg.Corrupt {
+				resp = int64(r.Intn(4))
+			}
+			mustRespond(h, p, resp)
+			delete(pending, p)
+		} else if invoked < cfg.Ops {
+			po := &pendingOp{isRead: r.Intn(2) == 0}
+			op := spec.MakeOp(spec.MethodRead)
+			if !po.isRead {
+				po.arg = int64(1 + r.Intn(3))
+				op = spec.MakeOp1(spec.MethodWrite, po.arg)
+			}
+			mustInvoke(h, p, cfg.Object, op)
+			pending[p] = po
+			invoked++
+		}
+	}
+	return h
+}
+
+// FetchInc generates a random fetch&increment history.
+func FetchInc(r *rand.Rand, cfg HistoryConfig) *history.History {
+	cfg = cfg.defaults()
+	h := history.New()
+	counter := int64(0)
+	pending := make(map[int]bool)
+	invoked := 0
+	for steps := 0; steps < 8*cfg.Ops+16; steps++ {
+		p := r.Intn(cfg.Procs)
+		if pending[p] {
+			if r.Float64() < cfg.PendingBias {
+				continue
+			}
+			resp := counter
+			counter++
+			if r.Float64() < cfg.Corrupt {
+				resp = int64(r.Intn(cfg.Ops + 1))
+			}
+			mustRespond(h, p, resp)
+			delete(pending, p)
+		} else if invoked < cfg.Ops {
+			mustInvoke(h, p, cfg.Object, spec.MakeOp(spec.MethodFetchInc))
+			pending[p] = true
+			invoked++
+		}
+	}
+	return h
+}
+
+func (cfg HistoryConfig) defaults() HistoryConfig {
+	if cfg.Procs <= 0 {
+		cfg.Procs = 2
+	}
+	if cfg.Ops <= 0 {
+		cfg.Ops = 6
+	}
+	if cfg.Object == "" {
+		cfg.Object = "X"
+	}
+	return cfg
+}
+
+// Section32Counterexample builds the paper's Section 3.2 history showing
+// that t-linearizability is not a safety property: process p's fetch&inc
+// answers 0, then process q's fetch&incs answer 0, 1, 2, ..., k-1. Every
+// finite prefix is 2-linearizable, but the slot that p's operation must
+// take escapes to infinity as k grows.
+func Section32Counterexample(k int) (*history.History, error) {
+	h := history.New()
+	if err := h.Call(0, "X", spec.MakeOp(spec.MethodFetchInc), 0); err != nil {
+		return nil, err
+	}
+	for i := 0; i < k; i++ {
+		if err := h.Call(1, "X", spec.MakeOp(spec.MethodFetchInc), int64(i)); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// Proposition9Counterexample builds the paper's history over registers
+// R1, R2, ..., Rk: for each i, p writes 1 to Ri and then q reads 0 from Ri.
+// Each per-object projection is eventually linearizable with a constant
+// t_o, but the whole history needs t growing with k — eventual
+// linearizability is local only for finitely many objects. The object
+// specifications are returned alongside the history.
+func Proposition9Counterexample(k int) (*history.History, map[string]spec.Object, error) {
+	h := history.New()
+	objs := make(map[string]spec.Object, k)
+	for i := 1; i <= k; i++ {
+		name := fmt.Sprintf("R%d", i)
+		objs[name] = spec.NewObject(spec.Register{})
+		if err := h.Call(0, name, spec.MakeOp1(spec.MethodWrite, 1), 0); err != nil {
+			return nil, nil, err
+		}
+		if err := h.Call(1, name, spec.MakeOp(spec.MethodRead), 0); err != nil {
+			return nil, nil, err
+		}
+	}
+	return h, objs, nil
+}
+
+// SloppyTrace builds the canonical Corollary 19 divergence witness
+// directly: n processes interleave fetch&incs so that every group of n
+// concurrent operations returns the same n values (each process counts
+// only itself plus stale announcements). Group g's operations all return
+// g, so MinT grows linearly with the number of groups.
+func SloppyTrace(n, groups int) (*history.History, error) {
+	h := history.New()
+	for g := 0; g < groups; g++ {
+		for p := 0; p < n; p++ {
+			if err := h.Invoke(p, "X", spec.MakeOp(spec.MethodFetchInc)); err != nil {
+				return nil, err
+			}
+		}
+		for p := 0; p < n; p++ {
+			if err := h.Respond(p, int64(g)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return h, nil
+}
+
+func mustInvoke(h *history.History, p int, obj string, op spec.Op) {
+	if err := h.Invoke(p, obj, op); err != nil {
+		// The generators control well-formedness themselves; a failure
+		// here is a bug in this package.
+		panic(fmt.Sprintf("gen: invoke: %v", err))
+	}
+}
+
+func mustRespond(h *history.History, p int, resp int64) {
+	if err := h.Respond(p, resp); err != nil {
+		panic(fmt.Sprintf("gen: respond: %v", err))
+	}
+}

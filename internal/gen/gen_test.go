@@ -1,0 +1,143 @@
+package gen
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func TestRegisterGeneratorUncorruptedIsLinearizable(t *testing.T) {
+	objs := map[string]spec.Object{"X": spec.NewObject(spec.Register{})}
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		h := Register(r, HistoryConfig{Procs: 3, Ops: 8})
+		ok, err := check.Linearizable(objs, h, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatalf("trial %d: uncorrupted register history not linearizable\n%s", trial, h)
+		}
+	}
+}
+
+func TestFetchIncGeneratorUncorruptedIsLinearizable(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		h := FetchInc(r, HistoryConfig{Procs: 3, Ops: 8})
+		mt, ok, err := check.MinT(obj, h, check.Options{})
+		if err != nil || !ok {
+			t.Fatal(err)
+		}
+		if mt != 0 {
+			t.Fatalf("trial %d: uncorrupted fetchinc history has MinT %d\n%s", trial, mt, h)
+		}
+	}
+}
+
+func TestCorruptionProducesViolations(t *testing.T) {
+	objs := map[string]spec.Object{"X": spec.NewObject(spec.Register{})}
+	r := rand.New(rand.NewSource(3))
+	violations := 0
+	for trial := 0; trial < 30; trial++ {
+		h := Register(r, HistoryConfig{Procs: 3, Ops: 8, Corrupt: 0.5})
+		ok, err := check.Linearizable(objs, h, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			violations++
+		}
+	}
+	if violations == 0 {
+		t.Fatal("50% corruption never produced a violation")
+	}
+}
+
+func TestPendingBiasLeavesOverlap(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	overlapped := false
+	for trial := 0; trial < 20 && !overlapped; trial++ {
+		h := FetchInc(r, HistoryConfig{Procs: 3, Ops: 10, PendingBias: 0.7})
+		ops := h.Operations()
+		for i := range ops {
+			for j := range ops {
+				if i != j && !ops[i].Pending() && ops[i].Inv < ops[j].Inv &&
+					(ops[i].Res < 0 || ops[j].Inv < ops[i].Res) {
+					overlapped = true
+				}
+			}
+		}
+	}
+	if !overlapped {
+		t.Fatal("pending bias produced no overlapping operations")
+	}
+}
+
+func TestSection32Counterexample(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	for k := 1; k <= 8; k++ {
+		h, err := Section32Counterexample(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Len() != 2*(k+1) {
+			t.Fatalf("k=%d: len %d", k, h.Len())
+		}
+		ok, err := check.TLinearizable(obj, h, 2, check.Options{})
+		if err != nil || !ok {
+			t.Fatalf("k=%d: not 2-linearizable (%v)", k, err)
+		}
+	}
+}
+
+func TestProposition9Counterexample(t *testing.T) {
+	h, objs, err := Proposition9Counterexample(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(objs) != 5 || h.Len() != 20 {
+		t.Fatalf("objs %d, len %d", len(objs), h.Len())
+	}
+	local, err := check.MinTLocal(objs, h, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, to := range local {
+		if to != 2 {
+			t.Errorf("%s: t_o = %d, want 2", name, to)
+		}
+	}
+}
+
+func TestSloppyTrace(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h, err := SloppyTrace(2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := check.TrackMinT(obj, h, 4, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Trend != check.TrendDiverging {
+		t.Fatalf("sloppy trace trend = %v, want diverging (samples %v)", v.Trend, v.Samples)
+	}
+	if v.Slope < 0.8 {
+		t.Fatalf("slope = %f, want near 1 (one event of t per event of history)", v.Slope)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	h := Register(r, HistoryConfig{})
+	if h.Len() == 0 {
+		t.Fatal("default config generated empty history")
+	}
+	if h.Objects()[0] != "X" {
+		t.Fatalf("default object = %s", h.Objects()[0])
+	}
+}

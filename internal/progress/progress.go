@@ -1,0 +1,202 @@
+// Package progress implements empirical probes for the three progress
+// conditions of Section 3: wait-freedom (every operation completes within a
+// bounded number of its process's own steps), the non-blocking property
+// (some operation completes whenever steps keep being taken; also called
+// lock-freedom), and obstruction-freedom (a process running solo
+// completes).
+//
+// These are properties of infinite executions; the probes are
+// finite-evidence instruments in the same spirit as check.TrackMinT:
+//
+//   - Solo runs certify/refute obstruction-freedom up to a step bound.
+//   - A starvation adversary (sim.Ratio) hunts for executions in which one
+//     process takes unboundedly many steps without completing while others
+//     complete — witnessing a wait-freedom violation of a non-blocking
+//     implementation.
+//   - Per-operation step bounds across schedules estimate the wait-free
+//     bound when no starvation is found.
+package progress
+
+import (
+	"fmt"
+
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// Report summarizes the probes for one implementation.
+type Report struct {
+	// ObstructionFree reports that every process completed an operation
+	// running solo within SoloBound steps.
+	ObstructionFree bool
+	// SoloSteps is the maximum steps any process needed solo.
+	SoloSteps int
+	// StarvationFound reports that the starvation adversary drove some
+	// process through StarvedSteps steps without completing an operation
+	// while others completed OthersCompleted operations — a wait-freedom
+	// violation witness.
+	StarvationFound bool
+	// StarvedSteps is the victim's step count in the starvation witness.
+	StarvedSteps int
+	// OthersCompleted counts operations completed by non-victims in the
+	// starvation witness.
+	OthersCompleted int
+	// NonBlocking reports that in the starvation run the system as a whole
+	// kept completing operations.
+	NonBlocking bool
+	// MaxStepsPerOp is the largest per-operation step count observed
+	// across the probe schedules (a wait-freedom bound estimate when
+	// StarvationFound is false).
+	MaxStepsPerOp int
+}
+
+// Config tunes the probes.
+type Config struct {
+	// Procs is the number of processes (default 2).
+	Procs int
+	// OpsPerProc sizes workloads (default 4).
+	OpsPerProc int
+	// SoloBound caps solo runs (default 512 steps).
+	SoloBound int
+	// StarveSteps is the adversarial run length (default 512).
+	StarveSteps int
+	// Op overrides the probed operation (default: fetchinc-style from the
+	// implementation's type via opFor).
+	Op spec.Op
+}
+
+func (c Config) defaults() Config {
+	if c.Procs <= 0 {
+		c.Procs = 2
+	}
+	if c.OpsPerProc <= 0 {
+		c.OpsPerProc = 4
+	}
+	if c.SoloBound <= 0 {
+		c.SoloBound = 512
+	}
+	if c.StarveSteps <= 0 {
+		c.StarveSteps = 512
+	}
+	return c
+}
+
+// Probe runs the three probes against impl.
+func Probe(impl machine.Impl, cfg Config) (*Report, error) {
+	cfg = cfg.defaults()
+	op := cfg.Op
+	if op == (spec.Op{}) {
+		op = opFor(impl)
+	}
+	rep := &Report{ObstructionFree: true}
+
+	// Obstruction-freedom: each process solo, one operation.
+	for p := 0; p < cfg.Procs; p++ {
+		w := make([][]spec.Op, cfg.Procs)
+		w[p] = []spec.Op{op}
+		res, err := sim.Run(sim.Config{
+			Impl:      impl,
+			Workload:  w,
+			Scheduler: sim.Solo{P: p},
+			MaxSteps:  cfg.SoloBound,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("progress: solo probe p%d: %w", p, err)
+		}
+		if res.TimedOut || res.OpsCompleted[p] == 0 {
+			rep.ObstructionFree = false
+		}
+		if res.Steps > rep.SoloSteps {
+			rep.SoloSteps = res.Steps
+		}
+	}
+
+	// Starvation hunt: victim 0 under the ratio adversary, long workload.
+	longOps := cfg.StarveSteps // more work than steps: nobody runs dry
+	w := make([][]spec.Op, cfg.Procs)
+	for p := range w {
+		for k := 0; k < longOps; k++ {
+			w[p] = append(w[p], op)
+		}
+	}
+	res, err := sim.Run(sim.Config{
+		Impl:      impl,
+		Workload:  w,
+		Scheduler: sim.Ratio{Victim: 0, Every: 4},
+		MaxSteps:  cfg.StarveSteps,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("progress: starvation probe: %w", err)
+	}
+	others := 0
+	for p := 1; p < cfg.Procs; p++ {
+		others += res.OpsCompleted[p]
+	}
+	victimSteps := cfg.StarveSteps / 4 // Ratio schedules the victim every 4th step
+	rep.OthersCompleted = others
+	rep.NonBlocking = others > 0 || res.OpsCompleted[0] > 0
+	if res.OpsCompleted[0] == 0 && victimSteps > 8 {
+		rep.StarvationFound = true
+		rep.StarvedSteps = victimSteps
+	}
+
+	// Wait-free bound estimate: max steps per completed op across a few
+	// schedules. Implemented-level steps are not directly attributed per
+	// op by the runner, so use the per-process quotient.
+	for _, sched := range []sim.Scheduler{sim.RoundRobin{}, sim.Random{}, sim.Burst{Phase: 4}} {
+		res, err := sim.Run(sim.Config{
+			Impl:      impl,
+			Workload:  sim.UniformWorkload(cfg.Procs, cfg.OpsPerProc, op),
+			Scheduler: sched,
+			Seed:      7,
+			MaxSteps:  1 << 15,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("progress: bound probe (%s): %w", sched.Name(), err)
+		}
+		total := 0
+		for _, n := range res.OpsCompleted {
+			total += n
+		}
+		if total == 0 {
+			continue
+		}
+		perOp := (res.Steps + total - 1) / total
+		if perOp > rep.MaxStepsPerOp {
+			rep.MaxStepsPerOp = perOp
+		}
+	}
+	return rep, nil
+}
+
+// opFor mirrors registry.DefaultOp without importing it (avoiding a cycle
+// if registry ever wants progress reports).
+func opFor(impl machine.Impl) spec.Op {
+	switch impl.Spec().Type.(type) {
+	case spec.Consensus:
+		return spec.MakeOp1(spec.MethodPropose, 1)
+	case spec.TestSet:
+		return spec.MakeOp(spec.MethodTestSet)
+	case spec.Register:
+		return spec.MakeOp(spec.MethodRead)
+	default:
+		return spec.MakeOp(spec.MethodFetchInc)
+	}
+}
+
+// Classify renders the standard progress-condition verdict line:
+// wait-free ⊂ non-blocking ⊂ obstruction-free (for the probes' finite
+// evidence).
+func Classify(rep *Report) string {
+	switch {
+	case rep.StarvationFound && rep.NonBlocking:
+		return "non-blocking, not wait-free (starvation witness found)"
+	case rep.ObstructionFree && !rep.StarvationFound:
+		return fmt.Sprintf("wait-free evidence (max %d steps/op, no starvation found)", rep.MaxStepsPerOp)
+	case rep.ObstructionFree:
+		return "obstruction-free"
+	default:
+		return "no obstruction-free evidence (solo run did not complete)"
+	}
+}

@@ -1,0 +1,245 @@
+// Package registry names the built-in implementations, schedulers,
+// choosers and stabilization policies so that command-line tools can
+// select them by string.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/announce"
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/core/elconsensus"
+	"github.com/elin-go/elin/internal/core/eltestset"
+	"github.com/elin-go/elin/internal/core/localcopy"
+	"github.com/elin-go/elin/internal/core/passthrough"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// Impl resolves an implementation by name. Parameterized names use a colon:
+//
+//	cas-counter            linearizable fetch&inc from CAS
+//	sloppy-counter         register-only counter (weakly consistent, not EL)
+//	warmup-counter:K       EL counter answering privately below count K
+//	junk-counter           weak-consistency violator (announce-wrapper demo)
+//	announced-junk         junk-counter wrapped in the Figure 1 algorithm
+//	el-consensus           Proposition 16 consensus over EL registers
+//	reg-consensus          the same algorithm over atomic registers
+//	el-testset             communication-free EL test&set
+//	cas-testset            linearizable test&set from CAS
+//	el-register            passthrough over one EL register
+//	localcopy-register     Theorem 12 local-copy of el-register
+func Impl(name string) (machine.Impl, error) {
+	base, arg, hasArg := strings.Cut(name, ":")
+	argInt := func(def int64) (int64, error) {
+		if !hasArg {
+			return def, nil
+		}
+		v, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("registry: bad parameter %q in %q: %w", arg, name, err)
+		}
+		return v, nil
+	}
+	switch base {
+	case "cas-counter":
+		return counter.CAS{}, nil
+	case "sloppy-counter":
+		return counter.Sloppy{}, nil
+	case "el-sloppy-counter":
+		return counter.Sloppy{EventualBases: true}, nil
+	case "warmup-counter":
+		k, err := argInt(4)
+		if err != nil {
+			return nil, err
+		}
+		return counter.Warmup{Threshold: k}, nil
+	case "junk-counter":
+		return counter.Junk{}, nil
+	case "announced-junk":
+		return announce.New(counter.Junk{}, announce.FetchIncCodec(), check.Options{})
+	case "announced-cas":
+		return announce.New(counter.CAS{}, announce.FetchIncCodec(), check.Options{})
+	case "el-consensus":
+		return elconsensus.Impl{}, nil
+	case "reg-consensus":
+		return elconsensus.Impl{AtomicBases: true}, nil
+	case "el-testset":
+		return eltestset.Local{}, nil
+	case "cas-testset":
+		return eltestset.FromCAS{}, nil
+	case "el-register":
+		return passthrough.New("el-register", spec.NewObject(spec.Register{}), true), nil
+	case "localcopy-register":
+		inner := passthrough.New("el-register", spec.NewObject(spec.Register{}), true)
+		return localcopy.New(inner, 0)
+	case "base-consensus":
+		return passthrough.New("base-consensus", spec.NewObject(spec.Consensus{}), false), nil
+	default:
+		return nil, fmt.Errorf("registry: unknown implementation %q (known: %s)",
+			name, strings.Join(ImplNames(), ", "))
+	}
+}
+
+// ImplNames lists the registered implementation names.
+func ImplNames() []string {
+	names := []string{
+		"cas-counter", "sloppy-counter", "el-sloppy-counter", "warmup-counter:K",
+		"junk-counter", "announced-junk", "announced-cas",
+		"el-consensus", "reg-consensus", "el-testset", "cas-testset",
+		"el-register", "localcopy-register", "base-consensus",
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DefaultOp returns the operation a process of the named implementation
+// performs, so tools can build uniform workloads: propose(p+1) for
+// consensus, testset for test&set, fetchinc otherwise.
+func DefaultOp(impl machine.Impl, p int) spec.Op {
+	switch impl.Spec().Type.(type) {
+	case spec.Consensus:
+		return spec.MakeOp1(spec.MethodPropose, int64(p+1))
+	case spec.TestSet:
+		return spec.MakeOp(spec.MethodTestSet)
+	case spec.Register:
+		if p%2 == 0 {
+			return spec.MakeOp1(spec.MethodWrite, int64(p+1))
+		}
+		return spec.MakeOp(spec.MethodRead)
+	default:
+		return spec.MakeOp(spec.MethodFetchInc)
+	}
+}
+
+// Workload builds an ops-per-process workload using DefaultOp.
+func Workload(impl machine.Impl, procs, ops int) [][]spec.Op {
+	w := make([][]spec.Op, procs)
+	for p := 0; p < procs; p++ {
+		for k := 0; k < ops; k++ {
+			w[p] = append(w[p], DefaultOp(impl, p))
+		}
+	}
+	return w
+}
+
+// Scheduler resolves a scheduler by name: "rr", "random", "solo:P",
+// "burst:N".
+func Scheduler(name string) (sim.Scheduler, error) {
+	kind, arg, hasArg := strings.Cut(name, ":")
+	switch kind {
+	case "", "rr", "roundrobin":
+		return sim.RoundRobin{}, nil
+	case "random":
+		return sim.Random{}, nil
+	case "solo":
+		p := 0
+		if hasArg {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("registry: bad solo process %q: %w", arg, err)
+			}
+			p = v
+		}
+		return sim.Solo{P: p}, nil
+	case "burst":
+		n := 8
+		if hasArg {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("registry: bad burst phase %q: %w", arg, err)
+			}
+			n = v
+		}
+		return sim.Burst{Phase: n}, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown scheduler %q (rr, random, solo:P, burst:N)", name)
+	}
+}
+
+// Chooser resolves an eventually-linearizable response chooser by name:
+// "true", "stale", "mix:P".
+func Chooser(name string) (sim.Chooser, error) {
+	kind, arg, hasArg := strings.Cut(name, ":")
+	switch kind {
+	case "", "true":
+		return sim.TrueChooser{}, nil
+	case "stale":
+		return sim.StaleChooser{}, nil
+	case "mix":
+		p := 0.5
+		if hasArg {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil {
+				return nil, fmt.Errorf("registry: bad mix probability %q: %w", arg, err)
+			}
+			p = v
+		}
+		return sim.MixChooser{P: p}, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown chooser %q (true, stale, mix:P)", name)
+	}
+}
+
+// Policy resolves a stabilization policy: "immediate", "never",
+// "window:K".
+func Policy(name string) (base.Policy, error) {
+	kind, arg, hasArg := strings.Cut(name, ":")
+	switch kind {
+	case "", "immediate":
+		return base.Immediate(), nil
+	case "never":
+		return base.Never{}, nil
+	case "window":
+		k := 4
+		if hasArg {
+			v, err := strconv.Atoi(arg)
+			if err != nil {
+				return nil, fmt.Errorf("registry: bad window %q: %w", arg, err)
+			}
+			k = v
+		}
+		return base.Window{K: k}, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown policy %q (immediate, never, window:K)", name)
+	}
+}
+
+// TypeByName resolves a specification type: "register[:init]",
+// "fetchinc[:init]", "consensus", "testset", "cas[:init]", "queue",
+// "maxregister[:init]".
+func TypeByName(name string) (spec.Object, error) {
+	kind, arg, hasArg := strings.Cut(name, ":")
+	initVal := int64(0)
+	if hasArg {
+		v, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil {
+			return spec.Object{}, fmt.Errorf("registry: bad initial value %q: %w", arg, err)
+		}
+		initVal = v
+	}
+	switch kind {
+	case "register":
+		return spec.Object{Type: spec.Register{InitVal: initVal}, Init: initVal}, nil
+	case "fetchinc":
+		return spec.Object{Type: spec.FetchInc{InitVal: initVal}, Init: initVal}, nil
+	case "consensus":
+		return spec.NewObject(spec.Consensus{}), nil
+	case "testset":
+		return spec.NewObject(spec.TestSet{}), nil
+	case "cas":
+		return spec.Object{Type: spec.CAS{InitVal: initVal}, Init: initVal}, nil
+	case "queue":
+		return spec.NewObject(spec.Queue{}), nil
+	case "maxregister":
+		return spec.Object{Type: spec.MaxRegister{InitVal: initVal}, Init: initVal}, nil
+	default:
+		return spec.Object{}, fmt.Errorf("registry: unknown type %q", name)
+	}
+}

@@ -1,0 +1,335 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// Scheduler picks which enabled process takes the next step. All schedulers
+// must be deterministic functions of their inputs (randomness comes from
+// the supplied generator), so runs are reproducible from a seed.
+type Scheduler interface {
+	// Name identifies the scheduler in reports.
+	Name() string
+	// Pick selects one process from enabled (never empty), or returns a
+	// negative value to halt the run (e.g. every remaining process has
+	// crashed).
+	Pick(enabled []int, step int, r *rand.Rand) int
+}
+
+// RoundRobin cycles through processes.
+type RoundRobin struct{}
+
+// Name implements Scheduler.
+func (RoundRobin) Name() string { return "roundrobin" }
+
+// Pick implements Scheduler.
+func (RoundRobin) Pick(enabled []int, step int, _ *rand.Rand) int {
+	return enabled[step%len(enabled)]
+}
+
+// Random picks uniformly at random.
+type Random struct{}
+
+// Name implements Scheduler.
+func (Random) Name() string { return "random" }
+
+// Pick implements Scheduler.
+func (Random) Pick(enabled []int, _ int, r *rand.Rand) int {
+	return enabled[r.Intn(len(enabled))]
+}
+
+// Solo runs one distinguished process whenever it is enabled, falling back
+// to round-robin among the rest (used for obstruction-freedom probes).
+type Solo struct {
+	// P is the distinguished process.
+	P int
+}
+
+// Name implements Scheduler.
+func (s Solo) Name() string { return fmt.Sprintf("solo(p%d)", s.P) }
+
+// Pick implements Scheduler.
+func (s Solo) Pick(enabled []int, step int, _ *rand.Rand) int {
+	for _, p := range enabled {
+		if p == s.P {
+			return p
+		}
+	}
+	return enabled[step%len(enabled)]
+}
+
+// Burst alternates contention phases (random among all) with quiescent
+// phases (one process runs solo), modelling the "unusually high contention"
+// regime of the paper's introduction.
+type Burst struct {
+	// Phase is the number of steps per phase.
+	Phase int
+}
+
+// Name implements Scheduler.
+func (b Burst) Name() string { return fmt.Sprintf("burst(%d)", b.Phase) }
+
+// Pick implements Scheduler.
+func (b Burst) Pick(enabled []int, step int, r *rand.Rand) int {
+	phase := b.Phase
+	if phase <= 0 {
+		phase = 8
+	}
+	if (step/phase)%2 == 0 {
+		return enabled[r.Intn(len(enabled))]
+	}
+	return enabled[(step/phase)%len(enabled)]
+}
+
+// Ratio starves one process: the victim is scheduled only every Every-th
+// step, the others round-robin in between. With Every aligned to an
+// opponent's operation length this is the classic adversary that keeps a
+// CAS loop failing forever: the victim's read-CAS window always spans a
+// completed opponent operation. It separates wait-freedom (the victim
+// still finishes, e.g. the sloppy counter) from mere non-blocking progress
+// (the victim starves while others complete, e.g. the CAS counter).
+type Ratio struct {
+	// Victim is the starved process.
+	Victim int
+	// Every schedules the victim on step indices divisible by Every
+	// (default 4 — one victim step per three opponent steps).
+	Every int
+}
+
+// Name implements Scheduler.
+func (ra Ratio) Name() string { return fmt.Sprintf("ratio(p%d,1/%d)", ra.Victim, ra.every()) }
+
+func (ra Ratio) every() int {
+	if ra.Every <= 1 {
+		return 4
+	}
+	return ra.Every
+}
+
+// Pick implements Scheduler.
+func (ra Ratio) Pick(enabled []int, step int, _ *rand.Rand) int {
+	victimEnabled := false
+	others := make([]int, 0, len(enabled))
+	for _, p := range enabled {
+		if p == ra.Victim {
+			victimEnabled = true
+		} else {
+			others = append(others, p)
+		}
+	}
+	if victimEnabled && (step%ra.every() == 0 || len(others) == 0) {
+		return ra.Victim
+	}
+	if len(others) == 0 {
+		return enabled[0]
+	}
+	return others[step%len(others)]
+}
+
+// Crash stops scheduling the victim after a given step, modelling a process
+// that is "swapped or paged out" forever mid-operation — the failure the
+// paper's progress conditions quantify over.
+type Crash struct {
+	// Victim is the crashed process.
+	Victim int
+	// After is the step index at which the victim stops being scheduled.
+	After int
+	// Inner schedules the remaining processes (default RoundRobin).
+	Inner Scheduler
+}
+
+// Name implements Scheduler.
+func (c Crash) Name() string { return fmt.Sprintf("crash(p%d@%d)", c.Victim, c.After) }
+
+// Pick implements Scheduler.
+func (c Crash) Pick(enabled []int, step int, r *rand.Rand) int {
+	inner := c.Inner
+	if inner == nil {
+		inner = RoundRobin{}
+	}
+	if step < c.After {
+		return inner.Pick(enabled, step, r)
+	}
+	alive := make([]int, 0, len(enabled))
+	for _, p := range enabled {
+		if p != c.Victim {
+			alive = append(alive, p)
+		}
+	}
+	if len(alive) == 0 {
+		return -1 // only the crashed process remains: halt the run
+	}
+	return inner.Pick(alive, step, r)
+}
+
+// Chooser picks the response an eventually linearizable base object gives,
+// from its candidate set (candidates[0] is always the true response).
+type Chooser interface {
+	// Name identifies the chooser in reports.
+	Name() string
+	// Choose returns one element of cands.
+	Choose(cands []int64, r *rand.Rand) int64
+}
+
+// TrueChooser always answers truthfully (the degenerate adversary).
+type TrueChooser struct{}
+
+// Name implements Chooser.
+func (TrueChooser) Name() string { return "true" }
+
+// Choose implements Chooser.
+func (TrueChooser) Choose(cands []int64, _ *rand.Rand) int64 { return cands[0] }
+
+// StaleChooser answers with a weakly consistent lie whenever one exists.
+type StaleChooser struct{}
+
+// Name implements Chooser.
+func (StaleChooser) Name() string { return "stale" }
+
+// Choose implements Chooser.
+func (StaleChooser) Choose(cands []int64, r *rand.Rand) int64 {
+	if len(cands) == 1 {
+		return cands[0]
+	}
+	return cands[1+r.Intn(len(cands)-1)]
+}
+
+// MixChooser lies with probability P.
+type MixChooser struct {
+	// P is the lie probability in [0,1].
+	P float64
+}
+
+// Name implements Chooser.
+func (m MixChooser) Name() string { return fmt.Sprintf("mix(%.2f)", m.P) }
+
+// Choose implements Chooser.
+func (m MixChooser) Choose(cands []int64, r *rand.Rand) int64 {
+	if len(cands) == 1 || m.P <= 0 || r.Float64() >= m.P {
+		return cands[0]
+	}
+	return cands[1+r.Intn(len(cands)-1)]
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Impl is the implementation to execute.
+	Impl machine.Impl
+	// Workload lists each process's operations in order.
+	Workload [][]spec.Op
+	// Scheduler picks processes (default RoundRobin).
+	Scheduler Scheduler
+	// Chooser resolves eventually linearizable responses (default
+	// TrueChooser).
+	Chooser Chooser
+	// Policies assigns stabilization policies to eventually linearizable
+	// bases (default: all Immediate).
+	Policies base.PolicyFor
+	// Seed seeds the run's randomness.
+	Seed int64
+	// MaxSteps bounds the run (default 1 << 16). Runs that exhaust the
+	// bound report TimedOut; this is how non-terminating executions (e.g.
+	// livelocked CAS loops under adversarial scheduling) surface.
+	MaxSteps int
+	// RecordBase enables base-level history recording.
+	RecordBase bool
+	// CheckOpts configures the weak-consistency candidate computations of
+	// eventually linearizable bases.
+	CheckOpts check.Options
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// History is the implemented-level history.
+	History *history.History
+	// BaseHistory is the base-level history, if recorded.
+	BaseHistory *history.History
+	// Steps is the number of atomic steps taken.
+	Steps int
+	// TimedOut reports that MaxSteps was reached before the workload
+	// completed.
+	TimedOut bool
+	// StabilizedAt maps each eventually linearizable base to the
+	// implemented-level event index at which it stabilized (-1 if never).
+	StabilizedAt map[string]int
+	// OpsCompleted counts completed operations per process.
+	OpsCompleted []int
+}
+
+// Run executes cfg to completion (or MaxSteps) and returns the recorded
+// histories.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = RoundRobin{}
+	}
+	if cfg.Chooser == nil {
+		cfg.Chooser = TrueChooser{}
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 16
+	}
+	sys, err := NewSystem(cfg.Impl, cfg.Workload, cfg.Policies, cfg.CheckOpts, cfg.RecordBase)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	timedOut := false
+	for step := 0; ; step++ {
+		enabled := sys.Enabled()
+		if len(enabled) == 0 {
+			break
+		}
+		if step >= maxSteps {
+			timedOut = true
+			break
+		}
+		p := cfg.Scheduler.Pick(enabled, step, r)
+		if p < 0 {
+			break // the scheduler declared the run stuck (all crashed)
+		}
+		cands, err := sys.Candidates(p)
+		if err != nil {
+			return nil, err
+		}
+		branch := 0
+		if len(cands) > 1 {
+			resp := cfg.Chooser.Choose(cands, r)
+			branch = -1
+			for i, c := range cands {
+				if c == resp {
+					branch = i
+					break
+				}
+			}
+			if branch < 0 {
+				return nil, fmt.Errorf("sim: chooser %s returned %d, not a candidate %v",
+					cfg.Chooser.Name(), resp, cands)
+			}
+		}
+		if err := sys.Advance(p, branch); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{
+		History:      sys.History(),
+		BaseHistory:  sys.BaseHistory(),
+		Steps:        sys.Steps(),
+		TimedOut:     timedOut,
+		StabilizedAt: sys.StabilizedAt(),
+		OpsCompleted: make([]int, sys.NumProcs()),
+	}
+	for _, op := range sys.History().Operations() {
+		if !op.Pending() {
+			res.OpsCompleted[op.Proc]++
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,289 @@
+// Package sim executes implementations (package machine) against live base
+// objects (package base) and records the resulting histories. The central
+// type is System — one configuration of the asynchronous shared-memory
+// model: process programmes plus base-object states. Systems are cloneable,
+// which is what makes exhaustive exploration (package explore) and the
+// Proposition 18 configuration capture possible.
+package sim
+
+import (
+	"fmt"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// System is a live configuration: an implementation, its base objects, its
+// process programmes, per-process progress through a workload, and the
+// histories recorded so far. One Advance call performs one atomic step of
+// one process, exactly the granularity of the paper's execution trees.
+type System struct {
+	impl     machine.Impl
+	bases    []base.Object
+	procs    []machine.Process
+	running  []bool  // process is mid-operation
+	nextResp []int64 // response to feed the process's next Step
+	opIdx    []int   // operations begun per process
+	workload [][]spec.Op
+	hist     *history.History
+	baseHist *history.History // nil unless base recording enabled
+
+	// stabilizedAt records, per eventually linearizable base object, the
+	// implemented-level event count at which it stabilized (-1 while
+	// unstabilized).
+	stabilizedAt map[string]int
+	steps        int
+}
+
+// NewSystem builds a fresh configuration. Workload lists the operations
+// each process performs in order; policies assigns stabilization policies
+// to eventually linearizable bases (nil means all Immediate); recordBase
+// enables base-level history recording.
+func NewSystem(impl machine.Impl, workload [][]spec.Op, policies base.PolicyFor, opts check.Options, recordBase bool) (*System, error) {
+	n := len(workload)
+	if n == 0 {
+		return nil, fmt.Errorf("sim: empty workload")
+	}
+	if err := machine.Validate(impl, n); err != nil {
+		return nil, err
+	}
+	objs, err := base.Instantiate(impl.Bases(), policies, opts)
+	if err != nil {
+		return nil, fmt.Errorf("sim: instantiate bases for %s: %w", impl.Name(), err)
+	}
+	s := &System{
+		impl:         impl,
+		bases:        objs,
+		procs:        make([]machine.Process, n),
+		running:      make([]bool, n),
+		nextResp:     make([]int64, n),
+		opIdx:        make([]int, n),
+		workload:     workload,
+		hist:         history.New(),
+		stabilizedAt: make(map[string]int),
+	}
+	if recordBase {
+		s.baseHist = history.New()
+	}
+	for p := 0; p < n; p++ {
+		s.procs[p] = impl.NewProcess(p, n)
+	}
+	for _, b := range objs {
+		if ev, ok := b.(*base.Eventual); ok && !ev.Stabilized() {
+			s.stabilizedAt[b.Name()] = -1
+		}
+	}
+	return s, nil
+}
+
+// NumProcs returns the number of processes.
+func (s *System) NumProcs() int { return len(s.procs) }
+
+// Impl returns the implementation under execution.
+func (s *System) Impl() machine.Impl { return s.impl }
+
+// Steps returns the number of Advance calls performed.
+func (s *System) Steps() int { return s.steps }
+
+// History returns the implemented-level history recorded so far. The
+// returned value is live; callers must not mutate it.
+func (s *System) History() *history.History { return s.hist }
+
+// BaseHistory returns the base-level history (nil if recording was off).
+func (s *System) BaseHistory() *history.History { return s.baseHist }
+
+// StabilizedAt returns, per eventually linearizable base, the
+// implemented-level event index at which it stabilized (-1 if it has not).
+func (s *System) StabilizedAt() map[string]int {
+	out := make(map[string]int, len(s.stabilizedAt))
+	for k, v := range s.stabilizedAt {
+		out[k] = v
+	}
+	return out
+}
+
+// BaseStates returns the current state of every base object by name.
+func (s *System) BaseStates() map[string]spec.State {
+	out := make(map[string]spec.State, len(s.bases))
+	for _, b := range s.bases {
+		out[b.Name()] = b.State()
+	}
+	return out
+}
+
+// Bases returns the live base objects (callers must not mutate them).
+func (s *System) Bases() []base.Object { return s.bases }
+
+// Proc returns process p's programme (callers must not step it directly).
+func (s *System) Proc(p int) machine.Process { return s.procs[p] }
+
+// Enabled returns the processes that can take a step: mid-operation, or
+// idle with workload remaining.
+func (s *System) Enabled() []int {
+	var out []int
+	for p := range s.procs {
+		if s.running[p] || s.opIdx[p] < len(s.workload[p]) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Done reports whether every process has completed its workload.
+func (s *System) Done() bool { return len(s.Enabled()) == 0 }
+
+// OpsBegun returns the number of operations process p has begun.
+func (s *System) OpsBegun(p int) int { return s.opIdx[p] }
+
+// Running reports whether process p is mid-operation.
+func (s *System) Running(p int) bool { return s.running[p] }
+
+// NextAction returns the action process p would take if scheduled now,
+// without advancing the system, plus whether scheduling p would begin a new
+// operation. It clones p's programme, so the system is unchanged.
+func (s *System) NextAction(p int) (machine.Action, bool, error) {
+	if p < 0 || p >= len(s.procs) {
+		return machine.Action{}, false, fmt.Errorf("sim: no process p%d", p)
+	}
+	probe := s.procs[p].Clone()
+	begins := false
+	if !s.running[p] {
+		if s.opIdx[p] >= len(s.workload[p]) {
+			return machine.Action{}, false, fmt.Errorf("sim: process p%d has no work", p)
+		}
+		probe.Begin(s.workload[p][s.opIdx[p]])
+		begins = true
+	}
+	act := probe.Step(s.nextResp[p])
+	if act.Kind == machine.ActInvoke && (act.Obj < 0 || act.Obj >= len(s.bases)) {
+		return machine.Action{}, false, fmt.Errorf("sim: %s p%d invokes unknown base %d",
+			s.impl.Name(), p, act.Obj)
+	}
+	return act, begins, nil
+}
+
+// Candidates returns the permitted responses for process p's next action.
+// Returns operations have exactly one branch. The first candidate of a base
+// invocation is always the true (linearizable) response.
+func (s *System) Candidates(p int) ([]int64, error) {
+	act, _, err := s.NextAction(p)
+	if err != nil {
+		return nil, err
+	}
+	if act.Kind == machine.ActReturn {
+		return []int64{act.Ret}, nil
+	}
+	return s.bases[act.Obj].Candidates(p, act.Op)
+}
+
+// Advance performs one atomic step of process p, resolving a base
+// invocation with the branch-th candidate response. For a return action,
+// branch must be 0. It records history events and stabilization points.
+func (s *System) Advance(p, branch int) error {
+	act, begins, err := s.NextAction(p)
+	if err != nil {
+		return err
+	}
+	if begins {
+		op := s.workload[p][s.opIdx[p]]
+		if err := s.hist.Invoke(p, s.impl.Name(), op); err != nil {
+			return fmt.Errorf("sim: record invoke: %w", err)
+		}
+		s.procs[p].Begin(op)
+		s.opIdx[p]++
+		s.running[p] = true
+	}
+	real := s.procs[p].Step(s.nextResp[p])
+	if real != act {
+		return fmt.Errorf("sim: nondeterministic programme in %s: probe %s, real %s",
+			s.impl.Name(), act, real)
+	}
+	s.steps++
+	switch act.Kind {
+	case machine.ActReturn:
+		if branch != 0 {
+			return fmt.Errorf("sim: return action has a single branch, got %d", branch)
+		}
+		if err := s.hist.Respond(p, act.Ret); err != nil {
+			return fmt.Errorf("sim: record respond: %w", err)
+		}
+		s.running[p] = false
+		s.nextResp[p] = 0
+		return nil
+	case machine.ActInvoke:
+		obj := s.bases[act.Obj]
+		cands, err := obj.Candidates(p, act.Op)
+		if err != nil {
+			return err
+		}
+		if branch < 0 || branch >= len(cands) {
+			return fmt.Errorf("sim: branch %d out of range (%d candidates) on %s",
+				branch, len(cands), obj.Name())
+		}
+		resp := cands[branch]
+		if err := obj.Commit(p, act.Op, resp); err != nil {
+			return err
+		}
+		if s.baseHist != nil {
+			if err := s.baseHist.Call(p, obj.Name(), act.Op, resp); err != nil {
+				return fmt.Errorf("sim: record base call: %w", err)
+			}
+		}
+		if ev, ok := obj.(*base.Eventual); ok {
+			if at, tracked := s.stabilizedAt[obj.Name()]; tracked && at < 0 && ev.Stabilized() {
+				s.stabilizedAt[obj.Name()] = s.hist.Len()
+			}
+		}
+		s.nextResp[p] = resp
+		return nil
+	default:
+		return fmt.Errorf("sim: invalid action kind %d", int(act.Kind))
+	}
+}
+
+// Clone returns a deep copy of the configuration (programmes, base objects,
+// histories, progress counters).
+func (s *System) Clone() *System {
+	cp := &System{
+		impl:         s.impl,
+		bases:        make([]base.Object, len(s.bases)),
+		procs:        make([]machine.Process, len(s.procs)),
+		running:      append([]bool(nil), s.running...),
+		nextResp:     append([]int64(nil), s.nextResp...),
+		opIdx:        append([]int(nil), s.opIdx...),
+		workload:     s.workload, // workloads are immutable
+		hist:         s.hist.Clone(),
+		stabilizedAt: make(map[string]int, len(s.stabilizedAt)),
+		steps:        s.steps,
+	}
+	for i, b := range s.bases {
+		cp.bases[i] = b.Clone()
+	}
+	for i, p := range s.procs {
+		cp.procs[i] = p.Clone()
+	}
+	if s.baseHist != nil {
+		cp.baseHist = s.baseHist.Clone()
+	}
+	for k, v := range s.stabilizedAt {
+		cp.stabilizedAt[k] = v
+	}
+	return cp
+}
+
+// UniformWorkload returns a workload where each of n processes performs the
+// same operation reps times.
+func UniformWorkload(n, reps int, op spec.Op) [][]spec.Op {
+	w := make([][]spec.Op, n)
+	for p := range w {
+		ops := make([]spec.Op, reps)
+		for i := range ops {
+			ops[i] = op
+		}
+		w[p] = ops
+	}
+	return w
+}

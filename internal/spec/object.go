@@ -1,0 +1,15 @@
+package spec
+
+// Object pairs a type with a chosen initial state: one shared object
+// instance as deployed in a system. The paper's implementations provide a
+// programme "for each q0 in Q0"; an Object fixes that q0.
+type Object struct {
+	// Type is the object's sequential specification.
+	Type Type
+	// Init is the initial state; it must be a valid state of Type.
+	Init State
+}
+
+// NewObject returns an Object of type t initialized to t's canonical
+// initial state.
+func NewObject(t Type) Object { return Object{Type: t, Init: t.Init()} }
