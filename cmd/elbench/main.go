@@ -7,9 +7,16 @@
 //	elbench              run the full suite
 //	elbench -list        list experiments
 //	elbench -run E11,E12 run selected experiments
+//	elbench -json        emit machine-readable per-experiment timings
+//
+// With -json the rendered tables are replaced by a JSON array of
+// {id, artifact, rows, ns} records — one per experiment — so successive
+// runs can be archived (BENCH_*.json) and compared to track the
+// performance trajectory across changes.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -19,6 +26,18 @@ import (
 
 	"github.com/elin-go/elin/internal/exp"
 )
+
+// timing is one experiment's machine-readable result.
+type timing struct {
+	// ID is the experiment identifier, e.g. "E8".
+	ID string `json:"id"`
+	// Artifact names the paper artifact the experiment reproduces.
+	Artifact string `json:"artifact"`
+	// Rows is the number of table rows the experiment produced.
+	Rows int `json:"rows"`
+	// NS is the wall-clock run time in nanoseconds.
+	NS int64 `json:"ns"`
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -31,6 +50,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elbench", flag.ContinueOnError)
 	list := fs.Bool("list", false, "list experiments and exit")
 	sel := fs.String("run", "", "comma-separated experiment ids (default: all)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable per-experiment timings instead of tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -56,16 +76,31 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	var timings []timing
 	for _, e := range chosen {
 		start := time.Now()
 		table, err := e.Run()
 		if err != nil {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
+		if *jsonOut {
+			timings = append(timings, timing{
+				ID:       table.ID,
+				Artifact: table.Artifact,
+				Rows:     len(table.Rows),
+				NS:       time.Since(start).Nanoseconds(),
+			})
+			continue
+		}
 		if err := table.Render(out); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(timings)
 	}
 	return nil
 }

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -36,5 +37,37 @@ func TestUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-run", "E99"}, &buf); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestJSONTimings(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "-run", "E3,E4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var timings []timing
+	if err := json.Unmarshal(buf.Bytes(), &timings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(timings) != 2 {
+		t.Fatalf("got %d records, want 2", len(timings))
+	}
+	for i, id := range []string{"E3", "E4"} {
+		tm := timings[i]
+		if tm.ID != id {
+			t.Errorf("record %d id = %q, want %q", i, tm.ID, id)
+		}
+		if tm.Rows <= 0 {
+			t.Errorf("%s rows = %d, want > 0", id, tm.Rows)
+		}
+		if tm.NS <= 0 {
+			t.Errorf("%s ns = %d, want > 0", id, tm.NS)
+		}
+		if tm.Artifact == "" {
+			t.Errorf("%s missing artifact", id)
+		}
+	}
+	if strings.Contains(buf.String(), "completed in") {
+		t.Error("-json must suppress the table rendering")
 	}
 }

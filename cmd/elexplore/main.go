@@ -40,6 +40,7 @@ func run(args []string, out io.Writer) error {
 	depth := fs.Int("depth", 16, "exploration depth bound")
 	verifyDepth := fs.Int("verify-depth", 14, "stability verification depth (mode stable)")
 	policyName := fs.String("policy", "never", "EL stabilization policy: immediate | never | window:K")
+	dedup := fs.Bool("dedup", false, "merge equivalent configurations (mode valency): the tree becomes a DAG")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -82,13 +83,13 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, bad.History().String())
 		}
 	case "valency":
-		rep, err := explore.Analyze(root, *depth)
+		rep, err := explore.AnalyzeConfig(root, *depth, explore.Config{Dedup: *dedup})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "root valence: %v (truncated=%v)\n", rep.Root.Values(), rep.Stats.Truncated)
-		fmt.Fprintf(out, "multivalent=%d univalent=%d critical=%d agreement-violations=%d\n",
-			rep.Multivalent, rep.Univalent, len(rep.Criticals), rep.AgreementViolations)
+		fmt.Fprintf(out, "multivalent=%d univalent=%d critical=%d agreement-violations=%d deduped=%d\n",
+			rep.Multivalent, rep.Univalent, len(rep.Criticals), rep.AgreementViolations, rep.Stats.Deduped)
 		for i, c := range rep.Criticals {
 			if i >= 3 {
 				fmt.Fprintf(out, "... %d more critical configurations\n", len(rep.Criticals)-3)

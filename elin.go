@@ -120,6 +120,11 @@ type (
 	Scheduler = sim.Scheduler
 	// Policy decides when an eventually linearizable base stabilizes.
 	Policy = base.Policy
+	// ExploreConfig tunes exhaustive exploration (configuration
+	// deduplication).
+	ExploreConfig = explore.Config
+	// ExploreStats aggregates exploration counters.
+	ExploreStats = explore.Stats
 )
 
 // Operation constructors.
@@ -178,12 +183,21 @@ var (
 	// UniformWorkload builds an n-process workload repeating one
 	// operation.
 	UniformWorkload = sim.UniformWorkload
-	// ExploreDFS walks every interleaving to a depth bound.
+	// ExploreDFS walks every interleaving to a depth bound using the
+	// in-place advance/undo engine.
 	ExploreDFS = explore.DFS
+	// ExploreDFSConfig is ExploreDFS with exploration options.
+	ExploreDFSConfig = explore.DFSConfig
+	// ExploreLeaves enumerates the leaf configurations of the bounded
+	// execution tree.
+	ExploreLeaves = explore.Leaves
 	// LinearizableEverywhere checks all bounded interleavings.
 	LinearizableEverywhere = explore.LinearizableEverywhere
 	// AnalyzeValency performs the Proposition 15 valency analysis.
 	AnalyzeValency = explore.Analyze
+	// AnalyzeValencyConfig is AnalyzeValency with exploration options
+	// (configuration deduplication merges symmetric interleavings).
+	AnalyzeValencyConfig = explore.AnalyzeConfig
 	// FindStable searches for a Proposition 18 stable configuration.
 	FindStable = explore.FindStable
 )

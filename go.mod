@@ -1,0 +1,3 @@
+module github.com/elin-go/elin
+
+go 1.24

@@ -37,6 +37,31 @@ type Object interface {
 	Steps() int
 	// Clone returns a deep copy (used by the model checker to branch).
 	Clone() Object
+	// Snapshot captures the object's state in a small value record.
+	// Together with Restore it is the undo hook of the in-place exploration
+	// engine: Snapshot before a Commit, Restore to revert it. Snapshots are
+	// plain values — taking one performs no heap allocation.
+	Snapshot() Snapshot
+	// Restore reverts the object to a previously captured Snapshot. The
+	// snapshot must have been taken on this object, and only undo in LIFO
+	// order is supported (restoring an older snapshot after newer commits
+	// is permitted; restoring a newer one after an older Restore is not).
+	Restore(Snapshot)
+	// AppendFingerprint appends a canonical encoding of everything that
+	// determines the object's future behaviour (state, step count and, for
+	// eventually linearizable objects, the committed action log) to b.
+	AppendFingerprint(b []byte) []byte
+}
+
+// Snapshot is a compact undo record for one base object. State and Steps
+// cover both object kinds; LogLen is meaningful for Eventual objects only.
+type Snapshot struct {
+	// State is the abstract state at capture time.
+	State spec.State
+	// Steps is the committed-action count at capture time.
+	Steps int
+	// LogLen is the committed-log length at capture time (Eventual only).
+	LogLen int
 }
 
 // ----------------------------------------------------------------------------
@@ -46,6 +71,7 @@ type Object interface {
 type Atomic struct {
 	name  string
 	typ   spec.Type
+	det   spec.DetStepper // non-nil allocation-free fast path
 	state spec.State
 	steps int
 }
@@ -59,7 +85,23 @@ func NewAtomic(name string, obj spec.Object) (*Atomic, error) {
 		return nil, fmt.Errorf("base: atomic object %q requires a deterministic type, %s is not",
 			name, obj.Type.Name())
 	}
-	return &Atomic{name: name, typ: obj.Type, state: obj.Init}, nil
+	a := &Atomic{name: name, typ: obj.Type, state: obj.Init}
+	a.det, _ = obj.Type.(spec.DetStepper)
+	return a, nil
+}
+
+// stepOne returns the unique outcome of op in state s, preferring the
+// allocation-free DetStepper fast path. Commit and candidate computation
+// run once per explored edge, so avoiding the Step slice here matters.
+func stepOne(typ spec.Type, det spec.DetStepper, s spec.State, op spec.Op) (spec.Outcome, bool) {
+	if det != nil {
+		return det.StepDet(s, op)
+	}
+	outs := typ.Step(s, op)
+	if len(outs) == 0 {
+		return spec.Outcome{}, false
+	}
+	return outs[0], true
 }
 
 // Name implements Object.
@@ -67,23 +109,23 @@ func (a *Atomic) Name() string { return a.name }
 
 // Candidates implements Object: the unique legal response.
 func (a *Atomic) Candidates(proc int, op spec.Op) ([]int64, error) {
-	outs := a.typ.Step(a.state, op)
-	if len(outs) == 0 {
+	out, ok := stepOne(a.typ, a.det, a.state, op)
+	if !ok {
 		return nil, fmt.Errorf("base: %s (%s) rejects %s in state %v", a.name, a.typ.Name(), op, a.state)
 	}
-	return []int64{outs[0].Resp}, nil
+	return []int64{out.Resp}, nil
 }
 
 // Commit implements Object.
 func (a *Atomic) Commit(proc int, op spec.Op, resp int64) error {
-	outs := a.typ.Step(a.state, op)
-	if len(outs) == 0 {
+	out, ok := stepOne(a.typ, a.det, a.state, op)
+	if !ok {
 		return fmt.Errorf("base: %s (%s) rejects %s in state %v", a.name, a.typ.Name(), op, a.state)
 	}
-	if outs[0].Resp != resp {
-		return fmt.Errorf("base: %s commit of %s with response %d, want %d", a.name, op, resp, outs[0].Resp)
+	if out.Resp != resp {
+		return fmt.Errorf("base: %s commit of %s with response %d, want %d", a.name, op, resp, out.Resp)
 	}
-	a.state = outs[0].Next
+	a.state = out.Next
 	a.steps++
 	return nil
 }
@@ -98,6 +140,28 @@ func (a *Atomic) Steps() int { return a.steps }
 func (a *Atomic) Clone() Object {
 	cp := *a
 	return &cp
+}
+
+// Snapshot implements Object.
+func (a *Atomic) Snapshot() Snapshot {
+	return Snapshot{State: a.state, Steps: a.steps}
+}
+
+// Restore implements Object.
+func (a *Atomic) Restore(s Snapshot) {
+	a.state = s.State
+	a.steps = s.Steps
+}
+
+// AppendFingerprint implements Object.
+func (a *Atomic) AppendFingerprint(b []byte) []byte {
+	b, ok := machine.AppendFPState(b, a.state)
+	if !ok {
+		// Unsupported state kinds cannot occur for the concrete types in
+		// spec; fall back to a marker so fingerprints stay deterministic.
+		b = append(b, '?')
+	}
+	return machine.AppendFPInt(b, int64(a.steps))
 }
 
 // ----------------------------------------------------------------------------
@@ -158,6 +222,7 @@ func Immediate() Policy { return Window{K: 0} }
 type Eventual struct {
 	name   string
 	typ    spec.Type
+	det    spec.DetStepper // non-nil allocation-free fast path
 	obj    spec.Object
 	state  spec.State
 	steps  int
@@ -181,7 +246,7 @@ func NewEventual(name string, obj spec.Object, policy Policy, opts check.Options
 	if policy == nil {
 		return nil, fmt.Errorf("base: eventual object %q requires a policy", name)
 	}
-	return &Eventual{
+	e := &Eventual{
 		name:   name,
 		typ:    obj.Type,
 		obj:    obj,
@@ -189,7 +254,9 @@ func NewEventual(name string, obj spec.Object, policy Policy, opts check.Options
 		policy: policy,
 		log:    history.New(),
 		opts:   opts,
-	}, nil
+	}
+	e.det, _ = obj.Type.(spec.DetStepper)
+	return e, nil
 }
 
 // Name implements Object.
@@ -204,11 +271,11 @@ func (e *Eventual) Policy() Policy { return e.policy }
 
 // trueResponse computes the response a linearizable object would give.
 func (e *Eventual) trueResponse(op spec.Op) (int64, error) {
-	outs := e.typ.Step(e.state, op)
-	if len(outs) == 0 {
+	out, ok := stepOne(e.typ, e.det, e.state, op)
+	if !ok {
 		return 0, fmt.Errorf("base: %s (%s) rejects %s in state %v", e.name, e.typ.Name(), op, e.state)
 	}
-	return outs[0].Resp, nil
+	return out.Resp, nil
 }
 
 // Candidates implements Object. The true response is always first;
@@ -222,12 +289,16 @@ func (e *Eventual) Candidates(proc int, op spec.Op) ([]int64, error) {
 		return []int64{truth}, nil
 	}
 	// Build the hypothetical history with this operation pending and
-	// enumerate Definition 1 responses.
-	probe := e.log.Clone()
-	if err := probe.Invoke(proc, e.name, op); err != nil {
+	// enumerate Definition 1 responses. The pending invocation is appended
+	// to the live log and truncated away afterwards, avoiding a full log
+	// clone per candidate computation (WeakResponses does not retain the
+	// history).
+	logLen := e.log.Len()
+	if err := e.log.Invoke(proc, e.name, op); err != nil {
 		return nil, fmt.Errorf("base: %s candidates: %w", e.name, err)
 	}
-	weak, err := check.WeakResponses(e.obj, probe, proc, e.opts)
+	weak, err := check.WeakResponses(e.obj, e.log, proc, e.opts)
+	e.log.Truncate(logLen)
 	if err != nil {
 		return nil, fmt.Errorf("base: %s candidates: %w", e.name, err)
 	}
@@ -244,18 +315,18 @@ func (e *Eventual) Candidates(proc int, op spec.Op) ([]int64, error) {
 // Commit implements Object: the mutation follows the type's transition in
 // commit order regardless of the (possibly stale) response handed out.
 func (e *Eventual) Commit(proc int, op spec.Op, resp int64) error {
-	outs := e.typ.Step(e.state, op)
-	if len(outs) == 0 {
+	out, ok := stepOne(e.typ, e.det, e.state, op)
+	if !ok {
 		return fmt.Errorf("base: %s (%s) rejects %s in state %v", e.name, e.typ.Name(), op, e.state)
 	}
-	if e.Stabilized() && resp != outs[0].Resp {
+	if e.Stabilized() && resp != out.Resp {
 		return fmt.Errorf("base: %s stabilized commit of %s with response %d, want %d",
-			e.name, op, resp, outs[0].Resp)
+			e.name, op, resp, out.Resp)
 	}
-	if err := e.log.Call(proc, e.name, op, outs[0].Resp); err != nil {
+	if err := e.log.Call(proc, e.name, op, out.Resp); err != nil {
 		return fmt.Errorf("base: %s log: %w", e.name, err)
 	}
-	e.state = outs[0].Next
+	e.state = out.Next
 	e.steps++
 	return nil
 }
@@ -271,6 +342,31 @@ func (e *Eventual) Clone() Object {
 	cp := *e
 	cp.log = e.log.Clone()
 	return &cp
+}
+
+// Snapshot implements Object.
+func (e *Eventual) Snapshot() Snapshot {
+	return Snapshot{State: e.state, Steps: e.steps, LogLen: e.log.Len()}
+}
+
+// Restore implements Object.
+func (e *Eventual) Restore(s Snapshot) {
+	e.state = s.State
+	e.steps = s.Steps
+	e.log.Truncate(s.LogLen)
+}
+
+// AppendFingerprint implements Object. The committed log is included
+// because the Definition 1 candidate sets of future actions are computed
+// against it: two Eventual objects behave identically iff state, step count
+// and log agree.
+func (e *Eventual) AppendFingerprint(b []byte) []byte {
+	b, ok := machine.AppendFPState(b, e.state)
+	if !ok {
+		b = append(b, '?')
+	}
+	b = machine.AppendFPInt(b, int64(e.steps))
+	return e.log.AppendFingerprint(b)
 }
 
 // ----------------------------------------------------------------------------

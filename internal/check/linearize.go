@@ -2,7 +2,7 @@ package check
 
 import (
 	"fmt"
-	"strings"
+	"math/bits"
 
 	"github.com/elin-go/elin/internal/history"
 	"github.com/elin-go/elin/internal/spec"
@@ -231,7 +231,11 @@ func TLinearizableMulti(objs map[string]spec.Object, h *history.History, t int, 
 		objIdx: objIdx,
 		ops:    ops,
 		budget: opts.budget(),
-		memo:   make(map[multiKey]struct{}),
+		memo:   make(map[string]struct{}),
+	}
+	pr.stack = make([][]spec.State, len(ops)+1)
+	for i := range pr.stack {
+		pr.stack[i] = make([]spec.State, len(names))
 	}
 	pr.prepare(t)
 	return pr.dfs(states, 0)
@@ -278,6 +282,7 @@ func opConstraints(ops []history.Operation, t int) (pred []uint64, constrained, 
 
 type tlinProblem struct {
 	typ         spec.Type
+	det         spec.DetStepper // non-nil fast path: no Step slice per node
 	init        spec.State
 	ops         []history.Operation
 	pred        []uint64
@@ -301,6 +306,9 @@ func newTLinProblem(obj spec.Object, ops []history.Operation, t int, opts Option
 		budget: opts.budget(),
 		memo:   make(map[memoKey]struct{}),
 		noMemo: opts.NoMemo,
+	}
+	if det, ok := obj.Type.(spec.DetStepper); ok {
+		pr.det = det
 	}
 	pr.pred, pr.constrained, pr.completed = opConstraints(ops, t)
 	return pr
@@ -327,6 +335,20 @@ func (pr *tlinProblem) dfs(state spec.State, chosen uint64) (bool, error) {
 	for i := range pr.ops {
 		bit := uint64(1) << uint(i)
 		if chosen&bit != 0 || pr.pred[i]&^chosen != 0 {
+			continue
+		}
+		if pr.det != nil {
+			out, applicable := pr.det.StepDet(state, pr.ops[i].Op)
+			if !applicable || (pr.constrained&bit != 0 && out.Resp != pr.ops[i].Resp) {
+				continue
+			}
+			ok, err := pr.dfs(out.Next, chosen|bit)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
 			continue
 		}
 		for _, out := range pr.typ.Step(state, pr.ops[i].Op) {
@@ -360,27 +382,41 @@ type multiProblem struct {
 	constrained uint64
 	completed   uint64
 	budget      int64
-	memo        map[multiKey]struct{}
-}
-
-type multiKey struct {
-	mask  uint64
-	state string
+	// memo stores failed (mask, product-state) pairs under a compact byte
+	// encoding (appendProductKey) instead of the historical fmt-rendered
+	// string: lookups reuse keyBuf and allocate nothing; only first-time
+	// insertions materialize the key.
+	memo   map[string]struct{}
+	keyBuf []byte
+	// stack provides one product-state row per search depth, so advancing
+	// into a child reuses a preallocated row instead of copying into a
+	// fresh slice per edge.
+	stack [][]spec.State
 }
 
 func (pr *multiProblem) prepare(t int) {
 	pr.pred, pr.constrained, pr.completed = opConstraints(pr.ops, t)
 }
 
-func productKey(states []spec.State) string {
-	var b strings.Builder
-	for i, s := range states {
-		if i > 0 {
-			b.WriteByte('|')
+// appendProductKey appends a compact injective encoding of (mask, states)
+// to b. States of the concrete spec types are int64 or string; anything
+// else falls back to fmt.
+func appendProductKey(b []byte, mask uint64, states []spec.State) []byte {
+	b = spec.AppendFPInt(b, int64(mask))
+	for _, st := range states {
+		switch v := st.(type) {
+		case int64:
+			b = spec.AppendFPInt(append(b, 'i'), v)
+		case string:
+			b = spec.AppendFPInt(append(b, 's'), int64(len(v)))
+			b = append(b, v...)
+		default:
+			b = append(b, '?')
+			b = fmt.Appendf(b, "%v", v)
+			b = append(b, 0)
 		}
-		fmt.Fprintf(&b, "%v", s)
 	}
-	return b.String()
+	return b
 }
 
 func (pr *multiProblem) dfs(states []spec.State, chosen uint64) (bool, error) {
@@ -391,10 +427,11 @@ func (pr *multiProblem) dfs(states []spec.State, chosen uint64) (bool, error) {
 	if pr.budget < 0 {
 		return false, ErrBudget
 	}
-	key := multiKey{mask: chosen, state: productKey(states)}
-	if _, seen := pr.memo[key]; seen {
+	pr.keyBuf = appendProductKey(pr.keyBuf[:0], chosen, states)
+	if _, seen := pr.memo[string(pr.keyBuf)]; seen {
 		return false, nil
 	}
+	depth := bits.OnesCount64(chosen)
 	for i := range pr.ops {
 		bit := uint64(1) << uint(i)
 		if chosen&bit != 0 || pr.pred[i]&^chosen != 0 {
@@ -406,7 +443,7 @@ func (pr *multiProblem) dfs(states []spec.State, chosen uint64) (bool, error) {
 			if pr.constrained&bit != 0 && out.Resp != pr.ops[i].Resp {
 				continue
 			}
-			next := make([]spec.State, len(states))
+			next := pr.stack[depth+1]
 			copy(next, states)
 			next[oi] = out.Next
 			ok, err := pr.dfs(next, chosen|bit)
@@ -418,6 +455,7 @@ func (pr *multiProblem) dfs(states []spec.State, chosen uint64) (bool, error) {
 			}
 		}
 	}
-	pr.memo[key] = struct{}{}
+	pr.keyBuf = appendProductKey(pr.keyBuf[:0], chosen, states)
+	pr.memo[string(pr.keyBuf)] = struct{}{}
 	return false, nil
 }

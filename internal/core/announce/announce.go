@@ -242,3 +242,36 @@ func (c *proc) Clone() machine.Process {
 	cp.otherOps = append([]spec.Op(nil), c.otherOps...)
 	return &cp
 }
+
+// AppendFingerprint implements machine.Fingerprinter; it reports false
+// when the inner programme is not a Fingerprinter.
+func (c *proc) AppendFingerprint(b []byte) ([]byte, bool) {
+	f, ok := c.inner.(machine.Fingerprinter)
+	if !ok {
+		return b, false
+	}
+	b, ok = f.AppendFingerprint(b)
+	if !ok {
+		return b, false
+	}
+	b = machine.AppendFPInt(b, c.c)
+	b, ok = machine.AppendFPState(b, c.q)
+	if !ok {
+		return b, false
+	}
+	b = machine.AppendFPInt(b, int64(c.phase))
+	b = machine.AppendFPOp(b, c.op)
+	b = machine.AppendFPInt(b, c.rprivate)
+	b = machine.AppendFPInt(b, c.rshared)
+	b = machine.AppendFPInt(b, int64(c.scanJ))
+	b = machine.AppendFPInt(b, c.scanK)
+	b = machine.AppendFPInt(b, int64(len(c.ownOps)))
+	for _, op := range c.ownOps {
+		b = machine.AppendFPOp(b, op)
+	}
+	b = machine.AppendFPInt(b, int64(len(c.otherOps)))
+	for _, op := range c.otherOps {
+		b = machine.AppendFPOp(b, op)
+	}
+	return b, true
+}

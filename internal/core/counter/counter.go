@@ -92,6 +92,12 @@ func (c *casProc) Clone() machine.Process {
 	return &cp
 }
 
+// AppendFingerprint implements machine.Fingerprinter.
+func (c *casProc) AppendFingerprint(b []byte) ([]byte, bool) {
+	b = machine.AppendFPInt(b, int64(c.pc))
+	return machine.AppendFPInt(b, c.v), true
+}
+
 // ----------------------------------------------------------------------------
 // Sloppy counter (registers only; weakly consistent, not eventually
 // linearizable — the Corollary 19 witness).
@@ -191,6 +197,14 @@ func (s *sloppyProc) Clone() machine.Process {
 	return &cp
 }
 
+// AppendFingerprint implements machine.Fingerprinter.
+func (s *sloppyProc) AppendFingerprint(b []byte) ([]byte, bool) {
+	b = machine.AppendFPInt(b, int64(s.pc))
+	b = machine.AppendFPInt(b, s.mine)
+	b = machine.AppendFPInt(b, s.sum)
+	return machine.AppendFPInt(b, int64(s.nextRead)), true
+}
+
 // ----------------------------------------------------------------------------
 // Warmup counter (eventually linearizable, not linearizable).
 
@@ -264,4 +278,11 @@ func (w *warmupProc) Step(resp int64) machine.Action {
 func (w *warmupProc) Clone() machine.Process {
 	cp := *w
 	return &cp
+}
+
+// AppendFingerprint implements machine.Fingerprinter.
+func (w *warmupProc) AppendFingerprint(b []byte) ([]byte, bool) {
+	b = machine.AppendFPInt(b, int64(w.pc))
+	b = machine.AppendFPInt(b, w.v)
+	return machine.AppendFPInt(b, w.done), true
 }

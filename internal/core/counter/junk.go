@@ -79,3 +79,9 @@ func (j *junkProc) Clone() machine.Process {
 	cp := *j
 	return &cp
 }
+
+// AppendFingerprint implements machine.Fingerprinter.
+func (j *junkProc) AppendFingerprint(b []byte) ([]byte, bool) {
+	b = machine.AppendFPInt(b, int64(j.pc))
+	return machine.AppendFPInt(b, j.v), true
+}

@@ -119,3 +119,11 @@ func (c *proc) Clone() machine.Process {
 	cp := *c
 	return &cp
 }
+
+// AppendFingerprint implements machine.Fingerprinter.
+func (c *proc) AppendFingerprint(b []byte) ([]byte, bool) {
+	b = machine.AppendFPInt(b, int64(c.pc))
+	b = machine.AppendFPInt(b, c.v)
+	b = machine.AppendFPInt(b, int64(c.scan))
+	return machine.AppendFPInt(b, c.leftmost), true
+}

@@ -55,6 +55,14 @@ func (l *localProc) Clone() machine.Process {
 	return &cp
 }
 
+// AppendFingerprint implements machine.Fingerprinter.
+func (l *localProc) AppendFingerprint(b []byte) ([]byte, bool) {
+	if l.called {
+		return append(b, 1), true
+	}
+	return append(b, 0), true
+}
+
 // FromCAS is the linearizable test&set from a compare&swap word.
 type FromCAS struct{}
 
@@ -97,4 +105,12 @@ func (c *casTSProc) Step(resp int64) machine.Action {
 func (c *casTSProc) Clone() machine.Process {
 	cp := *c
 	return &cp
+}
+
+// AppendFingerprint implements machine.Fingerprinter.
+func (c *casTSProc) AppendFingerprint(b []byte) ([]byte, bool) {
+	if c.waiting {
+		return append(b, 1), true
+	}
+	return append(b, 0), true
 }

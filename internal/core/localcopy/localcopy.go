@@ -130,3 +130,24 @@ func (c *proc) Clone() machine.Process {
 	copy(cp.copies, c.copies)
 	return cp
 }
+
+// AppendFingerprint implements machine.Fingerprinter; it reports false
+// when the inner programme is not a Fingerprinter. The local base-object
+// copies are part of the process state and are included.
+func (c *proc) AppendFingerprint(b []byte) ([]byte, bool) {
+	f, ok := c.inner.(machine.Fingerprinter)
+	if !ok {
+		return b, false
+	}
+	b, ok = f.AppendFingerprint(b)
+	if !ok {
+		return b, false
+	}
+	for i := range c.copies {
+		b, ok = machine.AppendFPState(b, c.copies[i].state)
+		if !ok {
+			return b, false
+		}
+	}
+	return b, true
+}

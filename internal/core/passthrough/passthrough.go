@@ -71,3 +71,13 @@ func (c *proc) Clone() machine.Process {
 	cp := *c
 	return &cp
 }
+
+// AppendFingerprint implements machine.Fingerprinter.
+func (c *proc) AppendFingerprint(b []byte) ([]byte, bool) {
+	if c.waiting {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	return machine.AppendFPOp(b, c.op), true
+}

@@ -254,3 +254,17 @@ func (c *offsetProc) Step(resp int64) machine.Action {
 func (c *offsetProc) Clone() machine.Process {
 	return &offsetProc{inner: c.inner.Clone(), v0: c.v0}
 }
+
+// AppendFingerprint implements machine.Fingerprinter; it reports false
+// when the inner programme is not a Fingerprinter.
+func (c *offsetProc) AppendFingerprint(b []byte) ([]byte, bool) {
+	f, ok := c.inner.(machine.Fingerprinter)
+	if !ok {
+		return b, false
+	}
+	b, ok = f.AppendFingerprint(b)
+	if !ok {
+		return b, false
+	}
+	return machine.AppendFPInt(b, c.v0), true
+}

@@ -1,0 +1,142 @@
+package explore
+
+import (
+	"testing"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/core/elconsensus"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// The BenchmarkExploreUndo*/BenchmarkExploreClone* pairs compare the
+// in-place advance/undo engine against the retained clone-per-edge
+// reference on identical workloads. The valency pair is the E8 workload
+// (Proposition 15's two-process consensus analysis); the leaves pair is an
+// exhaustive CAS-counter enumeration.
+
+func valencyRoot(b *testing.B, atomic bool) *sim.System {
+	b.Helper()
+	impl := elconsensus.Impl{AtomicBases: atomic}
+	workload := [][]spec.Op{
+		{spec.MakeOp1(spec.MethodPropose, 10)},
+		{spec.MakeOp1(spec.MethodPropose, 20)},
+	}
+	var pol base.PolicyFor
+	if !atomic {
+		pol = base.SamePolicy(base.Never{})
+	}
+	root, err := sim.NewSystem(impl, workload, pol, check.Options{}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return root
+}
+
+// valencyDepth is deep enough (≥ 10) that the full E8 register-consensus
+// tree fits under it without truncation.
+const valencyDepth = 14
+
+func BenchmarkExploreUndoValency(b *testing.B) {
+	root := valencyRoot(b, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := Analyze(root, valencyDepth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.AgreementViolations == 0 {
+			b.Fatal("register consensus must violate agreement")
+		}
+	}
+}
+
+func BenchmarkExploreCloneValency(b *testing.B) {
+	root := valencyRoot(b, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := CloneAnalyze(root, valencyDepth)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.AgreementViolations == 0 {
+			b.Fatal("register consensus must violate agreement")
+		}
+	}
+}
+
+func BenchmarkExploreUndoValencyDedup(b *testing.B) {
+	root := valencyRoot(b, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rep, err := AnalyzeConfig(root, valencyDepth, Config{Dedup: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.AgreementViolations == 0 {
+			b.Fatal("register consensus must violate agreement")
+		}
+	}
+}
+
+// The EL variant branches over weakly consistent responses too — the
+// workload of E8's "never stabilize" row.
+func BenchmarkExploreUndoValencyEL(b *testing.B) {
+	root := valencyRoot(b, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(root, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExploreCloneValencyEL(b *testing.B) {
+	root := valencyRoot(b, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CloneAnalyze(root, 12); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func leavesRoot(b *testing.B) *sim.System {
+	b.Helper()
+	root, err := sim.NewSystem(counter.CAS{},
+		sim.UniformWorkload(2, 2, spec.MakeOp(spec.MethodFetchInc)), nil, check.Options{}, false)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return root
+}
+
+func BenchmarkExploreUndoLeaves(b *testing.B) {
+	root := leavesRoot(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := Leaves(root, 12, func(*sim.System) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Leaves == 0 {
+			b.Fatal("no leaves")
+		}
+	}
+}
+
+func BenchmarkExploreCloneLeaves(b *testing.B) {
+	root := leavesRoot(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		st, err := CloneLeaves(root, 12, func(*sim.System) error { return nil })
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Leaves == 0 {
+			b.Fatal("no leaves")
+		}
+	}
+}

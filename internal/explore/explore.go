@@ -2,9 +2,13 @@
 // trees of Section 4 and 5: every interleaving of process steps and, for
 // eventually linearizable base objects, every weakly consistent response.
 //
-// Nodes of the paper's execution trees are configurations; here they are
-// cloned sim.Systems. The package provides the two searches the paper's
-// proofs are built on:
+// Nodes of the paper's execution trees are configurations. The engine walks
+// them with a single mutable sim.System: each edge is one Advance, each
+// backtrack one Undo, so the cost of visiting a node is the cost of one
+// atomic step instead of a deep copy of the whole configuration (the
+// clone-per-edge reference engine is retained in reference.go for
+// equivalence testing and benchmarking). The package provides the two
+// searches the paper's proofs are built on:
 //
 //   - valency analysis (Proposition 15): classify configurations by the set
 //     of reachable consensus decisions and locate critical configurations;
@@ -13,6 +17,11 @@
 //
 // Exploration is bounded by depth; results are exhaustive up to the bound
 // and reports state whether the horizon truncated anything.
+//
+// For symmetric workloads many interleavings reach literally the same
+// configuration. Config.Dedup merges such nodes using the configuration
+// fingerprint of sim.System.Fingerprint, turning the tree into a DAG; see
+// Config for the soundness conditions.
 package explore
 
 import (
@@ -32,101 +41,199 @@ type Stats struct {
 	// Truncated reports whether any leaf was cut off by the depth bound
 	// rather than workload completion.
 	Truncated bool
+	// Deduped counts configurations skipped because an equivalent
+	// configuration had already been explored at the same depth
+	// (Config.Dedup only).
+	Deduped int
+}
+
+// Config tunes an exploration.
+type Config struct {
+	// Dedup merges configurations with equal fingerprints at equal depth:
+	// only the first is explored, later arrivals are pruned and counted in
+	// Stats.Deduped. Merging is sound when the quantity being computed
+	// depends only on the configuration's future behaviour (reachable
+	// decisions, reachable configurations), NOT when it depends on the path
+	// taken to the node (e.g. linearizability of the recorded history).
+	// Dedup silently disables itself when some programme does not implement
+	// machine.Fingerprinter.
+	Dedup bool
 }
 
 // Visitor observes a configuration during DFS. Returning descend=false
-// prunes the subtree below the node.
+// prunes the subtree below the node. The system passed to the visitor is
+// the engine's working copy: it is valid only during the call, and visitors
+// that keep a configuration must Clone it.
 type Visitor func(s *sim.System, depth int) (descend bool, err error)
 
-// DFS explores every interleaving (and every eventually linearizable
-// response choice) from root down to maxDepth, invoking visit on each node
-// in preorder. The root system is never mutated.
-func DFS(root *sim.System, maxDepth int, visit Visitor) (Stats, error) {
-	var st Stats
-	err := dfs(root, 0, maxDepth, visit, &st)
-	return st, err
+// engine is one in-place exploration: a mutable working system, per-depth
+// candidate scratch (so a node's branch list survives the recursion into
+// its subtrees without allocating), and the optional visited set.
+type engine struct {
+	sys      *sim.System
+	maxDepth int
+	st       *Stats
+	cands    [][]int64 // per-depth candidate scratch
+	dedup    bool
+	// seen keys merged configurations by their FULL byte encoding (plus
+	// depth) — not a hash of it — so a collision can never silently prune
+	// an unexplored distinct configuration. Keeping depth in the key makes
+	// merging conservative: two arrivals at different depths have different
+	// remaining horizons and are never merged.
+	seen   map[string]struct{}
+	keyBuf []byte // scratch for building visit keys
 }
 
-func dfs(s *sim.System, depth, maxDepth int, visit Visitor, st *Stats) error {
-	st.Nodes++
+func newEngine(root *sim.System, maxDepth int, cfg Config, st *Stats) *engine {
+	work := root.Clone()
+	work.EnableUndo()
+	e := &engine{
+		sys:      work,
+		maxDepth: maxDepth,
+		st:       st,
+		cands:    make([][]int64, maxDepth+1),
+	}
+	if cfg.Dedup {
+		if _, ok := work.Fingerprint(); ok {
+			e.dedup = true
+			e.seen = make(map[string]struct{})
+		}
+	}
+	return e
+}
+
+// pruneDup reports whether the current configuration was already explored
+// at this depth (recording it if not).
+func (e *engine) pruneDup(depth int) bool {
+	if !e.dedup {
+		return false
+	}
+	b, ok := e.sys.AppendConfigFingerprint(e.keyBuf[:0])
+	if !ok {
+		e.keyBuf = b
+		return false
+	}
+	b = spec.AppendFPInt(b, int64(depth))
+	e.keyBuf = b
+	if _, dup := e.seen[string(b)]; dup {
+		e.st.Deduped++
+		return true
+	}
+	e.seen[string(b)] = struct{}{}
+	return false
+}
+
+// expand advances into every child of the current configuration (every
+// enabled process, every candidate response), invoking rec at depth+1 and
+// undoing each step. The candidate buffer lives in per-depth scratch:
+// deeper recursion writes deeper rows, so the branch list stays intact
+// across subtrees without copying.
+func (e *engine) expand(depth int, rec func(depth int) error) error {
+	buf := e.cands[depth][:0]
+	for p := 0; p < e.sys.NumProcs(); p++ {
+		if !e.sys.CanStep(p) {
+			continue
+		}
+		var err error
+		buf, err = e.sys.CandidatesAppend(p, buf[:0])
+		if err != nil {
+			return fmt.Errorf("explore: candidates for p%d at depth %d: %w", p, depth, err)
+		}
+		e.cands[depth] = buf
+		for i := 0; i < len(buf); i++ {
+			if err := e.sys.AdvanceResp(p, buf[i]); err != nil {
+				return fmt.Errorf("explore: advance p%d branch %d at depth %d: %w", p, i, depth, err)
+			}
+			if err := rec(depth + 1); err != nil {
+				return err
+			}
+			if err := e.sys.Undo(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *engine) dfs(depth int, visit Visitor) error {
+	if e.pruneDup(depth) {
+		return nil
+	}
+	e.st.Nodes++
 	descend := true
 	if visit != nil {
 		var err error
-		descend, err = visit(s, depth)
+		descend, err = visit(e.sys, depth)
 		if err != nil {
 			return err
 		}
 	}
-	enabled := s.Enabled()
-	if len(enabled) == 0 {
-		st.Leaves++
+	if e.sys.Done() {
+		e.st.Leaves++
 		return nil
 	}
 	if !descend {
 		return nil
 	}
-	if depth >= maxDepth {
-		st.Leaves++
-		st.Truncated = true
+	if depth >= e.maxDepth {
+		e.st.Leaves++
+		e.st.Truncated = true
 		return nil
 	}
-	for _, p := range enabled {
-		cands, err := s.Candidates(p)
-		if err != nil {
-			return fmt.Errorf("explore: candidates for p%d at depth %d: %w", p, depth, err)
-		}
-		for branch := range cands {
-			child := s.Clone()
-			if err := child.Advance(p, branch); err != nil {
-				return fmt.Errorf("explore: advance p%d branch %d at depth %d: %w", p, branch, depth, err)
-			}
-			if err := dfs(child, depth+1, maxDepth, visit, st); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+	return e.expand(depth, func(d int) error { return e.dfs(d, visit) })
 }
 
-// Leaves explores to maxDepth and invokes fn on every leaf (terminal or
-// horizon configuration).
-func Leaves(root *sim.System, maxDepth int, fn func(leaf *sim.System) error) (Stats, error) {
+func (e *engine) leaves(depth int, fn func(*sim.System) error) error {
+	if e.pruneDup(depth) {
+		return nil
+	}
+	e.st.Nodes++
+	done := e.sys.Done()
+	if done || depth >= e.maxDepth {
+		e.st.Leaves++
+		if !done {
+			e.st.Truncated = true
+		}
+		return fn(e.sys)
+	}
+	return e.expand(depth, func(d int) error { return e.leaves(d, fn) })
+}
+
+// DFS explores every interleaving (and every eventually linearizable
+// response choice) from root down to maxDepth, invoking visit on each node
+// in preorder. The root system is never mutated (the engine works on a
+// clone).
+func DFS(root *sim.System, maxDepth int, visit Visitor) (Stats, error) {
+	return DFSConfig(root, maxDepth, Config{}, visit)
+}
+
+// DFSConfig is DFS with exploration options.
+func DFSConfig(root *sim.System, maxDepth int, cfg Config, visit Visitor) (Stats, error) {
 	var st Stats
-	err := leaves(root, 0, maxDepth, fn, &st)
+	e := newEngine(root, maxDepth, cfg, &st)
+	err := e.dfs(0, visit)
 	return st, err
 }
 
-func leaves(s *sim.System, depth, maxDepth int, fn func(*sim.System) error, st *Stats) error {
-	st.Nodes++
-	enabled := s.Enabled()
-	if len(enabled) == 0 || depth >= maxDepth {
-		st.Leaves++
-		if len(enabled) > 0 {
-			st.Truncated = true
-		}
-		return fn(s)
-	}
-	for _, p := range enabled {
-		cands, err := s.Candidates(p)
-		if err != nil {
-			return fmt.Errorf("explore: candidates for p%d at depth %d: %w", p, depth, err)
-		}
-		for branch := range cands {
-			child := s.Clone()
-			if err := child.Advance(p, branch); err != nil {
-				return fmt.Errorf("explore: advance p%d branch %d at depth %d: %w", p, branch, depth, err)
-			}
-			if err := leaves(child, depth+1, maxDepth, fn, st); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
+// Leaves explores to maxDepth and invokes fn on every leaf (terminal or
+// horizon configuration). The leaf system passed to fn is the engine's
+// working copy: valid only during the call, Clone it to keep it.
+func Leaves(root *sim.System, maxDepth int, fn func(leaf *sim.System) error) (Stats, error) {
+	return LeavesConfig(root, maxDepth, Config{}, fn)
+}
+
+// LeavesConfig is Leaves with exploration options.
+func LeavesConfig(root *sim.System, maxDepth int, cfg Config, fn func(leaf *sim.System) error) (Stats, error) {
+	var st Stats
+	e := newEngine(root, maxDepth, cfg, &st)
+	err := e.leaves(0, fn)
+	return st, err
 }
 
 // LinearizableEverywhere checks that every leaf history of the bounded
 // execution tree is linearizable against the implemented object's spec.
-// It returns the first violating history, if any.
+// It returns the first violating configuration (a clone, safe to keep), if
+// any.
 func LinearizableEverywhere(root *sim.System, maxDepth int, opts check.Options) (bool, *sim.System, Stats, error) {
 	var bad *sim.System
 	specs := implSpecs(root)
@@ -139,7 +246,7 @@ func LinearizableEverywhere(root *sim.System, maxDepth int, opts check.Options) 
 			return err
 		}
 		if !ok {
-			bad = leaf
+			bad = leaf.Clone()
 		}
 		return nil
 	})
@@ -162,7 +269,7 @@ func WeaklyConsistentEverywhere(root *sim.System, maxDepth int, opts check.Optio
 			return err
 		}
 		if !ok {
-			bad = leaf
+			bad = leaf.Clone()
 		}
 		return nil
 	})

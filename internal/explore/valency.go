@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/elin-go/elin/internal/history"
 	"github.com/elin-go/elin/internal/machine"
 	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
 )
 
 // Valence is the set of consensus decisions reachable from a configuration.
@@ -99,82 +101,199 @@ type ValencyReport struct {
 // violations (their "decision set" contains both values, which keeps the
 // valence bookkeeping meaningful for broken protocols too).
 func Analyze(root *sim.System, maxDepth int) (*ValencyReport, error) {
+	return AnalyzeConfig(root, maxDepth, Config{})
+}
+
+// AnalyzeConfig is Analyze with exploration options. With Config.Dedup the
+// valence of each distinct configuration is computed once and memoized
+// under a key combining the full configuration encoding with the multiset
+// of responses already completed (past decisions contribute to a node's
+// valence, so configurations merge only when both agree — and comparing
+// full encodings, not hashes, means a collision can never merge distinct
+// configurations). Counters then count distinct configurations — the
+// execution DAG — rather than tree nodes, and Stats.Deduped reports how
+// many tree nodes were merged away.
+func AnalyzeConfig(root *sim.System, maxDepth int, cfg Config) (*ValencyReport, error) {
 	rep := &ValencyReport{}
-	rootVal, err := analyze(root, 0, maxDepth, rep)
+	a := &valAnalyzer{
+		eng:  newEngine(root, maxDepth, Config{}, &rep.Stats),
+		rep:  rep,
+		sets: make([][]int64, maxDepth+2),
+	}
+	if cfg.Dedup {
+		if _, ok := a.eng.sys.Fingerprint(); ok {
+			a.dedup = true
+			a.memo = make(map[string]valMemo)
+		}
+	}
+	truncated, err := a.analyze(0)
 	if err != nil {
 		return nil, err
 	}
-	rep.Root = rootVal
+	rep.Root = a.valence(0, truncated)
 	return rep, nil
 }
 
-func analyze(s *sim.System, depth, maxDepth int, rep *ValencyReport) (Valence, error) {
-	rep.Stats.Nodes++
-	enabled := s.Enabled()
-	if len(enabled) == 0 {
-		rep.Stats.Leaves++
-		return terminalValence(s, rep), nil
-	}
-	if depth >= maxDepth {
-		rep.Stats.Leaves++
-		rep.Stats.Truncated = true
-		return Valence{Decisions: map[int64]bool{}, Truncated: true}, nil
-	}
-	val := Valence{Decisions: map[int64]bool{}}
-	allChildrenUnivalent := true
-	for _, p := range enabled {
-		cands, err := s.Candidates(p)
-		if err != nil {
-			return Valence{}, fmt.Errorf("explore: candidates for p%d: %w", p, err)
-		}
-		for branch := range cands {
-			child := s.Clone()
-			if err := child.Advance(p, branch); err != nil {
-				return Valence{}, fmt.Errorf("explore: advance p%d: %w", p, err)
-			}
-			cv, err := analyze(child, depth+1, maxDepth, rep)
-			if err != nil {
-				return Valence{}, err
-			}
-			for d := range cv.Decisions {
-				val.Decisions[d] = true
-			}
-			val.Truncated = val.Truncated || cv.Truncated
-			if cv.Multivalent() || cv.Truncated {
-				allChildrenUnivalent = false
-			}
-		}
-	}
-	if val.Multivalent() {
-		rep.Multivalent++
-		if allChildrenUnivalent {
-			crit, err := describeCritical(s, depth, val)
-			if err != nil {
-				return Valence{}, err
-			}
-			rep.Criticals = append(rep.Criticals, crit)
-		}
-	} else if !val.Truncated {
-		rep.Univalent++
-	}
-	return val, nil
+// valAnalyzer runs the valency analysis on the in-place engine. Decision
+// sets live in per-depth scratch rows as sorted multiplicity-free slices,
+// so the hot path performs no per-node allocation; Valence maps are built
+// only where they escape (the root, critical configurations, memo entries).
+type valAnalyzer struct {
+	eng     *engine
+	rep     *ValencyReport
+	sets    [][]int64 // per-depth decision scratch, sorted unique
+	dedup   bool
+	memo    map[string]valMemo
+	respBuf []int64 // scratch for the memo key's completed-response multiset
 }
 
-// terminalValence extracts the decision(s) of a completed run.
-func terminalValence(s *sim.System, rep *ValencyReport) Valence {
-	val := Valence{Decisions: map[int64]bool{}}
-	for _, op := range s.History().Operations() {
-		if !op.Pending() {
-			val.Decisions[op.Resp] = true
+// valMemo is a memoized subtree valence.
+type valMemo struct {
+	decisions []int64
+	truncated bool
+}
+
+func (a *valAnalyzer) analyze(depth int) (bool, error) {
+	sys := a.eng.sys
+	a.sets[depth] = a.sets[depth][:0]
+	var key string
+	useMemo := false
+	if a.dedup {
+		var ok bool
+		key, ok = a.memoKey(depth)
+		if ok {
+			useMemo = true
+			if m, hit := a.memo[key]; hit {
+				a.rep.Stats.Deduped++
+				a.sets[depth] = append(a.sets[depth], m.decisions...)
+				return m.truncated, nil
+			}
 		}
 	}
-	if len(val.Decisions) > 1 {
-		rep.AgreementViolations++
-		if rep.ViolationHistory == "" {
-			rep.ViolationHistory = s.History().String()
+	a.rep.Stats.Nodes++
+	if sys.Done() {
+		a.rep.Stats.Leaves++
+		a.terminal(depth)
+		if useMemo {
+			a.store(key, depth, false)
 		}
+		return false, nil
+	}
+	if depth >= a.eng.maxDepth {
+		a.rep.Stats.Leaves++
+		a.rep.Stats.Truncated = true
+		if useMemo {
+			a.store(key, depth, true)
+		}
+		return true, nil
+	}
+	truncated := false
+	allChildrenUnivalent := true
+	err := a.eng.expand(depth, func(d int) error {
+		ctrunc, err := a.analyze(d)
+		if err != nil {
+			return err
+		}
+		for _, v := range a.sets[d] {
+			a.sets[depth] = insertSorted(a.sets[depth], v)
+		}
+		truncated = truncated || ctrunc
+		if len(a.sets[d]) >= 2 || ctrunc {
+			allChildrenUnivalent = false
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	if len(a.sets[depth]) >= 2 {
+		a.rep.Multivalent++
+		if allChildrenUnivalent {
+			crit, err := describeCritical(sys, depth, a.valence(depth, truncated))
+			if err != nil {
+				return false, err
+			}
+			a.rep.Criticals = append(a.rep.Criticals, crit)
+		}
+	} else if !truncated {
+		a.rep.Univalent++
+	}
+	if useMemo {
+		a.store(key, depth, truncated)
+	}
+	return truncated, nil
+}
+
+// terminal collects the decisions of a completed run (the responses of its
+// completed operations) into the depth's scratch row and records agreement
+// violations.
+func (a *valAnalyzer) terminal(depth int) {
+	h := a.eng.sys.History()
+	for i := 0; i < h.Len(); i++ {
+		if e := h.Event(i); e.Kind == history.KindRespond {
+			a.sets[depth] = insertSorted(a.sets[depth], e.Resp)
+		}
+	}
+	if len(a.sets[depth]) > 1 {
+		a.rep.AgreementViolations++
+		if a.rep.ViolationHistory == "" {
+			a.rep.ViolationHistory = h.String()
+		}
+	}
+}
+
+// valence converts a depth's scratch row into an exported Valence.
+func (a *valAnalyzer) valence(depth int, truncated bool) Valence {
+	val := Valence{Decisions: make(map[int64]bool, len(a.sets[depth])), Truncated: truncated}
+	for _, v := range a.sets[depth] {
+		val.Decisions[v] = true
 	}
 	return val
+}
+
+func (a *valAnalyzer) store(key string, depth int, truncated bool) {
+	a.memo[key] = valMemo{
+		decisions: append([]int64(nil), a.sets[depth]...),
+		truncated: truncated,
+	}
+}
+
+// memoKey builds the deduplication key for the current configuration: its
+// full byte encoding, the depth, and the sorted multiset of responses
+// already completed in the history. Keys are compared exactly; no hashing.
+func (a *valAnalyzer) memoKey(depth int) (string, bool) {
+	b, ok := a.eng.sys.AppendConfigFingerprint(a.eng.keyBuf[:0])
+	if !ok {
+		a.eng.keyBuf = b
+		return "", false
+	}
+	b = spec.AppendFPInt(b, int64(depth))
+	h := a.eng.sys.History()
+	buf := a.respBuf[:0]
+	for i := 0; i < h.Len(); i++ {
+		if e := h.Event(i); e.Kind == history.KindRespond {
+			buf = append(buf, e.Resp)
+		}
+	}
+	sort.Slice(buf, func(i, j int) bool { return buf[i] < buf[j] })
+	a.respBuf = buf
+	for _, v := range buf {
+		b = spec.AppendFPInt(b, v)
+	}
+	a.eng.keyBuf = b
+	return string(b), true
+}
+
+// insertSorted inserts v into the sorted unique slice s.
+func insertSorted(s []int64, v int64) []int64 {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return s
+	}
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
 }
 
 func describeCritical(s *sim.System, depth int, val Valence) (Critical, error) {

@@ -94,6 +94,10 @@ type History struct {
 	events []Event
 	// open[p] is the index of process p's pending invocation, or -1.
 	open map[int]int
+	// invIdx[i] is, for a response event i, the index of its matching
+	// invocation (-1 for invocation events). It makes Truncate restore the
+	// pending-operation state in O(1) per removed event.
+	invIdx []int
 }
 
 // New returns an empty history.
@@ -133,6 +137,7 @@ func (h *History) Append(e Event) error {
 	if h.open == nil {
 		h.open = make(map[int]int)
 	}
+	matched := -1
 	switch e.Kind {
 	case KindInvoke:
 		if idx, ok := h.open[e.Proc]; ok && idx >= 0 {
@@ -149,11 +154,13 @@ func (h *History) Append(e Event) error {
 			return fmt.Errorf("process p%d responds on %s but pending invocation at event %d is on %s",
 				e.Proc, e.Obj, idx, h.events[idx].Obj)
 		}
+		matched = idx
 		h.open[e.Proc] = -1
 	default:
 		return fmt.Errorf("invalid event kind %d", int(e.Kind))
 	}
 	h.events = append(h.events, e)
+	h.invIdx = append(h.invIdx, matched)
 	return nil
 }
 
@@ -187,9 +194,14 @@ func (h *History) Call(proc int, obj string, op spec.Op, resp int64) error {
 // Operations returns the history's operations in invocation order.
 func (h *History) Operations() []Operation {
 	ops := make([]Operation, 0, len(h.events)/2+1)
-	// pendingOp[p] is the index into ops of p's pending operation.
-	pendingOp := make(map[int]int)
+	// pendingOp[p] is the index into ops of p's pending operation. A small
+	// stack array covers the usual process counts without allocating.
+	var small [16]int
+	pendingOp := small[:]
 	for i, e := range h.events {
+		for e.Proc >= len(pendingOp) {
+			pendingOp = append(pendingOp, 0)
+		}
 		switch e.Kind {
 		case KindInvoke:
 			pendingOp[e.Proc] = len(ops)
@@ -214,8 +226,10 @@ func (h *History) ByObject(obj string) *History {
 			// Projection of a well-formed history is well-formed.
 			p.events = append(p.events, e)
 			if e.Kind == KindInvoke {
+				p.invIdx = append(p.invIdx, -1)
 				p.open[e.Proc] = len(p.events) - 1
 			} else {
+				p.invIdx = append(p.invIdx, p.open[e.Proc])
 				p.open[e.Proc] = -1
 			}
 		}
@@ -230,8 +244,10 @@ func (h *History) ByProc(proc int) *History {
 		if e.Proc == proc {
 			p.events = append(p.events, e)
 			if e.Kind == KindInvoke {
+				p.invIdx = append(p.invIdx, -1)
 				p.open[e.Proc] = len(p.events) - 1
 			} else {
+				p.invIdx = append(p.invIdx, p.open[e.Proc])
 				p.open[e.Proc] = -1
 			}
 		}
@@ -294,8 +310,10 @@ func (h *History) Prefix(k int) *History {
 		e := h.events[i]
 		p.events = append(p.events, e)
 		if e.Kind == KindInvoke {
+			p.invIdx = append(p.invIdx, -1)
 			p.open[e.Proc] = len(p.events) - 1
 		} else {
+			p.invIdx = append(p.invIdx, p.open[e.Proc])
 			p.open[e.Proc] = -1
 		}
 	}
@@ -305,6 +323,57 @@ func (h *History) Prefix(k int) *History {
 // Clone returns a deep copy.
 func (h *History) Clone() *History {
 	return h.Prefix(len(h.events))
+}
+
+// Truncate discards every event with index >= n, restoring the history to
+// its state after exactly n Appends. It is the undo primitive of the
+// in-place exploration engine (package explore): advancing a configuration
+// appends events, undoing truncates them. The backing array is retained, so
+// an append after a truncate reuses memory instead of allocating.
+func (h *History) Truncate(n int) {
+	if n < 0 {
+		n = 0
+	}
+	for len(h.events) > n {
+		i := len(h.events) - 1
+		e := h.events[i]
+		h.events = h.events[:i]
+		if e.Kind == KindRespond {
+			// Removing a response reopens its invocation (recorded at
+			// append time, so undo is O(1) per event).
+			h.open[e.Proc] = h.invIdx[i]
+		} else {
+			// Removing an invocation leaves the process with no pending
+			// operation (it had none before invoking).
+			h.open[e.Proc] = -1
+		}
+		h.invIdx = h.invIdx[:i]
+	}
+}
+
+// AppendFingerprint appends a canonical byte encoding of the event sequence
+// to b and returns the extended slice. Two histories have equal encodings
+// iff they have equal event sequences; the encoding is used by the
+// configuration fingerprints of package sim and allocates only when b needs
+// to grow.
+func (h *History) AppendFingerprint(b []byte) []byte {
+	for _, e := range h.events {
+		b = append(b, byte(e.Kind))
+		b = spec.AppendFPInt(b, int64(e.Proc))
+		b = spec.AppendFPInt(b, int64(len(e.Obj)))
+		b = append(b, e.Obj...)
+		if e.Kind == KindInvoke {
+			b = spec.AppendFPInt(b, int64(len(e.Op.Method)))
+			b = append(b, e.Op.Method...)
+			b = append(b, byte(e.Op.NArgs)) // NArgs <= 2 by construction
+			for i := 0; i < e.Op.NArgs; i++ {
+				b = spec.AppendFPInt(b, e.Op.Args[i])
+			}
+		} else {
+			b = spec.AppendFPInt(b, e.Resp)
+		}
+	}
+	return b
 }
 
 // Sequential reports whether the history is sequential: it consists of

@@ -282,8 +282,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 	r := rand.New(rand.NewSource(cfg.Seed))
 	timedOut := false
+	var enabled []int
 	for step := 0; ; step++ {
-		enabled := sys.Enabled()
+		enabled = sys.AppendEnabled(enabled[:0])
 		if len(enabled) == 0 {
 			break
 		}

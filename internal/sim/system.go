@@ -1,9 +1,10 @@
 // Package sim executes implementations (package machine) against live base
 // objects (package base) and records the resulting histories. The central
 // type is System — one configuration of the asynchronous shared-memory
-// model: process programmes plus base-object states. Systems are cloneable,
-// which is what makes exhaustive exploration (package explore) and the
-// Proposition 18 configuration capture possible.
+// model: process programmes plus base-object states. Systems support
+// in-place traversal (Advance/Undo, which is what makes exhaustive
+// exploration in package explore cheap) and deep copying (Clone, which is
+// what makes the Proposition 18 configuration capture possible).
 package sim
 
 import (
@@ -20,6 +21,12 @@ import (
 // process programmes, per-process progress through a workload, and the
 // histories recorded so far. One Advance call performs one atomic step of
 // one process, exactly the granularity of the paper's execution trees.
+//
+// Systems support two traversal styles. Clone captures an independent copy
+// (for configurations a caller genuinely keeps: Proposition 18 witnesses,
+// valency reports). For exhaustive exploration, EnableUndo switches on
+// per-step undo records so a single mutable System can walk an execution
+// tree with Advance/Undo instead of allocating a deep copy per edge.
 type System struct {
 	impl     machine.Impl
 	bases    []base.Object
@@ -36,6 +43,57 @@ type System struct {
 	// unstabilized).
 	stabilizedAt map[string]int
 	steps        int
+
+	// stateID uniquely identifies the current configuration along the
+	// Advance/Undo path: every Advance assigns a fresh id, every Undo
+	// restores the pre-step id. Caches tag their entries with the id they
+	// were computed at; a tag mismatch means the configuration changed.
+	stateID uint64
+	nextID  uint64
+
+	// actCache memoizes NextAction per process: the probe programme is
+	// cloned and stepped once per (configuration, process) and the stepped
+	// clone is installed by Advance, replacing the historical
+	// probe-then-restep double execution. The displaced programme becomes
+	// the undo record.
+	actCache []actCache
+
+	// candScratch memoizes the most recent candidate set (candTagProc at
+	// candTagID). Advance(p, branch) immediately after Candidates/
+	// CandidatesAppend reuses it instead of recomputing.
+	candScratch []int64
+	candTagProc int
+	candTagID   uint64
+
+	// undo is the LIFO step log populated while undoOn.
+	undo   []undoRec
+	undoOn bool
+
+	fpBuf  []byte  // scratch for Fingerprint
+	advBuf []int64 // scratch for Advance's branch resolution
+}
+
+// actCache memoizes one process's next action.
+type actCache struct {
+	id     uint64 // stateID the entry was computed at (0 = empty)
+	act    machine.Action
+	begins bool
+	probe  machine.Process // the programme after taking act
+}
+
+// undoRec records everything one Advance changed.
+type undoRec struct {
+	proc         int
+	prevProc     machine.Process
+	prevRunning  bool
+	prevOpIdx    int
+	prevNextResp int64
+	prevStateID  uint64
+	histLen      int
+	baseHistLen  int
+	baseIdx      int // -1 when the step was a return action
+	baseSnap     base.Snapshot
+	stabName     string // base that stabilized on this step ("" if none)
 }
 
 // NewSystem builds a fresh configuration. Workload lists the operations
@@ -64,6 +122,10 @@ func NewSystem(impl machine.Impl, workload [][]spec.Op, policies base.PolicyFor,
 		workload:     workload,
 		hist:         history.New(),
 		stabilizedAt: make(map[string]int),
+		stateID:      1,
+		nextID:       1,
+		actCache:     make([]actCache, n),
+		candTagProc:  -1,
 	}
 	if recordBase {
 		s.baseHist = history.New()
@@ -97,12 +159,21 @@ func (s *System) BaseHistory() *history.History { return s.baseHist }
 
 // StabilizedAt returns, per eventually linearizable base, the
 // implemented-level event index at which it stabilized (-1 if it has not).
+// The map is a fresh copy; hot paths use StabilizedIndex instead.
 func (s *System) StabilizedAt() map[string]int {
 	out := make(map[string]int, len(s.stabilizedAt))
 	for k, v := range s.stabilizedAt {
 		out[k] = v
 	}
 	return out
+}
+
+// StabilizedIndex returns the stabilization event index of the named
+// eventually linearizable base (-1 while unstabilized) without copying the
+// tracking map. The second result is false when the base is not tracked.
+func (s *System) StabilizedIndex(name string) (int, bool) {
+	at, ok := s.stabilizedAt[name]
+	return at, ok
 }
 
 // BaseStates returns the current state of every base object by name.
@@ -120,20 +191,54 @@ func (s *System) Bases() []base.Object { return s.bases }
 // Proc returns process p's programme (callers must not step it directly).
 func (s *System) Proc(p int) machine.Process { return s.procs[p] }
 
-// Enabled returns the processes that can take a step: mid-operation, or
-// idle with workload remaining.
-func (s *System) Enabled() []int {
-	var out []int
+// CanStep reports whether process p can take a step: mid-operation, or
+// idle with workload remaining. It is the allocation-free primitive behind
+// Enabled and the one exploration loops iterate with.
+func (s *System) CanStep(p int) bool {
+	return s.running[p] || s.opIdx[p] < len(s.workload[p])
+}
+
+// EnabledCount returns the number of processes that can take a step.
+func (s *System) EnabledCount() int {
+	n := 0
 	for p := range s.procs {
-		if s.running[p] || s.opIdx[p] < len(s.workload[p]) {
-			out = append(out, p)
+		if s.CanStep(p) {
+			n++
 		}
 	}
-	return out
+	return n
+}
+
+// AppendEnabled appends the enabled process ids (ascending) to buf and
+// returns the extended slice. Callers on hot paths pass a reused buffer.
+func (s *System) AppendEnabled(buf []int) []int {
+	for p := range s.procs {
+		if s.CanStep(p) {
+			buf = append(buf, p)
+		}
+	}
+	return buf
+}
+
+// Enabled returns the processes that can take a step: mid-operation, or
+// idle with workload remaining. The slice is freshly allocated; hot paths
+// use AppendEnabled or CanStep instead.
+func (s *System) Enabled() []int {
+	if s.EnabledCount() == 0 {
+		return nil
+	}
+	return s.AppendEnabled(make([]int, 0, len(s.procs)))
 }
 
 // Done reports whether every process has completed its workload.
-func (s *System) Done() bool { return len(s.Enabled()) == 0 }
+func (s *System) Done() bool {
+	for p := range s.procs {
+		if s.CanStep(p) {
+			return false
+		}
+	}
+	return true
+}
 
 // OpsBegun returns the number of operations process p has begun.
 func (s *System) OpsBegun(p int) int { return s.opIdx[p] }
@@ -141,111 +246,312 @@ func (s *System) OpsBegun(p int) int { return s.opIdx[p] }
 // Running reports whether process p is mid-operation.
 func (s *System) Running(p int) bool { return s.running[p] }
 
-// NextAction returns the action process p would take if scheduled now,
-// without advancing the system, plus whether scheduling p would begin a new
-// operation. It clones p's programme, so the system is unchanged.
-func (s *System) NextAction(p int) (machine.Action, bool, error) {
+// nextActionCached computes (and memoizes) process p's next action. The
+// probe programme is cloned from p's current programme, Begin'd if a new
+// operation starts, and stepped once; the stepped clone is kept so Advance
+// can install it directly instead of re-stepping the live programme. The
+// cache entry stays valid for the current configuration only (stateID tag),
+// which also revalidates it after an Undo returns to this configuration.
+func (s *System) nextActionCached(p int) (*actCache, error) {
 	if p < 0 || p >= len(s.procs) {
-		return machine.Action{}, false, fmt.Errorf("sim: no process p%d", p)
+		return nil, fmt.Errorf("sim: no process p%d", p)
+	}
+	c := &s.actCache[p]
+	if c.id == s.stateID {
+		return c, nil
 	}
 	probe := s.procs[p].Clone()
 	begins := false
 	if !s.running[p] {
 		if s.opIdx[p] >= len(s.workload[p]) {
-			return machine.Action{}, false, fmt.Errorf("sim: process p%d has no work", p)
+			return nil, fmt.Errorf("sim: process p%d has no work", p)
 		}
 		probe.Begin(s.workload[p][s.opIdx[p]])
 		begins = true
 	}
 	act := probe.Step(s.nextResp[p])
 	if act.Kind == machine.ActInvoke && (act.Obj < 0 || act.Obj >= len(s.bases)) {
-		return machine.Action{}, false, fmt.Errorf("sim: %s p%d invokes unknown base %d",
+		return nil, fmt.Errorf("sim: %s p%d invokes unknown base %d",
 			s.impl.Name(), p, act.Obj)
 	}
-	return act, begins, nil
+	c.id = s.stateID
+	c.act = act
+	c.begins = begins
+	c.probe = probe
+	return c, nil
 }
 
-// Candidates returns the permitted responses for process p's next action.
-// Returns operations have exactly one branch. The first candidate of a base
-// invocation is always the true (linearizable) response.
-func (s *System) Candidates(p int) ([]int64, error) {
-	act, _, err := s.NextAction(p)
+// NextAction returns the action process p would take if scheduled now,
+// without advancing the system, plus whether scheduling p would begin a new
+// operation. The system is unchanged (the probe runs on a clone of p's
+// programme, which is cached and reused by the following Advance).
+func (s *System) NextAction(p int) (machine.Action, bool, error) {
+	c, err := s.nextActionCached(p)
+	if err != nil {
+		return machine.Action{}, false, err
+	}
+	return c.act, c.begins, nil
+}
+
+// CandidatesAppend appends the permitted responses for process p's next
+// action to buf and returns the extended slice. Return actions have exactly
+// one candidate; the first candidate of a base invocation is always the
+// true (linearizable) response. The result is additionally memoized for the
+// current configuration so that an immediately following Advance resolves
+// its branch without recomputing the candidate set.
+func (s *System) CandidatesAppend(p int, buf []int64) ([]int64, error) {
+	c, err := s.nextActionCached(p)
 	if err != nil {
 		return nil, err
 	}
-	if act.Kind == machine.ActReturn {
-		return []int64{act.Ret}, nil
+	start := len(buf)
+	if c.act.Kind == machine.ActReturn {
+		buf = append(buf, c.act.Ret)
+	} else {
+		cands, err := s.bases[c.act.Obj].Candidates(p, c.act.Op)
+		if err != nil {
+			return nil, err
+		}
+		buf = append(buf, cands...)
 	}
-	return s.bases[act.Obj].Candidates(p, act.Op)
+	s.candScratch = append(s.candScratch[:0], buf[start:]...)
+	s.candTagProc = p
+	s.candTagID = s.stateID
+	return buf, nil
+}
+
+// Candidates returns the permitted responses for process p's next action as
+// a fresh slice (safe to retain). Hot paths use CandidatesAppend with a
+// reused buffer instead.
+func (s *System) Candidates(p int) ([]int64, error) {
+	return s.CandidatesAppend(p, nil)
+}
+
+// EnableUndo switches on per-step undo recording: every subsequent Advance
+// pushes a record that Undo pops to restore the prior configuration.
+// Exploration engines enable it on their working copy; long random runs
+// (sim.Run) leave it off so the step log does not grow without bound.
+func (s *System) EnableUndo() { s.undoOn = true }
+
+// UndoDepth returns the number of recorded steps available to Undo.
+func (s *System) UndoDepth() int { return len(s.undo) }
+
+// Undo reverts the most recent Advance recorded while undo was enabled:
+// programme, progress counters, histories, the touched base object and the
+// stabilization point are restored from the step's undo record.
+func (s *System) Undo() error {
+	if len(s.undo) == 0 {
+		return fmt.Errorf("sim: nothing to undo")
+	}
+	rec := &s.undo[len(s.undo)-1]
+	s.procs[rec.proc] = rec.prevProc
+	s.running[rec.proc] = rec.prevRunning
+	s.opIdx[rec.proc] = rec.prevOpIdx
+	s.nextResp[rec.proc] = rec.prevNextResp
+	s.hist.Truncate(rec.histLen)
+	if s.baseHist != nil {
+		s.baseHist.Truncate(rec.baseHistLen)
+	}
+	if rec.baseIdx >= 0 {
+		s.bases[rec.baseIdx].Restore(rec.baseSnap)
+	}
+	if rec.stabName != "" {
+		s.stabilizedAt[rec.stabName] = -1
+	}
+	s.steps--
+	s.stateID = rec.prevStateID
+	rec.prevProc = nil // release for GC
+	s.undo = s.undo[:len(s.undo)-1]
+	return nil
 }
 
 // Advance performs one atomic step of process p, resolving a base
 // invocation with the branch-th candidate response. For a return action,
 // branch must be 0. It records history events and stabilization points.
 func (s *System) Advance(p, branch int) error {
-	act, begins, err := s.NextAction(p)
+	if s.candTagProc == p && s.candTagID == s.stateID {
+		if branch < 0 || branch >= len(s.candScratch) {
+			return fmt.Errorf("sim: branch %d out of range (%d candidates)", branch, len(s.candScratch))
+		}
+		return s.AdvanceResp(p, s.candScratch[branch])
+	}
+	buf, err := s.CandidatesAppend(p, s.advBuf[:0])
 	if err != nil {
 		return err
 	}
-	if begins {
+	s.advBuf = buf
+	if branch < 0 || branch >= len(buf) {
+		return fmt.Errorf("sim: branch %d out of range (%d candidates)", branch, len(buf))
+	}
+	return s.AdvanceResp(p, buf[branch])
+}
+
+// AdvanceResp performs one atomic step of process p, resolving a base
+// invocation with the given response, which must be one of the process's
+// current Candidates — anything else is rejected, so a caller can never
+// record an execution outside the paper's tree. The membership check is
+// free when Candidates/CandidatesAppend was just called for p (the memo is
+// still valid); otherwise the candidate set is recomputed. For a return
+// action resp must equal the returned value.
+func (s *System) AdvanceResp(p int, resp int64) error {
+	c, err := s.nextActionCached(p)
+	if err != nil {
+		return err
+	}
+	switch c.act.Kind {
+	case machine.ActReturn:
+		if resp != c.act.Ret {
+			return fmt.Errorf("sim: return action yields %d, got response %d", c.act.Ret, resp)
+		}
+	case machine.ActInvoke:
+		cands := s.candScratch
+		if s.candTagProc != p || s.candTagID != s.stateID {
+			cands, err = s.CandidatesAppend(p, s.advBuf[:0])
+			if err != nil {
+				return err
+			}
+			s.advBuf = cands
+		}
+		member := false
+		for _, r := range cands {
+			if r == resp {
+				member = true
+				break
+			}
+		}
+		if !member {
+			return fmt.Errorf("sim: response %d is not a candidate (%v) for p%d on %s",
+				resp, cands, p, s.bases[c.act.Obj].Name())
+		}
+	default:
+		return fmt.Errorf("sim: invalid action kind %d", int(c.act.Kind))
+	}
+	var rec undoRec
+	if s.undoOn {
+		rec = undoRec{
+			proc:         p,
+			prevProc:     s.procs[p],
+			prevRunning:  s.running[p],
+			prevOpIdx:    s.opIdx[p],
+			prevNextResp: s.nextResp[p],
+			prevStateID:  s.stateID,
+			histLen:      s.hist.Len(),
+			baseIdx:      -1,
+		}
+		if s.baseHist != nil {
+			rec.baseHistLen = s.baseHist.Len()
+		}
+	}
+	if c.begins {
 		op := s.workload[p][s.opIdx[p]]
 		if err := s.hist.Invoke(p, s.impl.Name(), op); err != nil {
 			return fmt.Errorf("sim: record invoke: %w", err)
 		}
-		s.procs[p].Begin(op)
 		s.opIdx[p]++
 		s.running[p] = true
 	}
-	real := s.procs[p].Step(s.nextResp[p])
-	if real != act {
-		return fmt.Errorf("sim: nondeterministic programme in %s: probe %s, real %s",
-			s.impl.Name(), act, real)
-	}
-	s.steps++
-	switch act.Kind {
-	case machine.ActReturn:
-		if branch != 0 {
-			return fmt.Errorf("sim: return action has a single branch, got %d", branch)
-		}
-		if err := s.hist.Respond(p, act.Ret); err != nil {
+	// Install the probe: it is the live programme advanced by exactly this
+	// step. The displaced programme is untouched and serves as the undo
+	// record, eliminating the historical probe-then-restep double execution.
+	// This leans on the machine.Process contract that Step is deterministic:
+	// the old engine re-stepped the live programme and could detect a
+	// divergent (buggy) implementation; this one cannot, so a
+	// nondeterministic Step yields one arbitrary behaviour instead of an
+	// error.
+	s.procs[p] = c.probe
+	if c.act.Kind == machine.ActReturn {
+		if err := s.hist.Respond(p, c.act.Ret); err != nil {
 			return fmt.Errorf("sim: record respond: %w", err)
 		}
 		s.running[p] = false
 		s.nextResp[p] = 0
-		return nil
-	case machine.ActInvoke:
-		obj := s.bases[act.Obj]
-		cands, err := obj.Candidates(p, act.Op)
-		if err != nil {
-			return err
+	} else {
+		obj := s.bases[c.act.Obj]
+		if s.undoOn {
+			rec.baseIdx = c.act.Obj
+			rec.baseSnap = obj.Snapshot()
 		}
-		if branch < 0 || branch >= len(cands) {
-			return fmt.Errorf("sim: branch %d out of range (%d candidates) on %s",
-				branch, len(cands), obj.Name())
-		}
-		resp := cands[branch]
-		if err := obj.Commit(p, act.Op, resp); err != nil {
+		if err := obj.Commit(p, c.act.Op, resp); err != nil {
 			return err
 		}
 		if s.baseHist != nil {
-			if err := s.baseHist.Call(p, obj.Name(), act.Op, resp); err != nil {
+			if err := s.baseHist.Call(p, obj.Name(), c.act.Op, resp); err != nil {
 				return fmt.Errorf("sim: record base call: %w", err)
 			}
 		}
 		if ev, ok := obj.(*base.Eventual); ok {
 			if at, tracked := s.stabilizedAt[obj.Name()]; tracked && at < 0 && ev.Stabilized() {
 				s.stabilizedAt[obj.Name()] = s.hist.Len()
+				if s.undoOn {
+					rec.stabName = obj.Name()
+				}
 			}
 		}
 		s.nextResp[p] = resp
-		return nil
-	default:
-		return fmt.Errorf("sim: invalid action kind %d", int(act.Kind))
 	}
+	s.steps++
+	s.nextID++
+	s.stateID = s.nextID
+	if s.undoOn {
+		s.undo = append(s.undo, rec)
+	}
+	return nil
+}
+
+// AppendConfigFingerprint appends an injective byte encoding of the
+// configuration to b: per process the progress counters, pending-response
+// and programme state, plus every base object's state (including, for
+// eventually linearizable objects, the committed log the Definition 1
+// candidate sets derive from). Recorded histories are deliberately
+// excluded: two configurations with equal encodings have identical future
+// behaviour, which is the equivalence the explore package's deduplication
+// option merges on — the full encoding (not a hash of it) is what visited
+// sets must compare, so a collision can never silently merge distinct
+// configurations.
+//
+// The second result is false when some programme does not implement
+// machine.Fingerprinter; deduplication is unavailable for such
+// implementations.
+func (s *System) AppendConfigFingerprint(b []byte) ([]byte, bool) {
+	for p := range s.procs {
+		f, ok := s.procs[p].(machine.Fingerprinter)
+		if !ok {
+			return b, false
+		}
+		flag := byte(0)
+		if s.running[p] {
+			flag = 1
+		}
+		b = machine.AppendFPInt(b, int64(p))
+		b = append(b, flag)
+		b = machine.AppendFPInt(b, int64(s.opIdx[p]))
+		b = machine.AppendFPInt(b, s.nextResp[p])
+		b, ok = f.AppendFingerprint(b)
+		if !ok {
+			return b, false
+		}
+	}
+	for _, ob := range s.bases {
+		b = ob.AppendFingerprint(b)
+	}
+	return b, true
+}
+
+// Fingerprint returns a 64-bit FNV-1a hash of AppendConfigFingerprint's
+// encoding — a compact configuration digest for logging and tests. Exact
+// deduplication compares the full encoding instead.
+func (s *System) Fingerprint() (uint64, bool) {
+	b, ok := s.AppendConfigFingerprint(s.fpBuf[:0])
+	s.fpBuf = b
+	if !ok {
+		return 0, false
+	}
+	return spec.FNV64(b), true
 }
 
 // Clone returns a deep copy of the configuration (programmes, base objects,
-// histories, progress counters).
+// histories, progress counters). The copy starts with empty caches and an
+// empty undo log.
 func (s *System) Clone() *System {
 	cp := &System{
 		impl:         s.impl,
@@ -258,6 +564,10 @@ func (s *System) Clone() *System {
 		hist:         s.hist.Clone(),
 		stabilizedAt: make(map[string]int, len(s.stabilizedAt)),
 		steps:        s.steps,
+		stateID:      1,
+		nextID:       1,
+		actCache:     make([]actCache, len(s.procs)),
+		candTagProc:  -1,
 	}
 	for i, b := range s.bases {
 		cp.bases[i] = b.Clone()

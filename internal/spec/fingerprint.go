@@ -1,0 +1,27 @@
+package spec
+
+// Canonical byte-encoding and hashing helpers shared by every layer that
+// builds configuration fingerprints (history, machine, base, sim, check).
+// Keeping one implementation prevents the encodings from drifting apart —
+// deduplication correctness depends on all layers agreeing byte-for-byte.
+
+// AppendFPInt appends a fixed 8-byte little-endian encoding of v to b.
+func AppendFPInt(b []byte, v int64) []byte {
+	u := uint64(v)
+	return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+// FNV64 returns the 64-bit FNV-1a hash of b.
+func FNV64(b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

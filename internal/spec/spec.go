@@ -128,6 +128,17 @@ type Type interface {
 	Deterministic() bool
 }
 
+// DetStepper is optionally implemented by deterministic types that can
+// report their unique (response, next-state) outcome without allocating the
+// Step slice. The checkers and the simulation runtime prefer it on hot
+// paths; Step and StepDet must agree (Step returns exactly the outcome
+// StepDet reports, or an empty slice when ok is false).
+type DetStepper interface {
+	// StepDet returns the unique outcome of op in state s, or ok=false when
+	// the operation is not applicable.
+	StepDet(s State, op Op) (Outcome, bool)
+}
+
 // OpEnumerator is implemented by types whose (restricted) operation set can
 // be enumerated. Enumerability enables exhaustive constructions such as the
 // triviality decision procedure of Proposition 14 and random workload

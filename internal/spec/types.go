@@ -31,6 +31,16 @@ const EmptyDeq int64 = -1
 // application value domain; all examples use non-negative proposal values.
 const NoValue int64 = -1
 
+// detStep adapts a DetStepper to the Step slice contract: one allocation
+// for callers of Step, none for callers of StepDet.
+func detStep(d DetStepper, s State, op Op) []Outcome {
+	out, ok := d.StepDet(s, op)
+	if !ok {
+		return nil
+	}
+	return []Outcome{out}
+}
+
 // ----------------------------------------------------------------------------
 // Read/write register.
 
@@ -57,24 +67,29 @@ func (r Register) Init() State { return r.InitVal }
 func (Register) Deterministic() bool { return true }
 
 // Step implements Type.
-func (Register) Step(s State, op Op) []Outcome {
+func (r Register) Step(s State, op Op) []Outcome {
+	return detStep(r, s, op)
+}
+
+// StepDet implements DetStepper.
+func (Register) StepDet(s State, op Op) (Outcome, bool) {
 	v, ok := s.(int64)
 	if !ok {
-		return nil
+		return Outcome{}, false
 	}
 	switch op.Method {
 	case MethodRead:
 		if op.NArgs != 0 {
-			return nil
+			return Outcome{}, false
 		}
-		return []Outcome{{Resp: v, Next: v}}
+		return Outcome{Resp: v, Next: v}, true
 	case MethodWrite:
 		if op.NArgs != 1 {
-			return nil
+			return Outcome{}, false
 		}
-		return []Outcome{{Resp: 0, Next: op.Args[0]}}
+		return Outcome{Resp: 0, Next: op.Args[0]}, true
 	default:
-		return nil
+		return Outcome{}, false
 	}
 }
 
@@ -116,15 +131,20 @@ func (f FetchInc) Init() State { return f.InitVal }
 func (FetchInc) Deterministic() bool { return true }
 
 // Step implements Type.
-func (FetchInc) Step(s State, op Op) []Outcome {
+func (f FetchInc) Step(s State, op Op) []Outcome {
+	return detStep(f, s, op)
+}
+
+// StepDet implements DetStepper.
+func (FetchInc) StepDet(s State, op Op) (Outcome, bool) {
 	v, ok := s.(int64)
 	if !ok {
-		return nil
+		return Outcome{}, false
 	}
 	if op.Method != MethodFetchInc || op.NArgs != 0 {
-		return nil
+		return Outcome{}, false
 	}
-	return []Outcome{{Resp: v, Next: v + 1}}
+	return Outcome{Resp: v, Next: v + 1}, true
 }
 
 // EnumOps implements OpEnumerator.
@@ -154,18 +174,23 @@ func (Consensus) Init() State { return NoValue }
 func (Consensus) Deterministic() bool { return true }
 
 // Step implements Type.
-func (Consensus) Step(s State, op Op) []Outcome {
+func (c Consensus) Step(s State, op Op) []Outcome {
+	return detStep(c, s, op)
+}
+
+// StepDet implements DetStepper.
+func (Consensus) StepDet(s State, op Op) (Outcome, bool) {
 	decided, ok := s.(int64)
 	if !ok {
-		return nil
+		return Outcome{}, false
 	}
 	if op.Method != MethodPropose || op.NArgs != 1 || op.Args[0] < 0 {
-		return nil
+		return Outcome{}, false
 	}
 	if decided == NoValue {
-		return []Outcome{{Resp: op.Args[0], Next: op.Args[0]}}
+		return Outcome{Resp: op.Args[0], Next: op.Args[0]}, true
 	}
-	return []Outcome{{Resp: decided, Next: decided}}
+	return Outcome{Resp: decided, Next: decided}, true
 }
 
 // EnumOps implements OpEnumerator.
@@ -201,15 +226,20 @@ func (TestSet) Init() State { return int64(0) }
 func (TestSet) Deterministic() bool { return true }
 
 // Step implements Type.
-func (TestSet) Step(s State, op Op) []Outcome {
+func (t TestSet) Step(s State, op Op) []Outcome {
+	return detStep(t, s, op)
+}
+
+// StepDet implements DetStepper.
+func (TestSet) StepDet(s State, op Op) (Outcome, bool) {
 	set, ok := s.(int64)
 	if !ok {
-		return nil
+		return Outcome{}, false
 	}
 	if op.Method != MethodTestSet || op.NArgs != 0 {
-		return nil
+		return Outcome{}, false
 	}
-	return []Outcome{{Resp: set, Next: int64(1)}}
+	return Outcome{Resp: set, Next: int64(1)}, true
 }
 
 // EnumOps implements OpEnumerator.
@@ -242,27 +272,32 @@ func (c CAS) Init() State { return c.InitVal }
 func (CAS) Deterministic() bool { return true }
 
 // Step implements Type.
-func (CAS) Step(s State, op Op) []Outcome {
+func (c CAS) Step(s State, op Op) []Outcome {
+	return detStep(c, s, op)
+}
+
+// StepDet implements DetStepper.
+func (CAS) StepDet(s State, op Op) (Outcome, bool) {
 	v, ok := s.(int64)
 	if !ok {
-		return nil
+		return Outcome{}, false
 	}
 	switch op.Method {
 	case MethodRead:
 		if op.NArgs != 0 {
-			return nil
+			return Outcome{}, false
 		}
-		return []Outcome{{Resp: v, Next: v}}
+		return Outcome{Resp: v, Next: v}, true
 	case MethodCAS:
 		if op.NArgs != 2 {
-			return nil
+			return Outcome{}, false
 		}
 		if v == op.Args[0] {
-			return []Outcome{{Resp: 1, Next: op.Args[1]}}
+			return Outcome{Resp: 1, Next: op.Args[1]}, true
 		}
-		return []Outcome{{Resp: 0, Next: v}}
+		return Outcome{Resp: 0, Next: v}, true
 	default:
-		return nil
+		return Outcome{}, false
 	}
 }
 
@@ -306,28 +341,33 @@ func (m MaxRegister) Init() State { return m.InitVal }
 func (MaxRegister) Deterministic() bool { return true }
 
 // Step implements Type.
-func (MaxRegister) Step(s State, op Op) []Outcome {
+func (m MaxRegister) Step(s State, op Op) []Outcome {
+	return detStep(m, s, op)
+}
+
+// StepDet implements DetStepper.
+func (MaxRegister) StepDet(s State, op Op) (Outcome, bool) {
 	v, ok := s.(int64)
 	if !ok {
-		return nil
+		return Outcome{}, false
 	}
 	switch op.Method {
 	case MethodRead:
 		if op.NArgs != 0 {
-			return nil
+			return Outcome{}, false
 		}
-		return []Outcome{{Resp: v, Next: v}}
+		return Outcome{Resp: v, Next: v}, true
 	case MethodWriteMax:
 		if op.NArgs != 1 {
-			return nil
+			return Outcome{}, false
 		}
 		next := v
 		if op.Args[0] > next {
 			next = op.Args[0]
 		}
-		return []Outcome{{Resp: 0, Next: next}}
+		return Outcome{Resp: 0, Next: next}, true
 	default:
-		return nil
+		return Outcome{}, false
 	}
 }
 
@@ -368,27 +408,32 @@ func (Queue) Init() State { return "" }
 func (Queue) Deterministic() bool { return true }
 
 // Step implements Type.
-func (Queue) Step(s State, op Op) []Outcome {
+func (q Queue) Step(s State, op Op) []Outcome {
+	return detStep(q, s, op)
+}
+
+// StepDet implements DetStepper.
+func (Queue) StepDet(s State, op Op) (Outcome, bool) {
 	enc, ok := s.(string)
 	if !ok {
-		return nil
+		return Outcome{}, false
 	}
 	switch op.Method {
 	case MethodEnq:
 		if op.NArgs != 1 {
-			return nil
+			return Outcome{}, false
 		}
 		next := strconv.FormatInt(op.Args[0], 10)
 		if enc != "" {
 			next = enc + "," + next
 		}
-		return []Outcome{{Resp: 0, Next: next}}
+		return Outcome{Resp: 0, Next: next}, true
 	case MethodDeq:
 		if op.NArgs != 0 {
-			return nil
+			return Outcome{}, false
 		}
 		if enc == "" {
-			return []Outcome{{Resp: EmptyDeq, Next: ""}}
+			return Outcome{Resp: EmptyDeq, Next: ""}, true
 		}
 		head := enc
 		rest := ""
@@ -397,11 +442,11 @@ func (Queue) Step(s State, op Op) []Outcome {
 		}
 		v, err := strconv.ParseInt(head, 10, 64)
 		if err != nil {
-			return nil
+			return Outcome{}, false
 		}
-		return []Outcome{{Resp: v, Next: rest}}
+		return Outcome{Resp: v, Next: rest}, true
 	default:
-		return nil
+		return Outcome{}, false
 	}
 }
 
