@@ -10,9 +10,11 @@
 //	elbench -json        emit machine-readable per-experiment timings
 //
 // With -json the rendered tables are replaced by a JSON array of
-// {id, artifact, rows, ns} records — one per experiment — so successive
-// runs can be archived (BENCH_*.json) and compared to track the
-// performance trajectory across changes.
+// {id, artifact, rows, ns, workers, gomaxprocs} records — one per
+// experiment — so successive runs can be archived (BENCH_*.json) and
+// compared to track the performance trajectory across changes; the
+// workers/gomaxprocs fields make each timing attributable to the
+// exploration parallelism it ran with.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,6 +40,12 @@ type timing struct {
 	Rows int `json:"rows"`
 	// NS is the wall-clock run time in nanoseconds.
 	NS int64 `json:"ns"`
+	// Workers is the exploration worker setting the run used (0 =
+	// GOMAXPROCS).
+	Workers int `json:"workers"`
+	// GOMAXPROCS records the scheduler parallelism the run had available,
+	// so timings stay attributable across machines.
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 func main() {
@@ -51,10 +60,12 @@ func run(args []string, out io.Writer) error {
 	list := fs.Bool("list", false, "list experiments and exit")
 	sel := fs.String("run", "", "comma-separated experiment ids (default: all)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable per-experiment timings instead of tables")
+	workers := fs.Int("workers", 0, "exploration workers for the experiments: 0 = GOMAXPROCS, 1 = sequential")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	exp.SetWorkers(*workers)
 	all := exp.All()
 	if *list {
 		for _, e := range all {
@@ -85,10 +96,12 @@ func run(args []string, out io.Writer) error {
 		}
 		if *jsonOut {
 			timings = append(timings, timing{
-				ID:       table.ID,
-				Artifact: table.Artifact,
-				Rows:     len(table.Rows),
-				NS:       time.Since(start).Nanoseconds(),
+				ID:         table.ID,
+				Artifact:   table.Artifact,
+				Rows:       len(table.Rows),
+				NS:         time.Since(start).Nanoseconds(),
+				Workers:    *workers,
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
 			})
 			continue
 		}

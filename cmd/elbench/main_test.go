@@ -71,3 +71,29 @@ func TestJSONTimings(t *testing.T) {
 		t.Error("-json must suppress the table rendering")
 	}
 }
+
+// TestJSONRecordsWorkers checks the perf-trajectory attribution fields:
+// -json output must carry the workers setting and the GOMAXPROCS the run
+// had available.
+func TestJSONRecordsWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-json", "-workers", "3", "-run", "E3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var timings []timing
+	if err := json.Unmarshal(buf.Bytes(), &timings); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, buf.String())
+	}
+	if len(timings) != 1 {
+		t.Fatalf("got %d records, want 1", len(timings))
+	}
+	if timings[0].Workers != 3 {
+		t.Errorf("workers = %d, want 3", timings[0].Workers)
+	}
+	if timings[0].GOMAXPROCS <= 0 {
+		t.Errorf("gomaxprocs = %d, want > 0", timings[0].GOMAXPROCS)
+	}
+	if !strings.Contains(buf.String(), "\"workers\"") || !strings.Contains(buf.String(), "\"gomaxprocs\"") {
+		t.Errorf("JSON missing attribution fields: %s", buf.String())
+	}
+}

@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) error {
 	verifyDepth := fs.Int("verify-depth", 14, "stability verification depth (mode stable)")
 	policyName := fs.String("policy", "never", "EL stabilization policy: immediate | never | window:K")
 	dedup := fs.Bool("dedup", false, "merge equivalent configurations (mode valency): the tree becomes a DAG")
+	workers := fs.Int("workers", 0, "exploration workers: 0 = GOMAXPROCS, 1 = sequential reference engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -59,9 +60,10 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
+	cfg := explore.Config{Workers: *workers}
 	switch *mode {
 	case "lin":
-		ok, bad, st, err := explore.LinearizableEverywhere(root, *depth, check.Options{})
+		ok, bad, st, err := explore.LinearizableEverywhereConfig(root, *depth, cfg, check.Options{})
 		if err != nil {
 			return err
 		}
@@ -72,7 +74,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, bad.History().String())
 		}
 	case "weak":
-		ok, bad, st, err := explore.WeaklyConsistentEverywhere(root, *depth, check.Options{})
+		ok, bad, st, err := explore.WeaklyConsistentEverywhereConfig(root, *depth, cfg, check.Options{})
 		if err != nil {
 			return err
 		}
@@ -83,7 +85,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, bad.History().String())
 		}
 	case "valency":
-		rep, err := explore.AnalyzeConfig(root, *depth, explore.Config{Dedup: *dedup})
+		rep, err := explore.AnalyzeConfig(root, *depth, explore.Config{Dedup: *dedup, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -105,7 +107,7 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, rep.ViolationHistory)
 		}
 	case "stable":
-		res, err := explore.FindStable(root, *depth, *verifyDepth, check.Options{})
+		res, err := explore.FindStableConfig(root, *depth, *verifyDepth, cfg, check.Options{})
 		if err != nil {
 			return err
 		}

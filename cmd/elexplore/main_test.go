@@ -85,6 +85,49 @@ func TestStableMode(t *testing.T) {
 	}
 }
 
+// TestWorkersFlagDeterministic runs every mode at several worker counts
+// and checks the rendered output is identical to the sequential engine's —
+// the CLI-level face of the parallel engine's determinism guarantee. The
+// violating lin run compares only the witness: an early exit leaves the
+// node/leaf counters at a schedule-dependent point by design.
+func TestWorkersFlagDeterministic(t *testing.T) {
+	cases := []struct {
+		args        []string
+		witnessOnly bool
+	}{
+		{[]string{"-impl", "sloppy-counter", "-procs", "2", "-ops", "1", "-mode", "lin", "-depth", "10"}, true},
+		{[]string{"-impl", "cas-counter", "-procs", "2", "-ops", "1", "-mode", "lin", "-depth", "14"}, false},
+		{[]string{"-impl", "reg-consensus", "-procs", "2", "-ops", "1", "-mode", "valency", "-depth", "12"}, false},
+		{[]string{"-impl", "warmup-counter:2", "-procs", "2", "-ops", "3", "-mode", "stable", "-depth", "6", "-verify-depth", "12"}, false},
+	}
+	project := func(out string, witnessOnly bool) string {
+		if !witnessOnly {
+			return out
+		}
+		i := strings.Index(out, "violating history:")
+		if i < 0 {
+			return out
+		}
+		return out[i:]
+	}
+	for _, tc := range cases {
+		var seq bytes.Buffer
+		if err := run(append([]string{"-workers", "1"}, tc.args...), &seq); err != nil {
+			t.Fatal(err)
+		}
+		want := project(seq.String(), tc.witnessOnly)
+		for _, w := range []string{"2", "4"} {
+			var par bytes.Buffer
+			if err := run(append([]string{"-workers", w}, tc.args...), &par); err != nil {
+				t.Fatal(err)
+			}
+			if got := project(par.String(), tc.witnessOnly); got != want {
+				t.Errorf("workers=%s output diverges for %v:\npar: %q\nseq: %q", w, tc.args, got, want)
+			}
+		}
+	}
+}
+
 func TestErrors(t *testing.T) {
 	bad := [][]string{
 		{"-impl", "nosuch"},

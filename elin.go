@@ -121,7 +121,7 @@ type (
 	// Policy decides when an eventually linearizable base stabilizes.
 	Policy = base.Policy
 	// ExploreConfig tunes exhaustive exploration (configuration
-	// deduplication).
+	// deduplication, worker parallelism, frontier split depth).
 	ExploreConfig = explore.Config
 	// ExploreStats aggregates exploration counters.
 	ExploreStats = explore.Stats
@@ -191,13 +191,31 @@ var (
 	// ExploreLeaves enumerates the leaf configurations of the bounded
 	// execution tree.
 	ExploreLeaves = explore.Leaves
+	// ExploreLeavesConfig is ExploreLeaves with exploration options
+	// (worker parallelism fans subtrees out across cores).
+	ExploreLeavesConfig = explore.LeavesConfig
 	// LinearizableEverywhere checks all bounded interleavings.
 	LinearizableEverywhere = explore.LinearizableEverywhere
+	// LinearizableEverywhereConfig is LinearizableEverywhere with
+	// exploration options; the violation witness is deterministic for
+	// every worker count.
+	LinearizableEverywhereConfig = explore.LinearizableEverywhereConfig
+	// WeaklyConsistentEverywhere checks weak consistency of all bounded
+	// interleavings.
+	WeaklyConsistentEverywhere = explore.WeaklyConsistentEverywhere
+	// WeaklyConsistentEverywhereConfig is WeaklyConsistentEverywhere with
+	// exploration options; the violation witness is deterministic for
+	// every worker count.
+	WeaklyConsistentEverywhereConfig = explore.WeaklyConsistentEverywhereConfig
 	// AnalyzeValency performs the Proposition 15 valency analysis.
 	AnalyzeValency = explore.Analyze
 	// AnalyzeValencyConfig is AnalyzeValency with exploration options
-	// (configuration deduplication merges symmetric interleavings).
+	// (configuration deduplication merges symmetric interleavings; worker
+	// parallelism classifies subtrees concurrently).
 	AnalyzeValencyConfig = explore.AnalyzeConfig
 	// FindStable searches for a Proposition 18 stable configuration.
 	FindStable = explore.FindStable
+	// FindStableConfig is FindStable with exploration options (worker
+	// parallelism pipelines the per-candidate stability verifications).
+	FindStableConfig = explore.FindStableConfig
 )

@@ -56,6 +56,11 @@ type Config struct {
 	MaxSoloOps int
 	// CheckOpts configures the t-linearizability checks.
 	CheckOpts check.Options
+	// Workers is the exploration worker count for the stable search (the
+	// construction's dominant cost): 0 means GOMAXPROCS, 1 forces the
+	// sequential reference engine. The search result is identical for
+	// every worker count.
+	Workers int
 }
 
 // Report documents the construction's run.
@@ -105,7 +110,8 @@ func Transform(impl machine.Impl, cfg Config) (*Impl, *Report, error) {
 	}
 
 	// Step 1: find a stable configuration (Claim 1).
-	stable, err := explore.FindStable(root, cfg.SearchDepth, cfg.VerifyDepth, cfg.CheckOpts)
+	stable, err := explore.FindStableConfig(root, cfg.SearchDepth, cfg.VerifyDepth,
+		explore.Config{Workers: cfg.Workers}, cfg.CheckOpts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("stabilize: %w", err)
 	}

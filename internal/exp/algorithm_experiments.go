@@ -170,6 +170,7 @@ func E11Stabilize() (*Table, error) {
 		OpsPerProc:  4,
 		SearchDepth: 8,
 		VerifyDepth: 16,
+		Workers:     workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("E11 warmup: %w", err)
@@ -178,7 +179,7 @@ func E11Stabilize() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	linOK, _, _, err := explore.LinearizableEverywhere(root, 24, check.Options{})
+	linOK, _, _, err := explore.LinearizableEverywhereConfig(root, 24, exploreCfg(), check.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -190,6 +191,7 @@ func E11Stabilize() (*Table, error) {
 		OpsPerProc:  3,
 		SearchDepth: 5,
 		VerifyDepth: 12,
+		Workers:     workers,
 	})
 	t.AddRow("sloppy-counter (not EL)", err == nil, "-", "-", "-", "-")
 	return t, nil

@@ -127,15 +127,19 @@ func E6LocalCopy() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		wcOK, _, _, err := explore.WeaklyConsistentEverywhere(root, 10, check.Options{})
+		// The leaf count comes from the weak-consistency sweep: it passes on
+		// both rows, so it enumerates the whole tree and the count is
+		// deterministic; the linearizability sweep aborts at its first
+		// violation, leaving its counters at a schedule-dependent point.
+		wcOK, _, wcSt, err := explore.WeaklyConsistentEverywhereConfig(root, 10, exploreCfg(), check.Options{})
 		if err != nil {
 			return nil, err
 		}
-		linOK, _, st, err := explore.LinearizableEverywhere(root, 10, check.Options{})
+		linOK, _, _, err := explore.LinearizableEverywhereConfig(root, 10, exploreCfg(), check.Options{})
 		if err != nil {
 			return nil, err
 		}
-		t.AddRow(tc.name, 1, wcOK, linOK, st.Leaves)
+		t.AddRow(tc.name, 1, wcOK, linOK, wcSt.Leaves)
 	}
 	return t, nil
 }
@@ -186,7 +190,7 @@ func E7Trivial() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		linOK, _, _, err := explore.LinearizableEverywhere(root, 10, check.Options{})
+		linOK, _, _, err := explore.LinearizableEverywhereConfig(root, 10, exploreCfg(), check.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -232,7 +236,7 @@ func E8Valency() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := explore.Analyze(root, 18)
+		rep, err := explore.AnalyzeConfig(root, 18, exploreCfg())
 		if err != nil {
 			return nil, fmt.Errorf("E8 %s: %w", tc.name, err)
 		}

@@ -10,7 +10,26 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"github.com/elin-go/elin/internal/explore"
 )
+
+// workers is the exploration worker count the experiments hand to package
+// explore: 0 (the default) uses GOMAXPROCS — the results are deterministic
+// for every worker count, so parallelism is safe to leave on — and 1
+// forces the sequential reference engine for apples-to-apples timings.
+var workers int
+
+// SetWorkers configures how many exploration workers the experiments use
+// (cmd/elbench's -workers flag).
+func SetWorkers(n int) { workers = n }
+
+// Workers returns the configured exploration worker count (0 =
+// GOMAXPROCS).
+func Workers() int { return workers }
+
+// exploreCfg is the exploration configuration the experiments share.
+func exploreCfg() explore.Config { return explore.Config{Workers: workers} }
 
 // Table is one experiment's output.
 type Table struct {

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/elin-go/elin/internal/base"
@@ -138,5 +139,118 @@ func BenchmarkExploreCloneLeaves(b *testing.B) {
 		if st.Leaves == 0 {
 			b.Fatal("no leaves")
 		}
+	}
+}
+
+// The BenchmarkExplorePar* benchmarks measure the frontier-split worker
+// pool across worker counts on the two workloads the experiment suite
+// cares most about: the E8 valency analysis and the E11 stable-search
+// verification. workers=1 is the sequential reference path (it must stay
+// within noise of BenchmarkExploreUndo*); the speedup at higher counts
+// tracks the physical core count — on a single-core machine all counts
+// time alike, by design.
+
+var parBenchWorkers = []int{1, 2, 4, 8}
+
+// BenchmarkExploreParValency runs the E8 valency workload (Proposition
+// 15's register-consensus analysis) at increasing worker counts.
+func BenchmarkExploreParValency(b *testing.B) {
+	for _, w := range parBenchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			root := valencyRoot(b, true)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rep, err := AnalyzeConfig(root, valencyDepth, Config{Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rep.AgreementViolations == 0 {
+					b.Fatal("register consensus must violate agreement")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreParValencyEL is the EL-branching E8 variant (weakly
+// consistent responses multiply the branching factor).
+func BenchmarkExploreParValencyEL(b *testing.B) {
+	for _, w := range parBenchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			root := valencyRoot(b, false)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := AnalyzeConfig(root, 12, Config{Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreParLeaves enumerates the CAS-counter tree leaves at
+// increasing worker counts.
+func BenchmarkExploreParLeaves(b *testing.B) {
+	for _, w := range parBenchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			root := leavesRoot(b)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				st, err := LeavesConfig(root, 12, Config{Workers: w}, func(*sim.System) error { return nil })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Leaves == 0 {
+					b.Fatal("no leaves")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreParStable runs the E11 stable search (warmup counter,
+// Proposition 18's Claim 1) at increasing worker counts; the
+// per-candidate stability verifications dominate and pipeline across the
+// pool.
+func BenchmarkExploreParStable(b *testing.B) {
+	for _, w := range parBenchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			root, err := sim.NewSystem(counter.Warmup{Threshold: 2},
+				sim.UniformWorkload(2, 4, spec.MakeOp(spec.MethodFetchInc)), nil, check.Options{}, false)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := FindStableConfig(root, 8, 16, Config{Workers: w}, check.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Depth == 0 {
+					b.Fatal("warmup counter root must not be stable")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExploreParLinEverywhere certifies the CAS counter linearizable
+// on every interleaving — the leaf-checking workload with worker-side
+// linearizability checks.
+func BenchmarkExploreParLinEverywhere(b *testing.B) {
+	for _, w := range parBenchWorkers {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			root := leavesRoot(b)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ok, _, _, err := LinearizableEverywhereConfig(root, 22, Config{Workers: w}, check.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatal("CAS counter must be linearizable")
+				}
+			}
+		})
 	}
 }

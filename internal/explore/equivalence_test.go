@@ -297,6 +297,57 @@ func TestUndoEngineQuickRandomWorkloads(t *testing.T) {
 	}
 }
 
+// TestParallelEngineMatchesCloneEngine closes the three-way loop: the
+// clone-per-edge reference, the sequential undo engine, and the parallel
+// frontier-split engine must agree on Stats and valency reports for every
+// seed scenario.
+func TestParallelEngineMatchesCloneEngine(t *testing.T) {
+	for _, sc := range seedScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
+			cloneStats, err := CloneDFS(root, sc.depth, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parStats, err := DFSConfig(root, sc.depth, Config{Workers: 4}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parStats != cloneStats {
+				t.Fatalf("stats diverge: parallel %+v, clone %+v", parStats, cloneStats)
+			}
+			cloneRep, err := CloneAnalyze(root, sc.depth)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parRep, err := AnalyzeConfig(root, sc.depth, Config{Workers: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(parRep.Root, cloneRep.Root) {
+				t.Errorf("root valence diverges: parallel %+v, clone %+v", parRep.Root, cloneRep.Root)
+			}
+			if parRep.Univalent != cloneRep.Univalent || parRep.Multivalent != cloneRep.Multivalent {
+				t.Errorf("valence counts diverge: parallel %d/%d, clone %d/%d",
+					parRep.Univalent, parRep.Multivalent, cloneRep.Univalent, cloneRep.Multivalent)
+			}
+			if parRep.AgreementViolations != cloneRep.AgreementViolations {
+				t.Errorf("violations diverge: parallel %d, clone %d",
+					parRep.AgreementViolations, cloneRep.AgreementViolations)
+			}
+			if parRep.ViolationHistory != cloneRep.ViolationHistory {
+				t.Errorf("violation histories diverge")
+			}
+			if !reflect.DeepEqual(parRep.Criticals, cloneRep.Criticals) {
+				t.Errorf("criticals diverge: parallel %d, clone %d", len(parRep.Criticals), len(cloneRep.Criticals))
+			}
+			if parRep.Stats != cloneRep.Stats {
+				t.Errorf("stats diverge: parallel %+v, clone %+v", parRep.Stats, cloneRep.Stats)
+			}
+		})
+	}
+}
+
 // TestDedupMatchesExactAnalysis checks that the deduplicating valency
 // analysis reaches the same verdicts as the exact one while merging nodes.
 func TestDedupMatchesExactAnalysis(t *testing.T) {

@@ -22,9 +22,17 @@
 // configuration. Config.Dedup merges such nodes using the configuration
 // fingerprint of sim.System.Fingerprint, turning the tree into a DAG; see
 // Config for the soundness conditions.
+//
+// Exploration cost is intrinsically exponential, so the engine also scales
+// across cores: Config.Workers splits the execution tree at a frontier
+// depth and fans the root subtrees out to a worker pool (see parallel.go).
+// Counters, valency reports, stable verdicts and violation witnesses are
+// deterministic regardless of worker count; only callback invocation order
+// is schedule-dependent.
 package explore
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/elin-go/elin/internal/check"
@@ -47,6 +55,14 @@ type Stats struct {
 	Deduped int
 }
 
+// add accumulates other into s.
+func (s *Stats) add(other Stats) {
+	s.Nodes += other.Nodes
+	s.Leaves += other.Leaves
+	s.Truncated = s.Truncated || other.Truncated
+	s.Deduped += other.Deduped
+}
+
 // Config tunes an exploration.
 type Config struct {
 	// Dedup merges configurations with equal fingerprints at equal depth:
@@ -58,6 +74,21 @@ type Config struct {
 	// Dedup silently disables itself when some programme does not implement
 	// machine.Fingerprinter.
 	Dedup bool
+
+	// Workers is the number of exploration workers. 0 means GOMAXPROCS; 1
+	// forces the sequential in-place engine (the semantic reference). With
+	// more than one worker the execution tree is split at a frontier depth
+	// and the root subtrees are handed to a worker pool; counters and
+	// verdicts stay deterministic, but visitor/leaf callbacks may be
+	// invoked concurrently and in schedule-dependent order, so stateful
+	// callbacks must either synchronize or set Workers to 1.
+	Workers int
+
+	// FrontierDepth fixes the depth at which the tree is split into
+	// per-worker subtrees. 0 picks a depth automatically (wide enough to
+	// keep every worker busy from a shared queue). Ignored when the
+	// exploration runs sequentially.
+	FrontierDepth int
 }
 
 // Visitor observes a configuration during DFS. Returning descend=false
@@ -65,6 +96,15 @@ type Config struct {
 // the engine's working copy: it is valid only during the call, and visitors
 // that keep a configuration must Clone it.
 type Visitor func(s *sim.System, depth int) (descend bool, err error)
+
+// errViolation aborts a leaf enumeration as soon as one violating leaf is
+// found (the early-exit sentinel of LinearizableEverywhere, NodeStable and
+// friends).
+var errViolation = errors.New("explore: violating leaf")
+
+// errCancelled aborts a worker's subtree walk when another subtree already
+// holds the answer (parallel searches only).
+var errCancelled = errors.New("explore: cancelled")
 
 // engine is one in-place exploration: a mutable working system, per-depth
 // candidate scratch (so a node's branch list survives the recursion into
@@ -79,8 +119,11 @@ type engine struct {
 	// depth) — not a hash of it — so a collision can never silently prune
 	// an unexplored distinct configuration. Keeping depth in the key makes
 	// merging conservative: two arrivals at different depths have different
-	// remaining horizons and are never merged.
+	// remaining horizons and are never merged. Sequential explorations use
+	// the private map; parallel workers share the sharded concurrent set
+	// instead (exactly one of the two is non-nil while dedup is on).
 	seen   map[string]struct{}
+	shared *shardedSet
 	keyBuf []byte // scratch for building visit keys
 }
 
@@ -102,6 +145,25 @@ func newEngine(root *sim.System, maxDepth int, cfg Config, st *Stats) *engine {
 	return e
 }
 
+// newWorkerEngine builds an engine for a parallel worker: its own clone of
+// root (one clone per worker, not per subtree or edge) and, when dedup is
+// on, the visited set shared with the other workers.
+func newWorkerEngine(root *sim.System, maxDepth int, shared *shardedSet, st *Stats) *engine {
+	work := root.Clone()
+	work.EnableUndo()
+	e := &engine{
+		sys:      work,
+		maxDepth: maxDepth,
+		st:       st,
+		cands:    make([][]int64, maxDepth+1),
+	}
+	if shared != nil {
+		e.dedup = true
+		e.shared = shared
+	}
+	return e
+}
+
 // pruneDup reports whether the current configuration was already explored
 // at this depth (recording it if not).
 func (e *engine) pruneDup(depth int) bool {
@@ -115,6 +177,13 @@ func (e *engine) pruneDup(depth int) bool {
 	}
 	b = spec.AppendFPInt(b, int64(depth))
 	e.keyBuf = b
+	if e.shared != nil {
+		if e.shared.checkAndAdd(b) {
+			e.st.Deduped++
+			return true
+		}
+		return false
+	}
 	if _, dup := e.seen[string(b)]; dup {
 		e.st.Deduped++
 		return true
@@ -129,6 +198,12 @@ func (e *engine) pruneDup(depth int) bool {
 // deeper recursion writes deeper rows, so the branch list stays intact
 // across subtrees without copying.
 func (e *engine) expand(depth int, rec func(depth int) error) error {
+	return e.expandSteps(depth, func(d int, _ pathStep) error { return rec(d) })
+}
+
+// expandSteps is expand with the edge taken (process, branch index) exposed
+// to the callback — the frontier splitter records it to seed workers.
+func (e *engine) expandSteps(depth int, rec func(depth int, step pathStep) error) error {
 	buf := e.cands[depth][:0]
 	for p := 0; p < e.sys.NumProcs(); p++ {
 		if !e.sys.CanStep(p) {
@@ -144,7 +219,7 @@ func (e *engine) expand(depth int, rec func(depth int) error) error {
 			if err := e.sys.AdvanceResp(p, buf[i]); err != nil {
 				return fmt.Errorf("explore: advance p%d branch %d at depth %d: %w", p, i, depth, err)
 			}
-			if err := rec(depth + 1); err != nil {
+			if err := rec(depth+1, pathStep{proc: int32(p), branch: int32(i)}); err != nil {
 				return err
 			}
 			if err := e.sys.Undo(); err != nil {
@@ -202,13 +277,19 @@ func (e *engine) leaves(depth int, fn func(*sim.System) error) error {
 // DFS explores every interleaving (and every eventually linearizable
 // response choice) from root down to maxDepth, invoking visit on each node
 // in preorder. The root system is never mutated (the engine works on a
-// clone).
+// clone). DFS always runs sequentially so that stateful visitors need no
+// synchronization; DFSConfig adds worker parallelism.
 func DFS(root *sim.System, maxDepth int, visit Visitor) (Stats, error) {
-	return DFSConfig(root, maxDepth, Config{}, visit)
+	return DFSConfig(root, maxDepth, Config{Workers: 1}, visit)
 }
 
-// DFSConfig is DFS with exploration options.
+// DFSConfig is DFS with exploration options. With more than one worker the
+// visitor may be invoked concurrently from multiple goroutines and the
+// preorder across subtrees is schedule-dependent; Stats stay deterministic.
 func DFSConfig(root *sim.System, maxDepth int, cfg Config, visit Visitor) (Stats, error) {
+	if w := cfg.workerCount(); w > 1 && maxDepth >= 2 {
+		return dfsPar(root, maxDepth, cfg, w, visit)
+	}
 	var st Stats
 	e := newEngine(root, maxDepth, cfg, &st)
 	err := e.dfs(0, visit)
@@ -217,13 +298,22 @@ func DFSConfig(root *sim.System, maxDepth int, cfg Config, visit Visitor) (Stats
 
 // Leaves explores to maxDepth and invokes fn on every leaf (terminal or
 // horizon configuration). The leaf system passed to fn is the engine's
-// working copy: valid only during the call, Clone it to keep it.
+// working copy: valid only during the call, Clone it to keep it. Leaves
+// always runs sequentially (fn is typically stateful); LeavesConfig adds
+// worker parallelism.
 func Leaves(root *sim.System, maxDepth int, fn func(leaf *sim.System) error) (Stats, error) {
-	return LeavesConfig(root, maxDepth, Config{}, fn)
+	return LeavesConfig(root, maxDepth, Config{Workers: 1}, fn)
 }
 
-// LeavesConfig is Leaves with exploration options.
+// LeavesConfig is Leaves with exploration options. With more than one
+// worker fn may be invoked concurrently from multiple goroutines and the
+// leaf order across subtrees is schedule-dependent; Stats and the set of
+// leaves stay deterministic.
 func LeavesConfig(root *sim.System, maxDepth int, cfg Config, fn func(leaf *sim.System) error) (Stats, error) {
+	if w := cfg.workerCount(); w > 1 && maxDepth >= 2 {
+		return leavesPar(root, maxDepth, cfg, w,
+			func(leaf *sim.System, _ int) error { return fn(leaf) }, nil)
+	}
 	var st Stats
 	e := newEngine(root, maxDepth, cfg, &st)
 	err := e.leaves(0, fn)
@@ -233,50 +323,48 @@ func LeavesConfig(root *sim.System, maxDepth int, cfg Config, fn func(leaf *sim.
 // LinearizableEverywhere checks that every leaf history of the bounded
 // execution tree is linearizable against the implemented object's spec.
 // It returns the first violating configuration (a clone, safe to keep), if
-// any.
+// any. The walk aborts as soon as a violation is found, so the returned
+// Stats cover the full tree only when the check passes.
 func LinearizableEverywhere(root *sim.System, maxDepth int, opts check.Options) (bool, *sim.System, Stats, error) {
-	var bad *sim.System
+	return LinearizableEverywhereConfig(root, maxDepth, Config{}, opts)
+}
+
+// LinearizableEverywhereConfig is LinearizableEverywhere with exploration
+// options. Regardless of worker count the witness is the violating leaf
+// with the lexicographically smallest branch path — the one the sequential
+// walk finds first — not whichever worker loses the race. Config.Dedup is
+// ignored: linearizability of the recorded history is path-dependent, so
+// configuration merging would be unsound here.
+func LinearizableEverywhereConfig(root *sim.System, maxDepth int, cfg Config, opts check.Options) (bool, *sim.System, Stats, error) {
 	specs := implSpecs(root)
-	st, err := Leaves(root, maxDepth, func(leaf *sim.System) error {
-		if bad != nil {
-			return nil
-		}
-		ok, err := check.Linearizable(specs, leaf.History(), opts)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			bad = leaf.Clone()
-		}
-		return nil
+	found, bad, st, err := searchViolation(root, maxDepth, cfg, true, func(leaf *sim.System) (bool, error) {
+		return check.Linearizable(specs, leaf.History(), opts)
 	})
 	if err != nil {
 		return false, nil, st, err
 	}
-	return bad == nil, bad, st, nil
+	return !found, bad, st, nil
 }
 
 // WeaklyConsistentEverywhere checks weak consistency of every leaf history.
+// Like LinearizableEverywhere it aborts on the first violation and returns
+// the lexicographically first witness.
 func WeaklyConsistentEverywhere(root *sim.System, maxDepth int, opts check.Options) (bool, *sim.System, Stats, error) {
-	var bad *sim.System
+	return WeaklyConsistentEverywhereConfig(root, maxDepth, Config{}, opts)
+}
+
+// WeaklyConsistentEverywhereConfig is WeaklyConsistentEverywhere with
+// exploration options; see LinearizableEverywhereConfig for the witness and
+// Dedup semantics.
+func WeaklyConsistentEverywhereConfig(root *sim.System, maxDepth int, cfg Config, opts check.Options) (bool, *sim.System, Stats, error) {
 	specs := implSpecs(root)
-	st, err := Leaves(root, maxDepth, func(leaf *sim.System) error {
-		if bad != nil {
-			return nil
-		}
-		ok, err := check.WeaklyConsistent(specs, leaf.History(), opts)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			bad = leaf.Clone()
-		}
-		return nil
+	found, bad, st, err := searchViolation(root, maxDepth, cfg, true, func(leaf *sim.System) (bool, error) {
+		return check.WeaklyConsistent(specs, leaf.History(), opts)
 	})
 	if err != nil {
 		return false, nil, st, err
 	}
-	return bad == nil, bad, st, nil
+	return !found, bad, st, nil
 }
 
 func implSpecs(s *sim.System) map[string]spec.Object {

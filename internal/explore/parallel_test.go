@@ -1,0 +1,470 @@
+package explore
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/core/elconsensus"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// The parallel frontier-split engine must be observationally equivalent to
+// the sequential engine for every worker count and schedule: identical
+// Stats, identical leaf multisets, identical valency reports, identical
+// stable verdicts, and the same (lexicographically first) violation
+// witness. These tests run the same workloads at several worker counts —
+// including counts far above GOMAXPROCS, which forces heavy interleaving —
+// and diff everything against workers=1.
+
+var parWorkerCounts = []int{2, 3, 8}
+
+func TestParallelLeavesMatchesSequential(t *testing.T) {
+	for _, sc := range seedScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
+			var seqH []string
+			seqStats, err := Leaves(root, sc.depth, func(leaf *sim.System) error {
+				seqH = append(seqH, leaf.History().String())
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Strings(seqH)
+			for _, w := range parWorkerCounts {
+				var mu sync.Mutex
+				var parH []string
+				parStats, err := LeavesConfig(root, sc.depth, Config{Workers: w}, func(leaf *sim.System) error {
+					h := leaf.History().String()
+					mu.Lock()
+					parH = append(parH, h)
+					mu.Unlock()
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parStats != seqStats {
+					t.Fatalf("workers=%d: stats diverge: par %+v, seq %+v", w, parStats, seqStats)
+				}
+				sort.Strings(parH)
+				if !reflect.DeepEqual(parH, seqH) {
+					t.Fatalf("workers=%d: leaf multiset diverges (%d vs %d leaves)", w, len(parH), len(seqH))
+				}
+			}
+		})
+	}
+}
+
+func TestParallelDFSMatchesSequential(t *testing.T) {
+	for _, sc := range seedScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
+			seqStats, err := DFS(root, sc.depth, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range parWorkerCounts {
+				parStats, err := DFSConfig(root, sc.depth, Config{Workers: w}, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if parStats != seqStats {
+					t.Fatalf("workers=%d: stats diverge: par %+v, seq %+v", w, parStats, seqStats)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDFSVisitorPrune checks that visitor pruning composes with the
+// frontier split: pruning at a prefix depth and pruning below the frontier
+// must both match the sequential walk.
+func TestParallelDFSVisitorPrune(t *testing.T) {
+	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
+	for _, cut := range []int{1, 3, 5} {
+		visit := func(s *sim.System, depth int) (bool, error) { return depth < cut, nil }
+		seqStats, err := DFS(root, 12, visit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range parWorkerCounts {
+			parStats, err := DFSConfig(root, 12, Config{Workers: w}, visit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if parStats != seqStats {
+				t.Fatalf("cut=%d workers=%d: stats diverge: par %+v, seq %+v", cut, w, parStats, seqStats)
+			}
+		}
+	}
+}
+
+// TestParallelDedupCounts checks the sharded concurrent visited set: the
+// merged DAG has schedule-independent counters.
+func TestParallelDedupCounts(t *testing.T) {
+	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
+	seqStats, err := DFSConfig(root, 12, Config{Dedup: true, Workers: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seqStats.Deduped == 0 {
+		t.Fatal("symmetric workload should merge configurations")
+	}
+	for _, w := range parWorkerCounts {
+		parStats, err := DFSConfig(root, 12, Config{Dedup: true, Workers: w}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parStats != seqStats {
+			t.Fatalf("workers=%d: dedup stats diverge: par %+v, seq %+v", w, parStats, seqStats)
+		}
+	}
+}
+
+func TestParallelAnalyzeMatchesSequential(t *testing.T) {
+	for _, sc := range seedScenarios(t) {
+		t.Run(sc.name, func(t *testing.T) {
+			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
+			seqRep, err := AnalyzeConfig(root, sc.depth, Config{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range parWorkerCounts {
+				parRep, err := AnalyzeConfig(root, sc.depth, Config{Workers: w})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(parRep, seqRep) {
+					t.Fatalf("workers=%d: valency reports diverge:\npar: %+v\nseq: %+v", w, parRep, seqRep)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelAnalyzeDedupDeterministic checks the latch-based shared memo:
+// every counter of the deduplicating analysis is schedule-independent.
+func TestParallelAnalyzeDedupDeterministic(t *testing.T) {
+	cases := []scenario{
+		{
+			name: "reg-consensus",
+			impl: elconsensus.Impl{AtomicBases: true},
+			workload: [][]spec.Op{
+				{spec.MakeOp1(spec.MethodPropose, 10)},
+				{spec.MakeOp1(spec.MethodPropose, 20)},
+			},
+			depth: 14,
+		},
+		{
+			name:     "cas-counter",
+			impl:     counter.CAS{},
+			workload: sim.UniformWorkload(2, 2, fetchinc),
+			depth:    12,
+		},
+	}
+	for _, sc := range cases {
+		t.Run(sc.name, func(t *testing.T) {
+			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
+			seqRep, err := AnalyzeConfig(root, sc.depth, Config{Dedup: true, Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range parWorkerCounts {
+				for round := 0; round < 3; round++ {
+					parRep, err := AnalyzeConfig(root, sc.depth, Config{Dedup: true, Workers: w})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if parRep.Stats != seqRep.Stats {
+						t.Fatalf("workers=%d: stats diverge: par %+v, seq %+v", w, parRep.Stats, seqRep.Stats)
+					}
+					if parRep.Univalent != seqRep.Univalent || parRep.Multivalent != seqRep.Multivalent {
+						t.Fatalf("workers=%d: valence counts diverge: par %d/%d, seq %d/%d",
+							w, parRep.Univalent, parRep.Multivalent, seqRep.Univalent, seqRep.Multivalent)
+					}
+					if parRep.AgreementViolations != seqRep.AgreementViolations {
+						t.Fatalf("workers=%d: agreement violations diverge: par %d, seq %d",
+							w, parRep.AgreementViolations, seqRep.AgreementViolations)
+					}
+					if len(parRep.Criticals) != len(seqRep.Criticals) {
+						t.Fatalf("workers=%d: critical counts diverge: par %d, seq %d",
+							w, len(parRep.Criticals), len(seqRep.Criticals))
+					}
+					if !reflect.DeepEqual(parRep.Root, seqRep.Root) {
+						t.Fatalf("workers=%d: root valence diverges: par %+v, seq %+v", w, parRep.Root, seqRep.Root)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelViolationWitnessDeterministic pins the witness contract: the
+// violating leaf returned by the parallel search is the lexicographically
+// first one — the exact leaf the sequential early-exit walk returns —
+// regardless of worker count and schedule.
+func TestParallelViolationWitnessDeterministic(t *testing.T) {
+	root := mustSystem(t, counter.Sloppy{}, sim.UniformWorkload(2, 1, fetchinc), nil)
+	ok, seqBad, _, err := LinearizableEverywhereConfig(root, 10, Config{Workers: 1}, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || seqBad == nil {
+		t.Fatal("sloppy counter must violate linearizability")
+	}
+	want := seqBad.History().String()
+	for _, w := range parWorkerCounts {
+		for round := 0; round < 5; round++ {
+			ok, bad, _, err := LinearizableEverywhereConfig(root, 10, Config{Workers: w}, check.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ok || bad == nil {
+				t.Fatalf("workers=%d: violation not found", w)
+			}
+			if got := bad.History().String(); got != want {
+				t.Fatalf("workers=%d round %d: witness diverges:\npar:\n%s\nseq:\n%s", w, round, got, want)
+			}
+		}
+	}
+}
+
+// TestParallelLinearizableEverywhereClean checks the passing direction:
+// with no violation the walk is exhaustive and Stats are deterministic.
+func TestParallelLinearizableEverywhereClean(t *testing.T) {
+	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
+	okSeq, _, seqStats, err := LinearizableEverywhereConfig(root, 22, Config{Workers: 1}, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !okSeq {
+		t.Fatal("CAS counter must be linearizable everywhere")
+	}
+	for _, w := range parWorkerCounts {
+		ok, bad, parStats, err := LinearizableEverywhereConfig(root, 22, Config{Workers: w}, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || bad != nil {
+			t.Fatalf("workers=%d: spurious violation", w)
+		}
+		if parStats != seqStats {
+			t.Fatalf("workers=%d: stats diverge: par %+v, seq %+v", w, parStats, seqStats)
+		}
+	}
+}
+
+// TestEarlyExitOnViolation pins the satellite fix: the sequential walk must
+// stop at the first violating leaf instead of enumerating the full tree.
+func TestEarlyExitOnViolation(t *testing.T) {
+	root := mustSystem(t, counter.Sloppy{}, sim.UniformWorkload(2, 1, fetchinc), nil)
+	full, err := DFS(root, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, _, st, err := LinearizableEverywhere(root, 10, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("sloppy counter must violate linearizability")
+	}
+	if st.Nodes >= full.Nodes {
+		t.Fatalf("no early exit: checked %d nodes, tree has %d", st.Nodes, full.Nodes)
+	}
+}
+
+func TestParallelNodeStableMatchesSequential(t *testing.T) {
+	cases := []struct {
+		name   string
+		impl   machine.Impl
+		verify int
+	}{
+		{"cas-counter", counter.CAS{}, 12},
+		{"warmup-counter", counter.Warmup{Threshold: 2}, 12},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			root := mustSystem(t, tc.impl, sim.UniformWorkload(2, 2, fetchinc), nil)
+			seqStable, seqStats, err := NodeStableConfig(root, tc.verify, Config{Workers: 1}, check.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, w := range parWorkerCounts {
+				stable, st, err := NodeStableConfig(root, tc.verify, Config{Workers: w}, check.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if stable != seqStable {
+					t.Fatalf("workers=%d: verdicts diverge: par %v, seq %v", w, stable, seqStable)
+				}
+				// Stats are exhaustive (hence deterministic) only when the
+				// node is stable; a violation aborts at a schedule-dependent
+				// point.
+				if stable && st != seqStats {
+					t.Fatalf("workers=%d: stats diverge: par %+v, seq %+v", w, st, seqStats)
+				}
+			}
+		})
+	}
+}
+
+func TestParallelFindStableMatchesSequential(t *testing.T) {
+	impl := counter.Warmup{Threshold: 2}
+	root := mustSystem(t, impl, sim.UniformWorkload(2, 2, fetchinc), nil)
+	seq, err := FindStableConfig(root, 8, 12, Config{Workers: 1}, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parWorkerCounts {
+		par, err := FindStableConfig(root, 8, 12, Config{Workers: w}, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par.Depth != seq.Depth || par.T != seq.T || par.NodesSearched != seq.NodesSearched {
+			t.Fatalf("workers=%d: result diverges: par depth=%d t=%d searched=%d, seq depth=%d t=%d searched=%d",
+				w, par.Depth, par.T, par.NodesSearched, seq.Depth, seq.T, seq.NodesSearched)
+		}
+		if par.VerifyStats != seq.VerifyStats {
+			t.Fatalf("workers=%d: verify stats diverge: par %+v, seq %+v", w, par.VerifyStats, seq.VerifyStats)
+		}
+		if par.System.History().String() != seq.System.History().String() {
+			t.Fatalf("workers=%d: stable configurations diverge", w)
+		}
+	}
+}
+
+func TestParallelFindStableFailureMatchesSequential(t *testing.T) {
+	impl := counter.Warmup{Threshold: 50}
+	root := mustSystem(t, impl, sim.UniformWorkload(2, 3, fetchinc), nil)
+	_, seqErr := FindStableConfig(root, 2, 10, Config{Workers: 1}, check.Options{})
+	if seqErr == nil {
+		t.Fatal("expected failure for unreachable stabilization")
+	}
+	for _, w := range parWorkerCounts {
+		_, err := FindStableConfig(root, 2, 10, Config{Workers: w}, check.Options{})
+		if err == nil {
+			t.Fatalf("workers=%d: expected failure", w)
+		}
+		if err.Error() != seqErr.Error() {
+			t.Fatalf("workers=%d: errors diverge: par %q, seq %q", w, err, seqErr)
+		}
+	}
+}
+
+// TestParallelExplicitFrontierDepths checks that every split depth yields
+// the same results (the frontier is a correctness-neutral tuning knob).
+func TestParallelExplicitFrontierDepths(t *testing.T) {
+	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
+	seqStats, err := DFS(root, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int{1, 2, 4, 7, 20} {
+		parStats, err := DFSConfig(root, 12, Config{Workers: 4, FrontierDepth: k}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parStats != seqStats {
+			t.Fatalf("frontier=%d: stats diverge: par %+v, seq %+v", k, parStats, seqStats)
+		}
+	}
+}
+
+// TestParallelQuickRandomWorkloads cross-validates sequential and parallel
+// exploration on random workloads, implementations, policies, depths and
+// worker counts.
+func TestParallelQuickRandomWorkloads(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(2)
+		var impl machine.Impl
+		var workload [][]spec.Op
+		var pol base.PolicyFor
+		switch r.Intn(4) {
+		case 0:
+			impl = counter.CAS{}
+			workload = sim.UniformWorkload(n, 1+r.Intn(2), fetchinc)
+		case 1:
+			impl = counter.Sloppy{}
+			workload = sim.UniformWorkload(n, 1+r.Intn(2), fetchinc)
+		case 2:
+			impl = counter.Junk{}
+			workload = sim.UniformWorkload(n, 1+r.Intn(2), fetchinc)
+		default:
+			impl = elconsensus.Impl{}
+			w := make([][]spec.Op, n)
+			for p := range w {
+				w[p] = []spec.Op{spec.MakeOp1(spec.MethodPropose, int64(10*(p+1)))}
+			}
+			workload = w
+			pol = base.SamePolicy(base.Window{K: r.Intn(3)})
+		}
+		depth := 5 + r.Intn(4)
+		workers := 2 + r.Intn(7)
+		dedup := r.Intn(2) == 0
+		root, err := sim.NewSystem(impl, workload, pol, check.Options{}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var seqH []string
+		seqStats, err := LeavesConfig(root, depth, Config{Workers: 1, Dedup: dedup}, func(leaf *sim.System) error {
+			seqH = append(seqH, leaf.History().String())
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mu sync.Mutex
+		var parH []string
+		parStats, err := LeavesConfig(root, depth, Config{Workers: workers, Dedup: dedup}, func(leaf *sim.System) error {
+			h := leaf.History().String()
+			mu.Lock()
+			parH = append(parH, h)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parStats != seqStats {
+			t.Logf("seed %d (%s depth %d workers %d dedup %v): stats diverge: par %+v seq %+v",
+				seed, impl.Name(), depth, workers, dedup, parStats, seqStats)
+			return false
+		}
+		if dedup {
+			// With dedup the leaf *configurations* are deterministic but the
+			// recorded histories depend on the winning arrival path; only
+			// the counts are comparable.
+			if len(parH) != len(seqH) {
+				t.Logf("seed %d: dedup leaf counts diverge: %d vs %d", seed, len(parH), len(seqH))
+				return false
+			}
+			return true
+		}
+		sort.Strings(seqH)
+		sort.Strings(parH)
+		if !reflect.DeepEqual(parH, seqH) {
+			t.Logf("seed %d (%s depth %d workers %d): leaf multisets diverge", seed, impl.Name(), depth, workers)
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if testing.Short() {
+		cfg.MaxCount = 6
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -8,10 +8,6 @@ import (
 	"github.com/elin-go/elin/internal/sim"
 )
 
-// errUnstable aborts the leaf enumeration as soon as one violating leaf is
-// found.
-var errUnstable = errors.New("unstable")
-
 // StableResult describes a stable configuration found by FindStable.
 type StableResult struct {
 	// System is the configuration C (a clone; safe to keep and advance).
@@ -34,76 +30,171 @@ type StableResult struct {
 // t-linearizability (Lemma 6), checking the maximal (leaf) extensions
 // covers every intermediate configuration.
 func NodeStable(node *sim.System, verifyDepth int, opts check.Options) (bool, Stats, error) {
+	return NodeStableConfig(node, verifyDepth, Config{}, opts)
+}
+
+// NodeStableConfig is NodeStable with exploration options. The verdict is
+// deterministic for every worker count; the returned Stats cover the full
+// subtree only when the node IS stable (a violation aborts the walk early,
+// and under parallel workers the abort point is schedule-dependent).
+func NodeStableConfig(node *sim.System, verifyDepth int, cfg Config, opts check.Options) (bool, Stats, error) {
 	t := node.History().Len()
 	obj := node.Impl().Spec()
-	st, err := Leaves(node, verifyDepth, func(leaf *sim.System) error {
-		ok, err := check.TLinearizable(obj, leaf.History(), t, opts)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			return errUnstable
-		}
-		return nil
+	found, _, st, err := searchViolation(node, verifyDepth, cfg, false, func(leaf *sim.System) (bool, error) {
+		return check.TLinearizable(obj, leaf.History(), t, opts)
 	})
-	if errors.Is(err, errUnstable) {
-		return false, st, nil
-	}
 	if err != nil {
 		return false, st, err
 	}
-	return true, st, nil
+	return !found, st, nil
+}
+
+// errBudget aborts a budgeted stability pre-check whose subtree turned out
+// to be expensive (see findStable).
+var errBudget = errors.New("explore: node budget exhausted")
+
+// stableCheckAt verifies bounded stability of the engine's CURRENT
+// configuration, sitting at the given absolute depth, entirely in place:
+// every leaf within verifyDepth below it must be t-linearizable for t =
+// the current history length. The walk aborts at the first violating leaf
+// and rewinds to the configuration it started from. A positive budget
+// additionally abandons the walk once that many nodes have been visited
+// without a verdict; decided reports whether the verdict is final.
+func stableCheckAt(e *engine, depth, verifyDepth int, opts check.Options, budget int) (stable bool, vst Stats, decided bool, err error) {
+	prevSt, prevMax := e.st, e.maxDepth
+	e.st, e.maxDepth = &vst, depth+verifyDepth
+	t := e.sys.History().Len()
+	obj := e.sys.Impl().Spec()
+	err = e.leaves(depth, func(leaf *sim.System) error {
+		if budget > 0 && vst.Nodes > budget {
+			return errBudget
+		}
+		ok, cerr := check.TLinearizable(obj, leaf.History(), t, opts)
+		if cerr != nil {
+			return cerr
+		}
+		if !ok {
+			return errViolation
+		}
+		return nil
+	})
+	e.st, e.maxDepth = prevSt, prevMax
+	if uerr := e.sys.UndoTo(depth); uerr != nil && (err == nil || isSentinel(err) || err == errBudget) {
+		err = uerr
+	}
+	switch err {
+	case nil:
+		return true, vst, true, nil
+	case errViolation:
+		return false, vst, true, nil
+	case errBudget:
+		return false, vst, false, nil
+	default:
+		return false, vst, false, err
+	}
+}
+
+// appendChildren enumerates the children of the engine's current
+// configuration through expandSteps — the same code path every walk in
+// this package branches with, so the (process, branch) order the queue
+// records is the order replayPath will resolve — and appends their branch
+// paths to queue.
+func appendChildren(e *engine, depth int, path []pathStep, queue [][]pathStep) ([][]pathStep, error) {
+	err := e.expandSteps(depth, func(_ int, step pathStep) error {
+		child := make([]pathStep, len(path)+1)
+		copy(child, path)
+		child[len(path)] = step
+		queue = append(queue, child)
+		return nil
+	})
+	return queue, err
 }
 
 // FindStable searches the execution tree of root for a stable configuration
 // (Claim 1 in the proof of Proposition 18 guarantees one exists for any
 // eventually linearizable implementation). The search walks configurations
 // in breadth-first order up to searchDepth and verifies stability of each
-// candidate with NodeStable at verifyDepth. It returns the shallowest
-// stable configuration found.
+// candidate (the dominant cost) at verifyDepth. It returns the shallowest
+// stable configuration found — among equal depths, the first in
+// breadth-first order, for every worker count.
 //
 // The implementation under test must use only linearizable base objects
 // (Proposition 18's hypothesis); eventually linearizable bases make the
 // tree branch on responses, which is supported but usually unintended here.
 func FindStable(root *sim.System, searchDepth, verifyDepth int, opts check.Options) (*StableResult, error) {
-	type queued struct {
-		sys   *sim.System
-		depth int
+	return FindStableConfig(root, searchDepth, verifyDepth, Config{}, opts)
+}
+
+// FindStableConfig is FindStable with exploration options. With more than
+// one worker each candidate's stability verification — the search's
+// dominant cost, an exhaustive walk of the candidate's bounded subtree —
+// fans its leaf checks out across the worker pool, while candidates are
+// still consumed strictly in breadth-first order, so the result
+// (configuration, depth, T, NodesSearched and the winner's VerifyStats)
+// is identical to the sequential search. Parallelism goes inside the
+// verification rather than across candidates because the stable winner's
+// full-subtree verification dwarfs the early-aborting unstable checks
+// before it: speeding up that single walk is what moves wall-clock.
+// Config.Dedup is ignored (stability of a node depends on its recorded
+// history, not just the configuration).
+func FindStableConfig(root *sim.System, searchDepth, verifyDepth int, cfg Config, opts check.Options) (*StableResult, error) {
+	return findStable(root, searchDepth, verifyDepth, cfg, opts)
+}
+
+// fsSeqBudget is the node budget of the in-place sequential pre-check the
+// parallel search gives each candidate before fanning its verification out
+// to the pool: most unstable candidates hit a violating leaf well inside
+// it, sparing the per-candidate pool setup (worker clones, frontier
+// probe), while an expensive subtree — in practice the stable winner's —
+// abandons the pre-check early and gets the full parallel treatment.
+const fsSeqBudget = 512
+
+// findStable is the shared breadth-first search. The queue holds branch
+// paths, not configurations: one working system replays a candidate's
+// path, verifies it in place, enumerates its children and rewinds — no
+// clone per edge, no clone per queued node, one clone for the result.
+func findStable(root *sim.System, searchDepth, verifyDepth int, cfg Config, opts check.Options) (*StableResult, error) {
+	workers := cfg.workerCount()
+	var scratch Stats
+	e := newEngine(root, searchDepth+verifyDepth, Config{}, &scratch)
+	budget := 0 // sequential search: run every pre-check to its verdict
+	if workers > 1 {
+		budget = fsSeqBudget
 	}
-	queue := []queued{{sys: root.Clone(), depth: 0}}
-	searched := 0
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		searched++
-		stable, vst, err := NodeStable(cur.sys, verifyDepth, opts)
+	queue := [][]pathStep{nil}
+	for i := 0; i < len(queue); i++ {
+		path := queue[i]
+		if err := replayPath(e.sys, path); err != nil {
+			return nil, err
+		}
+		depth := len(path)
+		stable, vst, decided, err := stableCheckAt(e, depth, verifyDepth, opts, budget)
+		if err == nil && !decided {
+			// The budgeted walk found no violation but ran out: verify the
+			// candidate exhaustively on the worker pool. A winner decided
+			// here enumerates its whole subtree, so its VerifyStats match
+			// the sequential search's exactly.
+			stable, vst, err = NodeStableConfig(e.sys, verifyDepth, cfg, opts)
+		}
 		if err != nil {
-			return nil, fmt.Errorf("explore: stability check at depth %d: %w", cur.depth, err)
+			return nil, fmt.Errorf("explore: stability check at depth %d: %w", depth, err)
 		}
 		if stable {
 			return &StableResult{
-				System:        cur.sys,
-				Depth:         cur.depth,
-				T:             cur.sys.History().Len(),
+				System:        e.sys.Clone(),
+				Depth:         depth,
+				T:             e.sys.History().Len(),
 				VerifyStats:   vst,
-				NodesSearched: searched,
+				NodesSearched: i + 1,
 			}, nil
 		}
-		if cur.depth >= searchDepth {
-			continue
-		}
-		for _, p := range cur.sys.Enabled() {
-			cands, err := cur.sys.Candidates(p)
-			if err != nil {
+		if depth < searchDepth {
+			if queue, err = appendChildren(e, depth, path, queue); err != nil {
 				return nil, err
 			}
-			for branch := range cands {
-				child := cur.sys.Clone()
-				if err := child.Advance(p, branch); err != nil {
-					return nil, err
-				}
-				queue = append(queue, queued{sys: child, depth: cur.depth + 1})
-			}
+		}
+		if err := e.sys.UndoTo(0); err != nil {
+			return nil, err
 		}
 	}
 	return nil, fmt.Errorf("explore: no stable configuration within depth %d (verify depth %d)",

@@ -32,6 +32,15 @@ func (v Valence) Values() []int64 {
 	return out
 }
 
+// valenceOf builds a Valence from a sorted decision slice.
+func valenceOf(dec []int64, truncated bool) Valence {
+	v := Valence{Decisions: make(map[int64]bool, len(dec)), Truncated: truncated}
+	for _, d := range dec {
+		v.Decisions[d] = true
+	}
+	return v
+}
+
 // PendingAction describes the next atomic action of one process at a
 // configuration, for the critical-configuration case analysis of
 // Proposition 15.
@@ -113,7 +122,19 @@ func Analyze(root *sim.System, maxDepth int) (*ValencyReport, error) {
 // configurations). Counters then count distinct configurations — the
 // execution DAG — rather than tree nodes, and Stats.Deduped reports how
 // many tree nodes were merged away.
+//
+// With more than one worker the subtrees below a frontier depth are
+// classified in parallel and the decision sets merged bottom-up. Without
+// Dedup the report is bit-identical for every worker count. With Dedup
+// the counters, valences and verdicts stay deterministic, but which
+// arrival path a merged configuration is attributed to is a race, so the
+// example strings (ViolationHistory, a Critical's History) may differ
+// between runs — the same caveat Dedup already carries sequentially
+// versus the exact analysis.
 func AnalyzeConfig(root *sim.System, maxDepth int, cfg Config) (*ValencyReport, error) {
+	if w := cfg.workerCount(); w > 1 && maxDepth >= 2 {
+		return analyzePar(root, maxDepth, cfg, w)
+	}
 	rep := &ValencyReport{}
 	a := &valAnalyzer{
 		eng:  newEngine(root, maxDepth, Config{}, &rep.Stats),
@@ -143,8 +164,9 @@ type valAnalyzer struct {
 	rep     *ValencyReport
 	sets    [][]int64 // per-depth decision scratch, sorted unique
 	dedup   bool
-	memo    map[string]valMemo
-	respBuf []int64 // scratch for the memo key's completed-response multiset
+	memo    map[string]valMemo // sequential memo
+	shared  *shardedMemo       // cross-worker memo (parallel analyze)
+	respBuf []int64            // scratch for the memo key's completed-response multiset
 }
 
 // valMemo is a memoized subtree valence.
@@ -157,34 +179,62 @@ func (a *valAnalyzer) analyze(depth int) (bool, error) {
 	sys := a.eng.sys
 	a.sets[depth] = a.sets[depth][:0]
 	var key string
+	var ent *memoEntry
 	useMemo := false
 	if a.dedup {
-		var ok bool
-		key, ok = a.memoKey(depth)
+		b, ok := a.memoKey(depth)
 		if ok {
-			useMemo = true
-			if m, hit := a.memo[key]; hit {
-				a.rep.Stats.Deduped++
-				a.sets[depth] = append(a.sets[depth], m.decisions...)
-				return m.truncated, nil
+			if a.shared != nil {
+				var claimed bool
+				ent, claimed = a.shared.claim(b)
+				if !claimed {
+					// Another arrival (possibly on another worker) owns
+					// this configuration; wait for its verdict. The wait
+					// cannot deadlock — see shardedMemo.
+					<-ent.ready
+					a.rep.Stats.Deduped++
+					a.sets[depth] = append(a.sets[depth], ent.decisions...)
+					return ent.truncated, nil
+				}
+			} else {
+				if m, hit := a.memo[string(b)]; hit {
+					a.rep.Stats.Deduped++
+					a.sets[depth] = append(a.sets[depth], m.decisions...)
+					return m.truncated, nil
+				}
+				key = string(b)
 			}
+			useMemo = true
+		}
+	}
+	// fail releases the latch on error exits so no waiter is stranded.
+	fail := func(err error) (bool, error) {
+		if ent != nil {
+			ent.resolve(nil, false)
+		}
+		return false, err
+	}
+	finish := func(truncated bool) {
+		if !useMemo {
+			return
+		}
+		if ent != nil {
+			ent.resolve(a.sets[depth], truncated)
+		} else {
+			a.store(key, depth, truncated)
 		}
 	}
 	a.rep.Stats.Nodes++
 	if sys.Done() {
 		a.rep.Stats.Leaves++
 		a.terminal(depth)
-		if useMemo {
-			a.store(key, depth, false)
-		}
+		finish(false)
 		return false, nil
 	}
 	if depth >= a.eng.maxDepth {
 		a.rep.Stats.Leaves++
 		a.rep.Stats.Truncated = true
-		if useMemo {
-			a.store(key, depth, true)
-		}
+		finish(true)
 		return true, nil
 	}
 	truncated := false
@@ -204,23 +254,21 @@ func (a *valAnalyzer) analyze(depth int) (bool, error) {
 		return nil
 	})
 	if err != nil {
-		return false, err
+		return fail(err)
 	}
 	if len(a.sets[depth]) >= 2 {
 		a.rep.Multivalent++
 		if allChildrenUnivalent {
 			crit, err := describeCritical(sys, depth, a.valence(depth, truncated))
 			if err != nil {
-				return false, err
+				return fail(err)
 			}
 			a.rep.Criticals = append(a.rep.Criticals, crit)
 		}
 	} else if !truncated {
 		a.rep.Univalent++
 	}
-	if useMemo {
-		a.store(key, depth, truncated)
-	}
+	finish(truncated)
 	return truncated, nil
 }
 
@@ -244,11 +292,7 @@ func (a *valAnalyzer) terminal(depth int) {
 
 // valence converts a depth's scratch row into an exported Valence.
 func (a *valAnalyzer) valence(depth int, truncated bool) Valence {
-	val := Valence{Decisions: make(map[int64]bool, len(a.sets[depth])), Truncated: truncated}
-	for _, v := range a.sets[depth] {
-		val.Decisions[v] = true
-	}
-	return val
+	return valenceOf(a.sets[depth], truncated)
 }
 
 func (a *valAnalyzer) store(key string, depth int, truncated bool) {
@@ -261,11 +305,12 @@ func (a *valAnalyzer) store(key string, depth int, truncated bool) {
 // memoKey builds the deduplication key for the current configuration: its
 // full byte encoding, the depth, and the sorted multiset of responses
 // already completed in the history. Keys are compared exactly; no hashing.
-func (a *valAnalyzer) memoKey(depth int) (string, bool) {
+// The returned slice aliases the engine's scratch buffer.
+func (a *valAnalyzer) memoKey(depth int) ([]byte, bool) {
 	b, ok := a.eng.sys.AppendConfigFingerprint(a.eng.keyBuf[:0])
 	if !ok {
 		a.eng.keyBuf = b
-		return "", false
+		return nil, false
 	}
 	b = spec.AppendFPInt(b, int64(depth))
 	h := a.eng.sys.History()
@@ -281,7 +326,7 @@ func (a *valAnalyzer) memoKey(depth int) (string, bool) {
 		b = spec.AppendFPInt(b, v)
 	}
 	a.eng.keyBuf = b
-	return string(b), true
+	return b, true
 }
 
 // insertSorted inserts v into the sorted unique slice s.
@@ -336,4 +381,264 @@ func describeCritical(s *sim.System, depth int, val Valence) (Critical, error) {
 		}
 	}
 	return crit, nil
+}
+
+// ---------------------------------------------------------------------------
+// Parallel valency analysis.
+
+// prefixKind classifies a node of the split prefix tree.
+type prefixKind uint8
+
+const (
+	// prefixInternal is a prefix node with children.
+	prefixInternal prefixKind = iota
+	// prefixTerminal is a completed run above the frontier.
+	prefixTerminal
+	// prefixFrontier roots a subtree handed to the workers.
+	prefixFrontier
+	// prefixDup is a duplicate arrival merged away by Dedup; its valence
+	// is the claimant's (dupOf).
+	prefixDup
+)
+
+// prefixNode is one node of the prefix tree the splitter records above the
+// frontier, later walked bottom-up to merge the workers' per-subtree
+// classifications into the sequential report.
+type prefixNode struct {
+	step      pathStep // edge from the parent
+	kind      prefixKind
+	children  []*prefixNode
+	task      int     // prefixFrontier: index into the task results
+	decisions []int64 // prefixTerminal: the run's decisions
+	hist      string  // prefixTerminal: rendered history when it violates agreement
+	dupOf     *prefixNode
+
+	// Merge results, filled bottom-up in depth-first order (so a dup's
+	// claimant — always earlier in that order — is resolved first).
+	mdec   []int64
+	mtrunc bool
+}
+
+// analyzeSplitter walks the prefix of the execution tree above the
+// frontier, recording its shape and handling Dedup at prefix depths with a
+// split-local key map (worker keys live at frontier depth and below, so
+// the two populations can never collide — the memo key includes depth).
+type analyzeSplitter struct {
+	a          *valAnalyzer
+	k          int
+	path       []pathStep
+	tasks      []subtreeTask
+	prefixKeys map[string]*prefixNode
+}
+
+func (sp *analyzeSplitter) walk(depth int, node *prefixNode) error {
+	if sp.a.dedup {
+		if b, ok := sp.a.memoKey(depth); ok {
+			if first, dup := sp.prefixKeys[string(b)]; dup {
+				sp.a.rep.Stats.Deduped++
+				node.kind = prefixDup
+				node.dupOf = first
+				return nil
+			}
+			sp.prefixKeys[string(b)] = node
+		}
+	}
+	if depth == sp.k {
+		node.kind = prefixFrontier
+		node.task = len(sp.tasks)
+		sp.tasks = append(sp.tasks, subtreeTask{path: clonePath(sp.path), node: node})
+		return nil
+	}
+	sys := sp.a.eng.sys
+	sp.a.rep.Stats.Nodes++
+	if sys.Done() {
+		sp.a.rep.Stats.Leaves++
+		node.kind = prefixTerminal
+		h := sys.History()
+		for i := 0; i < h.Len(); i++ {
+			if ev := h.Event(i); ev.Kind == history.KindRespond {
+				node.decisions = insertSorted(node.decisions, ev.Resp)
+			}
+		}
+		if len(node.decisions) > 1 {
+			node.hist = h.String()
+		}
+		return nil
+	}
+	node.kind = prefixInternal
+	return sp.a.eng.expandSteps(depth, func(d int, step pathStep) error {
+		child := &prefixNode{step: step}
+		node.children = append(node.children, child)
+		sp.path = append(sp.path, step)
+		err := sp.walk(d, child)
+		sp.path = sp.path[:len(sp.path)-1]
+		return err
+	})
+}
+
+// analyzeTaskResult is one worker-classified subtree.
+type analyzeTaskResult struct {
+	dec   []int64
+	trunc bool
+	rep   *ValencyReport
+}
+
+// analyzePar is the parallel valency analysis: split the tree at the
+// frontier, classify the subtrees on the worker pool, then merge decision
+// sets bottom-up through the recorded prefix tree. Criticals and counters
+// are emitted in the sequential analysis's postorder, so the merged report
+// matches the sequential one field for field (see AnalyzeConfig for the
+// Dedup caveat).
+func analyzePar(root *sim.System, maxDepth int, cfg Config, workers int) (*ValencyReport, error) {
+	rep := &ValencyReport{}
+	a := &valAnalyzer{
+		eng:  newEngine(root, maxDepth, Config{}, &rep.Stats),
+		rep:  rep,
+		sets: make([][]int64, maxDepth+2),
+	}
+	var shared *shardedMemo
+	if cfg.Dedup {
+		if _, ok := a.eng.sys.Fingerprint(); ok {
+			a.dedup = true
+			shared = newShardedMemo()
+		}
+	}
+	k, err := chooseFrontier(a.eng, maxDepth, workers, cfg.FrontierDepth)
+	if err != nil {
+		return nil, err
+	}
+	rootNode := &prefixNode{}
+	sp := &analyzeSplitter{a: a, k: k, prefixKeys: make(map[string]*prefixNode)}
+	if err := sp.walk(0, rootNode); err != nil {
+		return nil, err
+	}
+	results := make([]analyzeTaskResult, len(sp.tasks))
+	err = runTasks(root, maxDepth, workers, sp.tasks, nil, &rep.Stats,
+		func(we *engine, t subtreeTask) error {
+			taskRep := &ValencyReport{}
+			wa := &valAnalyzer{
+				eng:    we,
+				rep:    taskRep,
+				sets:   make([][]int64, maxDepth+2),
+				dedup:  shared != nil,
+				shared: shared,
+			}
+			trunc, err := wa.analyze(len(t.path))
+			if err != nil {
+				return err
+			}
+			results[t.node.task] = analyzeTaskResult{
+				dec:   append([]int64(nil), wa.sets[len(t.path)]...),
+				trunc: trunc,
+				rep:   taskRep,
+			}
+			return nil
+		}, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	m := &analyzeMerger{rep: rep, results: results}
+	m.mat = newEngineScratch(root)
+	dec, trunc, err := m.merge(rootNode, 0)
+	if err != nil {
+		return nil, err
+	}
+	rep.Root = valenceOf(dec, trunc)
+	return rep, nil
+}
+
+// engineScratch re-materializes prefix configurations for critical-
+// configuration descriptions: one clone, replayed and rewound per use.
+type engineScratch struct {
+	sys *sim.System
+}
+
+func newEngineScratch(root *sim.System) *engineScratch {
+	work := root.Clone()
+	work.EnableUndo()
+	return &engineScratch{sys: work}
+}
+
+func (s *engineScratch) at(path []pathStep) (*sim.System, error) {
+	if err := s.sys.UndoTo(0); err != nil {
+		return nil, err
+	}
+	if err := replayPath(s.sys, path); err != nil {
+		return nil, err
+	}
+	return s.sys, nil
+}
+
+// analyzeMerger folds worker results back through the prefix tree.
+type analyzeMerger struct {
+	rep     *ValencyReport
+	results []analyzeTaskResult
+	mat     *engineScratch
+	path    []pathStep
+}
+
+func (m *analyzeMerger) merge(n *prefixNode, depth int) ([]int64, bool, error) {
+	switch n.kind {
+	case prefixDup:
+		return n.dupOf.mdec, n.dupOf.mtrunc, nil
+	case prefixTerminal:
+		if len(n.decisions) > 1 {
+			m.rep.AgreementViolations++
+			if m.rep.ViolationHistory == "" {
+				m.rep.ViolationHistory = n.hist
+			}
+		}
+		n.mdec, n.mtrunc = n.decisions, false
+		return n.decisions, false, nil
+	case prefixFrontier:
+		r := m.results[n.task]
+		m.rep.Univalent += r.rep.Univalent
+		m.rep.Multivalent += r.rep.Multivalent
+		m.rep.AgreementViolations += r.rep.AgreementViolations
+		if m.rep.ViolationHistory == "" && r.rep.ViolationHistory != "" {
+			m.rep.ViolationHistory = r.rep.ViolationHistory
+		}
+		m.rep.Criticals = append(m.rep.Criticals, r.rep.Criticals...)
+		m.rep.Stats.add(r.rep.Stats)
+		n.mdec, n.mtrunc = r.dec, r.trunc
+		return r.dec, r.trunc, nil
+	}
+	// prefixInternal: union the children's decision sets, then classify —
+	// the same postorder the sequential analysis uses.
+	var dec []int64
+	trunc := false
+	allChildrenUnivalent := true
+	for _, c := range n.children {
+		m.path = append(m.path, c.step)
+		cdec, ctrunc, err := m.merge(c, depth+1)
+		m.path = m.path[:len(m.path)-1]
+		if err != nil {
+			return nil, false, err
+		}
+		for _, v := range cdec {
+			dec = insertSorted(dec, v)
+		}
+		trunc = trunc || ctrunc
+		if len(cdec) >= 2 || ctrunc {
+			allChildrenUnivalent = false
+		}
+	}
+	if len(dec) >= 2 {
+		m.rep.Multivalent++
+		if allChildrenUnivalent {
+			sys, err := m.mat.at(m.path)
+			if err != nil {
+				return nil, false, err
+			}
+			crit, err := describeCritical(sys, depth, valenceOf(dec, trunc))
+			if err != nil {
+				return nil, false, err
+			}
+			m.rep.Criticals = append(m.rep.Criticals, crit)
+		}
+	} else if !trunc {
+		m.rep.Univalent++
+	}
+	n.mdec, n.mtrunc = dec, trunc
+	return dec, trunc, nil
 }

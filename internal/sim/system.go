@@ -365,6 +365,22 @@ func (s *System) Undo() error {
 	return nil
 }
 
+// UndoTo pops undo records until at most n remain, restoring the
+// configuration the system had when its undo log was n steps deep. Workers
+// that seed themselves on a subtree (advance along a branch path, explore,
+// return) use UndoTo(0) to rewind to the root in one call.
+func (s *System) UndoTo(n int) error {
+	if n < 0 {
+		return fmt.Errorf("sim: UndoTo(%d): negative depth", n)
+	}
+	for len(s.undo) > n {
+		if err := s.Undo(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Advance performs one atomic step of process p, resolving a base
 // invocation with the branch-th candidate response. For a return action,
 // branch must be 0. It records history events and stabilization points.
