@@ -150,3 +150,21 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenWitness pins the complete witness output for the canonical
+// duplicate-response history.
+func TestGoldenWitness(t *testing.T) {
+	path := writeHistory(t, dupHistory)
+	var buf bytes.Buffer
+	if err := run([]string{"-obj", "X=fetchinc", "-mode", "mint", "-witness", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `MinT: 3 (of 4 events)
+witness 3-linearization:
+  1. p1 fetchinc -> 0
+  2. p0 fetchinc -> 1 (reassigned)
+`
+	if buf.String() != want {
+		t.Errorf("golden output drift:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

@@ -42,6 +42,7 @@ func run(args []string, out io.Writer) error {
 	policyName := fs.String("policy", "never", "EL stabilization policy: immediate | never | window:K")
 	dedup := fs.Bool("dedup", false, "merge equivalent configurations (mode valency): the tree becomes a DAG")
 	workers := fs.Int("workers", 0, "exploration workers: 0 = GOMAXPROCS, 1 = sequential reference engine")
+	checkDet := fs.Bool("checkdet", false, "verify programme determinism on every probe (catches implementations whose Step depends on state outside Clone)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,7 +61,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 
-	cfg := explore.Config{Workers: *workers}
+	cfg := explore.Config{Workers: *workers, CheckDeterminism: *checkDet}
 	switch *mode {
 	case "lin":
 		ok, bad, st, err := explore.LinearizableEverywhereConfig(root, *depth, cfg, check.Options{})
@@ -85,7 +86,8 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprint(out, bad.History().String())
 		}
 	case "valency":
-		rep, err := explore.AnalyzeConfig(root, *depth, explore.Config{Dedup: *dedup, Workers: *workers})
+		cfg.Dedup = *dedup
+		rep, err := explore.AnalyzeConfig(root, *depth, cfg)
 		if err != nil {
 			return err
 		}

@@ -141,3 +141,23 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckDetFlag(t *testing.T) {
+	// All built-in implementations are deterministic step machines, so
+	// -checkdet must not change the verdict (the nondeterministic-programme
+	// error path is exercised in internal/explore's determinism tests).
+	var plain, checked bytes.Buffer
+	args := []string{"-impl", "cas-counter", "-procs", "2", "-ops", "1", "-mode", "lin", "-depth", "12"}
+	if err := run(args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append(args, "-checkdet"), &checked); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != checked.String() {
+		t.Errorf("-checkdet changed output:\n%q\nvs\n%q", plain.String(), checked.String())
+	}
+	if !strings.Contains(checked.String(), "linearizable everywhere: true") {
+		t.Errorf("output: %q", checked.String())
+	}
+}

@@ -100,3 +100,32 @@ func TestErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestGoldenRun pins the complete output of a deterministic run: scheduler,
+// chooser and policy are all pure functions of the seed, so any drift here
+// is a real behaviour change, not noise.
+func TestGoldenRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-impl", "warmup-counter:2", "-procs", "2", "-ops", "2",
+		"-sched", "rr", "-chooser", "stale", "-policy", "window:2", "-seed", "5",
+		"-check", "-track"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `impl=warmup-counter procs=2 ops=2 sched=roundrobin chooser=stale policy=window(2) seed=5
+steps=18 timedout=false events=8
+  0  inv p0 warmup-counter fetchinc
+  1  inv p1 warmup-counter fetchinc
+  2  res p0 warmup-counter 0
+  3  inv p0 warmup-counter fetchinc
+  4  res p1 warmup-counter 0
+  5  inv p1 warmup-counter fetchinc
+  6  res p0 warmup-counter 2
+  7  res p1 warmup-counter 3
+linearizable=false weakly-consistent=true MinT=3
+trend=stabilized final-MinT=3 slope=0.0000
+`
+	if buf.String() != want {
+		t.Errorf("golden output drift:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}

@@ -1,0 +1,336 @@
+// Command elstress drives the live concurrent runtime: N goroutine clients
+// against a genuinely shared object, with sharded history recording, online
+// windowed t-linearizability monitoring, seeded fuzzing, and automatic
+// shrink-to-simulator replay on violations.
+//
+// Usage:
+//
+//	elstress -object atomic-fi -clients 8 -ops 100000
+//	elstress -object mutex-fi -clients 4 -ops 50000 -rate 20000
+//	elstress -object el-fi -policy window:400 -maxt -1
+//	elstress -object junk-fi:40 -clients 4 -ops 2000
+//	elstress -object junk-fi:50 -fuzz 8
+//	elstress -object atomic-fi -ops 1000000 -nomonitor -json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/live"
+	"github.com/elin-go/elin/internal/registry"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "elstress:", err)
+		os.Exit(1)
+	}
+}
+
+// objectNames lists the stressable objects for -list.
+var objectNames = []string{
+	"atomic-fi[:init]   lock-free fetch&increment (one atomic fetch-add)",
+	"mutex-fi[:init]    mutex-serialized atomic counter base object",
+	"mutex-reg[:init]   mutex-serialized atomic register (read/write mix)",
+	"el-fi[:init]       mutex-serialized eventually linearizable counter (see -policy)",
+	"junk-fi:K          injected bug: loses every increment past K",
+}
+
+// makeObject resolves an -object spec.
+func makeObject(name, policyName string, seed int64) (live.Object, live.OpGen, error) {
+	kind, arg, hasArg := strings.Cut(name, ":")
+	argInt := func(def int64) (int64, error) {
+		if !hasArg {
+			return def, nil
+		}
+		v, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil {
+			return 0, fmt.Errorf("bad parameter %q in %q: %w", arg, name, err)
+		}
+		return v, nil
+	}
+	switch kind {
+	case "atomic-fi":
+		init, err := argInt(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		return live.NewAtomicFetchInc("C", init), live.FetchIncGen(), nil
+	case "mutex-fi":
+		init, err := argInt(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		obj, err := live.NewSerialized("C", spec.Object{Type: spec.FetchInc{InitVal: init}, Init: init}, seed)
+		return obj, live.FetchIncGen(), err
+	case "mutex-reg":
+		init, err := argInt(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		obj, err := live.NewSerialized("R", spec.Object{Type: spec.Register{InitVal: init}, Init: init}, seed)
+		return obj, live.RegisterMixGen(0.3, 16), err
+	case "el-fi":
+		init, err := argInt(0)
+		if err != nil {
+			return nil, nil, err
+		}
+		policy, err := registry.Policy(policyName)
+		if err != nil {
+			return nil, nil, err
+		}
+		obj, err := live.NewSerializedEventual("C",
+			spec.Object{Type: spec.FetchInc{InitVal: init}, Init: init}, policy, seed, check.Options{})
+		return obj, live.FetchIncGen(), err
+	case "junk-fi":
+		stick, err := argInt(32)
+		if err != nil {
+			return nil, nil, err
+		}
+		return live.NewJunkFetchInc("C", stick), live.FetchIncGen(), nil
+	default:
+		return nil, nil, fmt.Errorf("unknown object %q (see -list)", name)
+	}
+}
+
+// stressRecord is the machine-readable summary (-json), archived alongside
+// elbench timings in BENCH_*.json.
+type stressRecord struct {
+	ID         string  `json:"id"`
+	Object     string  `json:"object"`
+	Clients    int     `json:"clients"`
+	Ops        int     `json:"ops"`
+	Events     int     `json:"events"`
+	NS         int64   `json:"ns"`
+	Throughput float64 `json:"throughput_ops_s"`
+	P50NS      int64   `json:"p50_ns"`
+	P95NS      int64   `json:"p95_ns"`
+	P99NS      int64   `json:"p99_ns"`
+	Windows    int     `json:"windows"`
+	Trend      string  `json:"trend,omitempty"`
+	Violation  bool    `json:"violation"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elstress", flag.ContinueOnError)
+	objName := fs.String("object", "atomic-fi", "object under stress (see -list)")
+	list := fs.Bool("list", false, "list objects and exit")
+	clients := fs.Int("clients", 4, "client goroutines")
+	ops := fs.Int("ops", 10000, "operations per client")
+	seed := fs.Int64("seed", 1, "run seed (per-client RNG streams and EL response choices)")
+	rate := fs.Float64("rate", 0, "open-loop rate per client in ops/sec (0 = closed loop)")
+	policyName := fs.String("policy", "window:400", "EL stabilization policy for el-fi: immediate | never | window:K")
+	stride := fs.Int("stride", 0, "monitor window stride in events (0 = auto: 512 for counter/consensus types with polynomial checkers, 80 for generic types whose windows are capped at 63 ops)")
+	maxT := fs.Int("maxt", 0, "window MinT tolerance; -1 = observe only (no violation stop)")
+	noMonitor := fs.Bool("nomonitor", false, "disable online monitoring (pure throughput)")
+	latSample := fs.Int("latsample", 1, "record one latency sample every N ops per client")
+	fuzz := fs.Int("fuzz", 0, "run a fuzz campaign over N consecutive seeds instead of one run")
+	noShrink := fs.Bool("noshrink", false, "skip ddmin shrinking of a violation window")
+	noVerify := fs.Bool("noverify", false, "skip the byte-identical replay verification (single-run mode; fuzz runs never verify)")
+	quiet := fs.Bool("quiet", false, "suppress witness history dumps")
+	jsonOut := fs.Bool("json", false, "emit a machine-readable summary record")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, n := range objectNames {
+			fmt.Fprintln(out, n)
+		}
+		return nil
+	}
+
+	obj, gen, err := makeObject(*objName, *policyName, *seed)
+	if err != nil {
+		return err
+	}
+	if *stride <= 0 {
+		switch obj.Spec().Type.(type) {
+		case spec.FetchInc, spec.Consensus:
+			*stride = 512 // polynomial checkers: windows can be generous
+		default:
+			// The generic engine caps a window at check.MaxOpsPerObject
+			// operations, and a window holds ~stride/2 new operations plus
+			// up to one carried-over open invocation per client.
+			s := 2 * (check.MaxOpsPerObject - *clients - 2)
+			if s < 8 {
+				return fmt.Errorf("%d clients leave no window room for the generic checker (cap %d ops); lower -clients or use -nomonitor",
+					*clients, check.MaxOpsPerObject)
+			}
+			if s > 80 {
+				s = 80
+			}
+			*stride = s
+		}
+	}
+	// A negative MaxT means observe-only (trend watching, no violation
+	// stop) — honoured by the monitor directly.
+	mon := check.IncrementalConfig{Stride: *stride, MaxT: *maxT}
+	cfg := live.Config{
+		Object:        obj,
+		Clients:       *clients,
+		Ops:           *ops,
+		Gen:           gen,
+		Seed:          *seed,
+		Rate:          *rate,
+		Monitor:       mon,
+		NoMonitor:     *noMonitor,
+		LatencySample: *latSample,
+	}
+
+	if *fuzz > 0 {
+		return runFuzz(out, cfg, *fuzz, *noShrink, *quiet, *jsonOut)
+	}
+
+	res, err := live.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		// The id encodes the configuration axes that make timings
+		// incomparable (client count, monitoring on/off), so archived
+		// records of the same object never collide in BENCH_*.json.
+		id := fmt.Sprintf("STRESS-%s-c%d", *objName, *clients)
+		if *noMonitor {
+			id += "-nomon"
+		}
+		rec := stressRecord{
+			ID:         id,
+			Object:     *objName,
+			Clients:    *clients,
+			Ops:        res.Ops,
+			Events:     res.History.Len(),
+			NS:         res.Elapsed.Nanoseconds(),
+			Throughput: res.Throughput,
+			P50NS:      res.LatP50.Nanoseconds(),
+			P95NS:      res.LatP95.Nanoseconds(),
+			P99NS:      res.LatP99.Nanoseconds(),
+			Windows:    len(res.Verdict.Samples),
+			Violation:  res.Violation != nil,
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		}
+		if !*noMonitor {
+			rec.Trend = res.Verdict.Trend.String()
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rec)
+	}
+
+	mode := "closed"
+	if *rate > 0 {
+		mode = fmt.Sprintf("open@%g/s", *rate)
+	}
+	fmt.Fprintf(out, "object=%s clients=%d ops/client=%d seed=%d mode=%s\n",
+		*objName, *clients, *ops, *seed, mode)
+	merged := ""
+	if res.Stopped {
+		merged = " (merge stopped at the violation window)"
+	}
+	fmt.Fprintf(out, "completed ops=%d events=%d%s in %v: %.0f ops/s\n",
+		res.Ops, res.History.Len(), merged, res.Elapsed.Round(time.Millisecond), res.Throughput)
+	fmt.Fprintf(out, "latency p50=%v p95=%v p99=%v max=%v\n",
+		res.LatP50, res.LatP95, res.LatP99, res.LatMax)
+	if !*noMonitor {
+		fmt.Fprintf(out, "monitor windows=%d trend=%s final-window-MinT=%d\n",
+			len(res.Verdict.Samples), res.Verdict.Trend, res.Verdict.FinalMinT)
+	}
+	if res.Violation != nil {
+		fmt.Fprintf(out, "VIOLATION: %s\n", res.Violation)
+		if err := reportViolation(out, res.Violation, *noShrink, *quiet); err != nil {
+			return err
+		}
+	}
+	if !*noVerify {
+		same, err := live.Verify(obj, res.History)
+		if err != nil {
+			return err
+		}
+		if same {
+			fmt.Fprintln(out, "replay: byte-identical (run reproducible from seed + commit order)")
+		} else {
+			fmt.Fprintln(out, "replay: DIVERGED (object is not commit-deterministic)")
+		}
+	}
+	return nil
+}
+
+// reportViolation shrinks (unless disabled) and prints the witness with its
+// simulator confirmation.
+func reportViolation(out io.Writer, v *check.WindowViolation, noShrink, quiet bool) error {
+	if noShrink {
+		if !quiet {
+			fmt.Fprintln(out, "offending window:")
+			fmt.Fprint(out, v.Window.String())
+		}
+		return nil
+	}
+	w, err := live.Shrink(v, check.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "shrunk to %d ops in %d trials; sim replay diverged=%v\n",
+		w.Ops, w.Trials, w.Replay.Diverged)
+	if w.Replay.Diverged {
+		fmt.Fprintf(out, "sim: p%d %s got %d, model permits %v\n",
+			w.Replay.Proc, w.Replay.Op, w.Replay.Got, w.Replay.Want)
+	}
+	if !quiet {
+		fmt.Fprintln(out, "minimized witness:")
+		fmt.Fprint(out, w.History.String())
+	}
+	return nil
+}
+
+// runFuzz drives a fuzz campaign.
+func runFuzz(out io.Writer, base live.Config, runs int, noShrink, quiet, jsonOut bool) error {
+	res, err := live.Fuzz(live.FuzzConfig{Base: base, Runs: runs, NoShrink: noShrink})
+	if err != nil {
+		return err
+	}
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(map[string]any{
+			"id":        "FUZZ-" + base.Object.Name(),
+			"runs":      res.Runs,
+			"total_ops": res.TotalOps,
+			"found":     res.Found(),
+			"seed":      res.Seed,
+		})
+	}
+	fmt.Fprintf(out, "fuzz: %d runs, %d total ops\n", res.Runs, res.TotalOps)
+	if !res.Found() {
+		fmt.Fprintln(out, "no violation found")
+		return nil
+	}
+	fmt.Fprintf(out, "VIOLATION at seed %d: %s\n", res.Seed, res.Violation)
+	if res.Witness == nil {
+		if !quiet {
+			fmt.Fprintln(out, "offending window:")
+			fmt.Fprint(out, res.Violation.Window.String())
+		}
+		return nil
+	}
+	fmt.Fprintf(out, "shrunk to %d ops in %d trials; sim replay diverged=%v\n",
+		res.Witness.Ops, res.Witness.Trials, res.Witness.Replay.Diverged)
+	if res.Witness.Replay.Diverged {
+		fmt.Fprintf(out, "sim: p%d %s got %d, model permits %v\n",
+			res.Witness.Replay.Proc, res.Witness.Replay.Op, res.Witness.Replay.Got, res.Witness.Replay.Want)
+	}
+	if !quiet {
+		fmt.Fprintln(out, "minimized witness:")
+		fmt.Fprint(out, res.Witness.History.String())
+	}
+	return nil
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"atomic-fi", "mutex-fi", "el-fi", "junk-fi"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("list output missing %s: %q", want, buf.String())
+		}
+	}
+}
+
+func TestCleanAtomicRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-object", "atomic-fi", "-clients", "4", "-ops", "2000",
+		"-stride", "256", "-seed", "3"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"completed ops=8000 events=16000",
+		"trend=stabilized",
+		"replay: byte-identical",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("clean run reported a violation:\n%s", out)
+	}
+}
+
+func TestJunkCaughtAndShrunk(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-object", "junk-fi:40", "-clients", "2", "-ops", "500",
+		"-stride", "64"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"VIOLATION", "sim replay diverged=true", "minimized witness:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestELObserveOnly(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-object", "el-fi", "-policy", "window:200", "-clients", "2",
+		"-ops", "600", "-maxt", "-1", "-stride", "128", "-quiet"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "VIOLATION") {
+		t.Errorf("observe-only run stopped:\n%s", out)
+	}
+	if !strings.Contains(out, "monitor windows=") {
+		t.Errorf("monitor summary missing:\n%s", out)
+	}
+}
+
+func TestOpenLoopAndRegisterMix(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-object", "mutex-reg", "-clients", "3", "-ops", "100",
+		"-rate", "100000", "-stride", "40"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "mode=open@100000/s") {
+		t.Errorf("open-loop mode missing:\n%s", buf.String())
+	}
+	if strings.Contains(buf.String(), "VIOLATION") {
+		t.Errorf("serialized register flagged:\n%s", buf.String())
+	}
+}
+
+func TestRegisterDefaultStride(t *testing.T) {
+	// Generic types must get an automatic stride that keeps windows under
+	// the generic engine's 63-op cap (an unadapted default used to fail
+	// with ErrTooLarge on the first window).
+	var buf bytes.Buffer
+	err := run([]string{"-object", "mutex-reg", "-clients", "2", "-ops", "2000"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "VIOLATION") {
+		t.Errorf("serialized register flagged under default flags:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "trend=stabilized") {
+		t.Errorf("monitor summary missing:\n%s", buf.String())
+	}
+}
+
+func TestFuzzFinds(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-object", "junk-fi:30", "-clients", "2", "-ops", "200",
+		"-stride", "64", "-fuzz", "3", "-quiet"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "VIOLATION at seed 1") {
+		t.Errorf("fuzz did not report the first seed:\n%s", out)
+	}
+	if !strings.Contains(out, "sim replay diverged=true") {
+		t.Errorf("fuzz witness not confirmed:\n%s", out)
+	}
+}
+
+func TestJSONRecord(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-object", "atomic-fi", "-clients", "2", "-ops", "1000",
+		"-stride", "256", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("bad json: %v\n%s", err, buf.String())
+	}
+	if rec["id"] != "STRESS-atomic-fi-c2" || rec["violation"] != false {
+		t.Errorf("record: %v", rec)
+	}
+	if rec["throughput_ops_s"].(float64) <= 0 {
+		t.Errorf("missing throughput: %v", rec)
+	}
+	if rec["trend"] != "stabilized" {
+		t.Errorf("trend: %v", rec)
+	}
+}
+
+func TestNoMonitorJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{"-object", "mutex-fi", "-clients", "2", "-ops", "500",
+		"-nomonitor", "-latsample", "16", "-json"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, hasTrend := rec["trend"]; hasTrend {
+		t.Errorf("nomonitor record has trend: %v", rec)
+	}
+	if rec["events"].(float64) != 2000 {
+		t.Errorf("events: %v", rec)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	bad := [][]string{
+		{"-object", "nosuch"},
+		{"-object", "junk-fi:xx"},
+		{"-object", "el-fi", "-policy", "nosuch"},
+		// Too many clients for the generic checker's window cap under
+		// auto-stride.
+		{"-object", "mutex-reg", "-clients", "62", "-ops", "10"},
+	}
+	for _, args := range bad {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

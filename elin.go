@@ -36,6 +36,7 @@ import (
 	"github.com/elin-go/elin/internal/check"
 	"github.com/elin-go/elin/internal/explore"
 	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/live"
 	"github.com/elin-go/elin/internal/machine"
 	"github.com/elin-go/elin/internal/sim"
 	"github.com/elin-go/elin/internal/spec"
@@ -91,6 +92,14 @@ type (
 	Sample = check.Sample
 	// Trend classifies MinT growth.
 	Trend = check.Trend
+	// Monitor is the online windowed t-linearizability monitor: a growing
+	// history is fed event by event and checked window by window.
+	Monitor = check.Incremental
+	// MonitorConfig tunes the online monitor (stride, tolerance).
+	MonitorConfig = check.IncrementalConfig
+	// WindowViolation is an online monitor stop: the offending window as a
+	// standalone, rebased history.
+	WindowViolation = check.WindowViolation
 )
 
 // Trend values re-exported for callers of TrackMinT.
@@ -171,6 +180,11 @@ var (
 	// TrackMinT measures MinT over growing prefixes and classifies the
 	// trend — the finite-data instrument for Definitions 3/4.
 	TrackMinT = check.TrackMinT
+	// NewMonitor returns an online windowed monitor for a single-object
+	// history.
+	NewMonitor = check.NewIncremental
+	// ClassifyTrend labels the growth trend of a MinT sample series.
+	ClassifyTrend = check.Classify
 )
 
 // Execution and exploration.
@@ -218,4 +232,61 @@ var (
 	// FindStableConfig is FindStable with exploration options (worker
 	// parallelism pipelines the per-candidate stability verifications).
 	FindStableConfig = explore.FindStableConfig
+)
+
+// Live concurrent runtime: real goroutine clients against genuinely shared
+// objects, with online monitoring and shrink-to-simulator replay.
+type (
+	// LiveObject is a concurrency-safe shared object driven by goroutine
+	// clients.
+	LiveObject = live.Object
+	// LiveConfig describes one live stress run.
+	LiveConfig = live.Config
+	// LiveResult is a live run's outcome (merged history, throughput,
+	// latency percentiles, monitor verdict).
+	LiveResult = live.Result
+	// LiveOpGen generates client operations from per-client RNG streams.
+	LiveOpGen = live.OpGen
+	// FuzzConfig drives a seeded fuzz campaign over live runs.
+	FuzzConfig = live.FuzzConfig
+	// FuzzResult is a fuzz campaign's outcome.
+	FuzzResult = live.FuzzResult
+	// ShrunkWitness is a ddmin-minimized, simulator-confirmed
+	// counterexample.
+	ShrunkWitness = live.Witness
+	// ReplayConfig describes a commit-order replay of a recorded history
+	// inside the deterministic simulator.
+	ReplayConfig = sim.ReplayConfig
+	// ReplayResult reports a commit-order replay (divergence pinpoints the
+	// first out-of-model response).
+	ReplayResult = sim.ReplayResult
+)
+
+var (
+	// LiveRun executes one live stress run.
+	LiveRun = live.Run
+	// LiveReplay re-executes a merged history serially, re-deriving every
+	// response from the recorded commit order.
+	LiveReplay = live.Replay
+	// LiveVerify checks that a recorded run replays byte-identically.
+	LiveVerify = live.Verify
+	// LiveFuzz runs a seeded fuzz campaign with shrink-to-sim on the first
+	// violation.
+	LiveFuzz = live.Fuzz
+	// ShrinkViolation minimizes a monitor violation by delta debugging,
+	// confirming every step in the deterministic simulator.
+	ShrinkViolation = live.Shrink
+	// NewAtomicFetchInc returns the lock-free live counter.
+	NewAtomicFetchInc = live.NewAtomicFetchInc
+	// NewSerialized wraps an atomic base object in a mutex for live runs.
+	NewSerialized = live.NewSerialized
+	// NewSerializedEventual wraps an eventually linearizable base object
+	// for live runs.
+	NewSerializedEventual = live.NewSerializedEventual
+	// NewJunkFetchInc returns the injected-bug counter that loses
+	// increments past its stick value (monitor/shrink pipeline demos).
+	NewJunkFetchInc = live.NewJunkFetchInc
+	// SimReplay re-executes a recorded history commit-order inside the
+	// deterministic simulator.
+	SimReplay = sim.Replay
 )

@@ -100,3 +100,42 @@ func TestFacadeWeakResponses(t *testing.T) {
 		t.Fatalf("WeakResponses = %v", resps)
 	}
 }
+
+func TestFacadeLiveRuntime(t *testing.T) {
+	// The live layer end to end through the facade: a clean run, and a
+	// caught-shrunk-confirmed junk run.
+	res, err := LiveRun(LiveConfig{
+		Object:  NewAtomicFetchInc("C", 0),
+		Clients: 2,
+		Ops:     400,
+		Seed:    1,
+		Monitor: MonitorConfig{Stride: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil || res.Verdict.Trend != TrendStabilized {
+		t.Fatalf("clean live run: violation=%v trend=%s", res.Violation, res.Verdict.Trend)
+	}
+	same, err := LiveVerify(NewAtomicFetchInc("C", 0), res.History)
+	if err != nil || !same {
+		t.Fatalf("replay identity: same=%v err=%v", same, err)
+	}
+
+	junk, err := LiveFuzz(FuzzConfig{
+		Base: LiveConfig{
+			Object:  NewJunkFetchInc("C", 25),
+			Clients: 2,
+			Ops:     200,
+			Seed:    5,
+			Monitor: MonitorConfig{Stride: 64},
+		},
+		Runs: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !junk.Found() || !junk.Witness.Replay.Diverged {
+		t.Fatalf("junk not caught+confirmed: %+v", junk)
+	}
+}

@@ -1,0 +1,258 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// IncrementalConfig tunes the windowed online monitor.
+type IncrementalConfig struct {
+	// Stride is the number of events between checks; each check closes one
+	// window (default 256). Smaller strides catch violations sooner and keep
+	// the per-check search small; the generic engine caps a window at
+	// MaxOpsPerObject operations, so non-fetchinc/consensus types need
+	// Stride well below 2*MaxOpsPerObject.
+	Stride int
+	// MaxT is the violation threshold: a window whose MinT exceeds it stops
+	// the monitor with a WindowViolation. 0 (the default) demands every
+	// window be linearizable on its own — the right setting for objects
+	// claiming linearizability. Eventually linearizable objects are run
+	// with a positive tolerance, or with a negative MaxT (trend watching
+	// only, no violation stop — same as NoViolation).
+	MaxT int
+	// NoViolation disables the MaxT cut-off entirely (equivalent to a
+	// negative MaxT but keeps the zero value of MaxT meaning "strict").
+	NoViolation bool
+	// Opts configures the underlying MinT searches.
+	Opts Options
+}
+
+func (c IncrementalConfig) stride() int {
+	if c.Stride <= 0 {
+		return 256
+	}
+	return c.Stride
+}
+
+// WindowViolation is an online monitor stop: a window whose MinT exceeded
+// the configured tolerance. The window is standalone — its object carries
+// the rebased initial state, so it can be re-checked, shrunk and replayed
+// without the rest of the run.
+type WindowViolation struct {
+	// Start and End are the global event indexes the window covers
+	// ([Start, End) in the full merged history).
+	Start, End int
+	// Window is the offending window as a standalone history (cloned; safe
+	// to keep). Operations that were already open when the window started
+	// appear with their invocations moved to the window start, which only
+	// weakens real-time constraints — a violation is never manufactured by
+	// the windowing.
+	Window *history.History
+	// Object is the specification the window was checked against, with the
+	// initial state rebased past the committed prefix.
+	Object spec.Object
+	// MinT is the window's measured MinT, or -1 if the window is not
+	// t-linearizable for any t (partial types only).
+	MinT int
+	// MaxT echoes the tolerance the window exceeded.
+	MaxT int
+}
+
+// String implements fmt.Stringer.
+func (v *WindowViolation) String() string {
+	return fmt.Sprintf("window [%d,%d): MinT %d exceeds tolerance %d", v.Start, v.End, v.MinT, v.MaxT)
+}
+
+// Incremental is the online t-linearizability monitor: a growing
+// single-object history is fed event by event and checked in windows, so a
+// run of millions of operations pays a bounded (per-window) search instead
+// of one post-hoc check over the whole history — post-hoc linearizability
+// checking is NP-hard in the history length, windowed monitoring is the
+// standard way long-lived objects stay checkable online.
+//
+// Every Stride events the monitor computes the MinT of the current window
+// as a standalone history and then advances the window: operations
+// completed inside the window are folded into the object's initial state
+// (applied in commit order — exact for order-insensitive types like
+// fetch&increment, where any serialization of n increments yields the same
+// state; for other types the fold trusts the recorded commit order, which
+// is precisely the serialization claim under test). Operations still open
+// at the cut stay in the next window with their invocations moved to the
+// window start — a sound weakening (it only removes real-time edges), so
+// the monitor never reports a violation a full post-hoc check would not.
+// The converse does not hold: a violation whose conflicting operations
+// never share a window is missed, the usual windowed-monitoring trade-off.
+//
+// The per-window MinT values form a Sample series (one sample per window,
+// at the global event count where the window closed): Verdict classifies
+// their trend, which is the live analog of TrackMinT — stabilized windows
+// are the Definition 4 signature, persistently growing window MinT the
+// Corollary 19 one.
+type Incremental struct {
+	cfg IncrementalConfig
+
+	// obj is the specification with Init rebased past the committed prefix.
+	obj spec.Object
+	det spec.DetStepper // non-nil fast path for the rebase fold
+
+	// win is the current window as a standalone history.
+	win *history.History
+	// start is the global event index of the window's first event.
+	start int
+	// events counts all events fed so far.
+	events int
+
+	samples   []Sample
+	violation *WindowViolation
+	// checks counts windows closed (violating or not).
+	checks int
+}
+
+// NewIncremental returns a monitor for a single-object history against obj.
+func NewIncremental(obj spec.Object, cfg IncrementalConfig) *Incremental {
+	m := &Incremental{
+		cfg: cfg,
+		obj: obj,
+		win: history.New(),
+	}
+	m.det, _ = obj.Type.(spec.DetStepper)
+	return m
+}
+
+// Events returns the number of events fed so far.
+func (m *Incremental) Events() int { return m.events }
+
+// Checks returns the number of windows checked so far.
+func (m *Incremental) Checks() int { return m.checks }
+
+// Samples returns the per-window MinT measurements (one per closed window,
+// keyed by the global event count at the close). The slice is live; callers
+// must not mutate it.
+func (m *Incremental) Samples() []Sample { return m.samples }
+
+// Violation returns the recorded violation, if any.
+func (m *Incremental) Violation() *WindowViolation { return m.violation }
+
+// Verdict classifies the trend of the per-window MinT series.
+func (m *Incremental) Verdict() Verdict {
+	v := Verdict{Samples: m.samples}
+	if len(m.samples) > 0 {
+		v.FinalMinT = m.samples[len(m.samples)-1].MinT
+	}
+	v.Trend, v.Slope = Classify(m.samples)
+	return v
+}
+
+// Feed appends one event. When the event closes a window the window is
+// checked; a tolerance breach returns the violation (also retained for
+// Violation) and freezes the monitor — further Feeds return the same
+// violation without checking.
+func (m *Incremental) Feed(e history.Event) (*WindowViolation, error) {
+	if m.violation != nil {
+		return m.violation, nil
+	}
+	if err := m.win.Append(e); err != nil {
+		return nil, fmt.Errorf("check: incremental feed: %w", err)
+	}
+	m.events++
+	if m.win.Len() < m.cfg.stride() {
+		return nil, nil
+	}
+	return m.closeWindow()
+}
+
+// Finish checks the final partial window (if it has any events). Call it
+// after the last Feed; the returned violation, if any, covers the tail.
+func (m *Incremental) Finish() (*WindowViolation, error) {
+	if m.violation != nil || m.win.Len() == 0 {
+		return m.violation, nil
+	}
+	return m.closeWindow()
+}
+
+// closeWindow measures the current window, records the sample, raises a
+// violation if tolerated MinT is exceeded, and otherwise advances the cut.
+func (m *Incremental) closeWindow() (*WindowViolation, error) {
+	t, ok, err := MinT(m.obj, m.win, m.cfg.Opts)
+	if err != nil {
+		return nil, fmt.Errorf("check: incremental window [%d,%d): %w", m.start, m.events, err)
+	}
+	m.checks++
+	if !ok {
+		t = -1
+	}
+	m.samples = append(m.samples, Sample{Events: m.events, MinT: t})
+	if !m.cfg.NoViolation && m.cfg.MaxT >= 0 && (t < 0 || t > m.cfg.MaxT) {
+		m.violation = &WindowViolation{
+			Start:  m.start,
+			End:    m.events,
+			Window: m.win.Clone(),
+			Object: m.obj,
+			MinT:   t,
+			MaxT:   m.cfg.MaxT,
+		}
+		return m.violation, nil
+	}
+	return nil, m.advanceCut()
+}
+
+// advanceCut folds the window's completed operations into the rebased
+// initial state (in commit order) and starts the next window with the
+// still-open operations' invocations.
+func (m *Incremental) advanceCut() error {
+	state := m.obj.Init
+	ops := m.win.Operations()
+	var open []history.Operation
+	byRes := make([]history.Operation, 0, len(ops))
+	for _, op := range ops {
+		if op.Pending() {
+			open = append(open, op)
+		} else {
+			byRes = append(byRes, op)
+		}
+	}
+	// Fold in response-event order: in the live runtime response events are
+	// placed at their commit tickets, so this is the commit order.
+	sort.Slice(byRes, func(i, j int) bool { return byRes[i].Res < byRes[j].Res })
+	for _, op := range byRes {
+		next, applied := m.stepState(state, op.Op, op.Resp)
+		if !applied {
+			return fmt.Errorf("check: incremental rebase: %s inapplicable in state %v", op.Op, state)
+		}
+		state = next
+	}
+	m.obj = spec.Object{Type: m.obj.Type, Init: state}
+	m.start = m.events
+	next := history.New()
+	for _, op := range open {
+		if err := next.Invoke(op.Proc, op.Obj, op.Op); err != nil {
+			return fmt.Errorf("check: incremental rebase: %w", err)
+		}
+	}
+	m.win = next
+	return nil
+}
+
+// stepState advances state by op. Deterministic types ignore resp; for a
+// nondeterministic type the outcome matching the recorded response is
+// selected (the branch the implementation claims to have taken), falling
+// back to the first applicable outcome when none matches.
+func (m *Incremental) stepState(state spec.State, op spec.Op, resp int64) (spec.State, bool) {
+	if m.det != nil {
+		out, ok := m.det.StepDet(state, op)
+		return out.Next, ok
+	}
+	outs := m.obj.Type.Step(state, op)
+	if len(outs) == 0 {
+		return state, false
+	}
+	for _, out := range outs {
+		if out.Resp == resp {
+			return out.Next, true
+		}
+	}
+	return outs[0].Next, true
+}

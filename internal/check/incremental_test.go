@@ -1,0 +1,251 @@
+package check
+
+import (
+	"testing"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func feedAll(t *testing.T, m *Incremental, h *history.History) *WindowViolation {
+	t.Helper()
+	for i := 0; i < h.Len(); i++ {
+		v, err := m.Feed(h.Event(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v != nil {
+			return v
+		}
+	}
+	v, err := m.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// serialCounter builds k sequential fetchinc ops with correct responses.
+func serialCounter(t *testing.T, k int) *history.History {
+	t.Helper()
+	h := history.New()
+	for i := 0; i < k; i++ {
+		if err := h.Call(i%3, "C", spec.MakeOp(spec.MethodFetchInc), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestIncrementalCleanRun(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	m := NewIncremental(obj, IncrementalConfig{Stride: 16})
+	h := serialCounter(t, 100)
+	if v := feedAll(t, m, h); v != nil {
+		t.Fatalf("clean history flagged: %v", v)
+	}
+	if m.Events() != 200 {
+		t.Fatalf("events = %d, want 200", m.Events())
+	}
+	if m.Checks() < 10 {
+		t.Fatalf("checks = %d, want >= 10", m.Checks())
+	}
+	for _, s := range m.Samples() {
+		if s.MinT != 0 {
+			t.Fatalf("clean window MinT = %d at %d events", s.MinT, s.Events)
+		}
+	}
+	if v := m.Verdict(); v.Trend != TrendStabilized {
+		t.Fatalf("trend = %s, want stabilized", v.Trend)
+	}
+}
+
+// TestIncrementalRebaseMatchesFull checks that the windowed cut does not
+// change verdicts: a history that is linearizable as a whole stays clean
+// under every stride, including strides that cut mid-operation.
+func TestIncrementalRebaseMatchesFull(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	// Concurrent pattern: two overlapping ops per round, correct responses.
+	h := history.New()
+	resp := int64(0)
+	for round := 0; round < 30; round++ {
+		mustDo(t, h.Invoke(0, "C", spec.MakeOp(spec.MethodFetchInc)))
+		mustDo(t, h.Invoke(1, "C", spec.MakeOp(spec.MethodFetchInc)))
+		mustDo(t, h.Respond(1, resp))
+		mustDo(t, h.Respond(0, resp+1))
+		resp += 2
+	}
+	for _, stride := range []int{5, 7, 16, 64, 1000} {
+		m := NewIncremental(obj, IncrementalConfig{Stride: stride})
+		if v := feedAll(t, m, h); v != nil {
+			t.Fatalf("stride %d: clean concurrent history flagged: %v", stride, v)
+		}
+	}
+}
+
+func mustDo(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIncrementalCatchesDuplicate(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := serialCounter(t, 40)
+	// A lost update far into the run: two ops answer 40.
+	mustDo(t, h.Call(0, "C", spec.MakeOp(spec.MethodFetchInc), 40))
+	mustDo(t, h.Call(1, "C", spec.MakeOp(spec.MethodFetchInc), 40))
+	m := NewIncremental(obj, IncrementalConfig{Stride: 16})
+	v := feedAll(t, m, h)
+	if v == nil {
+		t.Fatal("duplicate response not caught")
+	}
+	if v.MinT <= 0 {
+		t.Fatalf("violation MinT = %d, want > 0", v.MinT)
+	}
+	if v.Window.Len() == 0 || v.End <= v.Start {
+		t.Fatalf("bad violation window: %+v", v)
+	}
+	// The standalone window must itself fail a 0-linearizability check.
+	lin, err := TLinearizable(v.Object, v.Window, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lin {
+		t.Fatal("violation window is 0-linearizable standalone")
+	}
+	// The monitor freezes after a violation.
+	again, err := m.Feed(history.Event{Kind: history.KindInvoke, Proc: 5, Obj: "C", Op: spec.MakeOp(spec.MethodFetchInc)})
+	if err != nil || again != v {
+		t.Fatalf("frozen monitor: v=%v err=%v", again, err)
+	}
+}
+
+// TestIncrementalStaleRegime: an eventually-linearizable-style run whose
+// early windows answer stale but later windows are exact. With tolerance
+// the monitor passes and the trend stabilizes.
+func TestIncrementalToleranceAndTrend(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := history.New()
+	// Early regime: pairs of concurrent ops both answered with the lower
+	// value's op reordered — sequentially legal per window only with t > 0.
+	// Build: inv a, inv b, res a=k+1, res b=k (swapped completion order).
+	// Per round (one window at stride 8), four serial ops with the first two
+	// responses swapped: the second op is a genuinely stale read (it follows
+	// the first in real time yet answers a lower value), so the window needs
+	// t = 2 — non-zero but within tolerance.
+	k := int64(0)
+	for round := 0; round < 8; round++ {
+		mustDo(t, h.Call(0, "C", spec.MakeOp(spec.MethodFetchInc), k+1))
+		mustDo(t, h.Call(1, "C", spec.MakeOp(spec.MethodFetchInc), k))
+		mustDo(t, h.Call(0, "C", spec.MakeOp(spec.MethodFetchInc), k+2))
+		mustDo(t, h.Call(1, "C", spec.MakeOp(spec.MethodFetchInc), k+3))
+		k += 4
+	}
+	// Late regime: serial and exact.
+	for i := 0; i < 60; i++ {
+		mustDo(t, h.Call(0, "C", spec.MakeOp(spec.MethodFetchInc), k))
+		k++
+	}
+	m := NewIncremental(obj, IncrementalConfig{Stride: 8, MaxT: 4})
+	if v := feedAll(t, m, h); v != nil {
+		t.Fatalf("tolerated run flagged: %v", v)
+	}
+	samples := m.Samples()
+	if samples[0].MinT == 0 {
+		t.Fatalf("early window unexpectedly exact: %+v", samples[0])
+	}
+	last := samples[len(samples)-1]
+	if last.MinT != 0 {
+		t.Fatalf("late window MinT = %d, want 0", last.MinT)
+	}
+	if v := m.Verdict(); v.Trend != TrendStabilized {
+		t.Fatalf("trend = %s, want stabilized (samples %+v)", v.Trend, samples)
+	}
+}
+
+func TestIncrementalNegativeMaxTObserves(t *testing.T) {
+	// MaxT < 0 means trend watching only: no window, however bad, stops the
+	// monitor.
+	obj := spec.NewObject(spec.FetchInc{})
+	h := serialCounter(t, 10)
+	mustDo(t, h.Call(0, "C", spec.MakeOp(spec.MethodFetchInc), 10))
+	mustDo(t, h.Call(1, "C", spec.MakeOp(spec.MethodFetchInc), 10))
+	m := NewIncremental(obj, IncrementalConfig{Stride: 8, MaxT: -1})
+	if v := feedAll(t, m, h); v != nil {
+		t.Fatalf("negative-MaxT monitor flagged: %v", v)
+	}
+	bad := false
+	for _, s := range m.Samples() {
+		if s.MinT > 0 {
+			bad = true
+		}
+	}
+	if !bad {
+		t.Fatalf("bad window invisible in samples: %+v", m.Samples())
+	}
+}
+
+func TestIncrementalNoViolationMode(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := serialCounter(t, 10)
+	mustDo(t, h.Call(0, "C", spec.MakeOp(spec.MethodFetchInc), 10))
+	mustDo(t, h.Call(1, "C", spec.MakeOp(spec.MethodFetchInc), 10))
+	m := NewIncremental(obj, IncrementalConfig{Stride: 8, NoViolation: true})
+	if v := feedAll(t, m, h); v != nil {
+		t.Fatalf("NoViolation monitor flagged: %v", v)
+	}
+	// The bad window still shows up in the samples.
+	bad := false
+	for _, s := range m.Samples() {
+		if s.MinT > 0 {
+			bad = true
+		}
+	}
+	if !bad {
+		t.Fatalf("bad window invisible in samples: %+v", m.Samples())
+	}
+}
+
+// ----------------------------------------------------------------------------
+// Trend classification edge cases (Classify is also the TrackMinT backend).
+
+func TestClassifyEdgeCases(t *testing.T) {
+	mk := func(minTs ...int) []Sample {
+		s := make([]Sample, len(minTs))
+		for i, v := range minTs {
+			s[i] = Sample{Events: (i + 1) * 10, MinT: v}
+		}
+		return s
+	}
+	cases := []struct {
+		name    string
+		samples []Sample
+		want    Trend
+	}{
+		{"empty", nil, TrendInconclusive},
+		{"single", mk(0), TrendInconclusive},
+		{"two", mk(0, 5), TrendInconclusive},
+		{"three", mk(1, 1, 1), TrendInconclusive},
+		{"plateau", mk(3, 3, 3, 3, 3, 3), TrendStabilized},
+		{"growth-then-plateau", mk(1, 4, 9, 9, 9, 9, 9, 9), TrendStabilized},
+		{"plateau-then-spike", mk(0, 0, 0, 0, 0, 50), TrendDiverging},
+		{"steady-growth", mk(5, 10, 15, 20, 25, 30), TrendDiverging},
+		{"spike-then-recover", mk(0, 0, 0, 50, 0, 0), TrendInconclusive},
+	}
+	for _, tc := range cases {
+		got, _ := Classify(tc.samples)
+		if got != tc.want {
+			t.Errorf("%s: Classify = %s, want %s", tc.name, got, tc.want)
+		}
+	}
+	// Slope sanity: a pure plateau has zero slope, steady growth a positive
+	// one.
+	if _, slope := Classify(mk(3, 3, 3, 3, 3, 3)); slope != 0 {
+		t.Errorf("plateau slope = %v, want 0", slope)
+	}
+	if _, slope := Classify(mk(5, 10, 15, 20, 25, 30)); slope <= 0 {
+		t.Errorf("growth slope = %v, want > 0", slope)
+	}
+}

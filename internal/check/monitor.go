@@ -88,9 +88,18 @@ func TrackMinT(obj spec.Object, h *history.History, stride int, opts Options) (V
 		}
 	}
 	v.FinalMinT = v.Samples[len(v.Samples)-1].MinT
-	v.Slope = tailSlope(v.Samples)
-	v.Trend = classify(v.Samples, v.Slope)
+	v.Trend, v.Slope = Classify(v.Samples)
 	return v, nil
+}
+
+// Classify labels the growth trend of a MinT sample series and returns the
+// least-squares slope its label is based on. It is the classification shared
+// by TrackMinT (post-hoc prefixes) and Incremental (live windows); callers
+// with their own sampling loops can feed it directly. Fewer than four
+// samples are always inconclusive.
+func Classify(samples []Sample) (Trend, float64) {
+	slope := tailSlope(samples)
+	return classify(samples, slope), slope
 }
 
 // tailSlope fits MinT = a + b*Events over the second half of the samples

@@ -135,6 +135,7 @@ func All() []Experiment {
 		{"E14", E14Checker},
 		{"E15", E15Progress},
 		{"E16", E16Hierarchy},
+		{"E17", E17Stress},
 	}
 }
 

@@ -304,3 +304,30 @@ func TestAllUnique(t *testing.T) {
 		t.Error("ByID should be case-insensitive")
 	}
 }
+
+func TestE17StressShape(t *testing.T) {
+	tab := runExp(t, "E17")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("E17 rows = %d, want 4", len(tab.Rows))
+	}
+	// Correct objects: clean, stabilized trend, byte-identical replay.
+	for i := 0; i < 3; i++ {
+		if cell(t, tab, i, 4) != "clean" || cell(t, tab, i, 5) != "stabilized" {
+			t.Errorf("E17 row %d not clean/stabilized: %v", i, tab.Rows[i])
+		}
+		if cell(t, tab, i, 6) != "identical" {
+			t.Errorf("E17 row %d replay: %v", i, tab.Rows[i])
+		}
+	}
+	// The injected-bug counter: caught, shrunk small, sim-confirmed.
+	junk := tab.Rows[3]
+	if cell(t, tab, 3, 4) != "caught" {
+		t.Fatalf("E17 junk row not caught: %v", junk)
+	}
+	if n, err := strconv.Atoi(cell(t, tab, 3, 7)); err != nil || n < 1 || n > 2 {
+		t.Errorf("E17 junk shrunk-ops = %q, want 1 or 2", cell(t, tab, 3, 7))
+	}
+	if cell(t, tab, 3, 8) != "true" {
+		t.Errorf("E17 junk not sim-diverged: %v", junk)
+	}
+}

@@ -1,0 +1,87 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// ndImpl is a deliberately nondeterministic implementation: its processes
+// share a mutable counter that Clone does NOT deep-copy, so two clones of
+// the same programme stepped identically observe different counter values
+// and return different actions — exactly the contract violation
+// CheckDeterminism exists to catch.
+type ndImpl struct{}
+
+func (ndImpl) Name() string          { return "nondet" }
+func (ndImpl) Spec() spec.Object     { return spec.NewObject(spec.Register{}) }
+func (ndImpl) Bases() []machine.Base { return nil }
+func (ndImpl) NewProcess(p, n int) machine.Process {
+	shared := new(int64)
+	return &ndProc{shared: shared}
+}
+
+type ndProc struct {
+	shared *int64 // aliased, not cloned: the nondeterminism source
+}
+
+func (p *ndProc) Begin(op spec.Op) {}
+func (p *ndProc) Step(resp int64) machine.Action {
+	*p.shared++
+	return machine.Return(*p.shared % 2)
+}
+func (p *ndProc) Clone() machine.Process {
+	cp := *p // shallow: cp.shared aliases p.shared
+	return &cp
+}
+
+func ndRoot(t *testing.T) *sim.System {
+	t.Helper()
+	workload := [][]spec.Op{{spec.MakeOp(spec.MethodRead)}, {spec.MakeOp(spec.MethodRead)}}
+	root, err := sim.NewSystem(ndImpl{}, workload, nil, check.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestCheckDeterminismCatchesNondetProgramme(t *testing.T) {
+	// Without the check the nondeterministic programme explores silently
+	// (one arbitrary behaviour per node).
+	if _, err := DFSConfig(ndRoot(t), 4, Config{Workers: 1}, nil); err != nil {
+		t.Fatalf("unchecked exploration failed: %v", err)
+	}
+	// With it the divergence is a hard error, sequentially and in parallel.
+	for _, workers := range []int{1, 4} {
+		_, err := DFSConfig(ndRoot(t), 4, Config{Workers: workers, CheckDeterminism: true}, nil)
+		if err == nil || !strings.Contains(err.Error(), "nondeterministic") {
+			t.Errorf("workers=%d: err = %v, want nondeterminism error", workers, err)
+		}
+	}
+}
+
+func TestCheckDeterminismPassesDeterministicImpl(t *testing.T) {
+	workload := sim.UniformWorkload(2, 1, spec.MakeOp(spec.MethodFetchInc))
+	root, err := sim.NewSystem(counter.CAS{}, workload, nil, check.Options{}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := DFS(root, 12, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		st, err := DFSConfig(root, 12, Config{Workers: workers, CheckDeterminism: true}, nil)
+		if err != nil {
+			t.Fatalf("workers=%d: deterministic impl flagged: %v", workers, err)
+		}
+		if st != base {
+			t.Errorf("workers=%d: stats with check %+v != without %+v", workers, st, base)
+		}
+	}
+}

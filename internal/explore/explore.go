@@ -89,6 +89,15 @@ type Config struct {
 	// keep every worker busy from a shared queue). Ignored when the
 	// exploration runs sequentially.
 	FrontierDepth int
+
+	// CheckDeterminism re-steps every probe on a second programme clone and
+	// turns a probe-vs-probe divergence into a hard error. The in-place
+	// engine installs the stepped probe without re-stepping the live
+	// programme, so a nondeterministic implementation (Step depending on
+	// state outside Clone) would otherwise yield one arbitrary behaviour
+	// per node instead of failing loudly; enable this when validating a new
+	// implementation. Costs roughly one extra Clone+Step per node.
+	CheckDeterminism bool
 }
 
 // Visitor observes a configuration during DFS. Returning descend=false
@@ -130,6 +139,9 @@ type engine struct {
 func newEngine(root *sim.System, maxDepth int, cfg Config, st *Stats) *engine {
 	work := root.Clone()
 	work.EnableUndo()
+	if cfg.CheckDeterminism {
+		work.EnableDeterminismCheck()
+	}
 	e := &engine{
 		sys:      work,
 		maxDepth: maxDepth,
@@ -148,9 +160,12 @@ func newEngine(root *sim.System, maxDepth int, cfg Config, st *Stats) *engine {
 // newWorkerEngine builds an engine for a parallel worker: its own clone of
 // root (one clone per worker, not per subtree or edge) and, when dedup is
 // on, the visited set shared with the other workers.
-func newWorkerEngine(root *sim.System, maxDepth int, shared *shardedSet, st *Stats) *engine {
+func newWorkerEngine(root *sim.System, maxDepth int, cfg Config, shared *shardedSet, st *Stats) *engine {
 	work := root.Clone()
 	work.EnableUndo()
+	if cfg.CheckDeterminism {
+		work.EnableDeterminismCheck()
+	}
 	e := &engine{
 		sys:      work,
 		maxDepth: maxDepth,

@@ -348,7 +348,7 @@ func (f *fatalErr) get() error {
 // body explores one subtree on the worker's engine; abort errors (sentinel
 // early exits) end the subtree without failing the run. Worker Stats are
 // summed into total.
-func runTasks(root *sim.System, maxDepth, workers int, tasks []subtreeTask,
+func runTasks(root *sim.System, maxDepth, workers int, cfg Config, tasks []subtreeTask,
 	shared *shardedSet, total *Stats,
 	body func(e *engine, t subtreeTask) error,
 	isAbort func(error) bool, skip func(t subtreeTask) bool) error {
@@ -382,7 +382,7 @@ func runTasks(root *sim.System, maxDepth, workers int, tasks []subtreeTask,
 					continue
 				}
 				if e == nil {
-					e = newWorkerEngine(root, maxDepth, shared, &stats[w])
+					e = newWorkerEngine(root, maxDepth, cfg, shared, &stats[w])
 				}
 				if err := replayPath(e.sys, t.path); err != nil {
 					fatal.fail(err)
@@ -436,7 +436,7 @@ func leavesPar(root *sim.System, maxDepth int, cfg Config, workers int,
 	if e.dedup {
 		shared = newShardedSet()
 	}
-	err = runTasks(root, maxDepth, workers, sp.tasks, shared, &st,
+	err = runTasks(root, maxDepth, workers, cfg, sp.tasks, shared, &st,
 		func(we *engine, t subtreeTask) error {
 			return we.leaves(len(t.path), func(leaf *sim.System) error {
 				return fn(leaf, t.seq)
@@ -462,7 +462,7 @@ func dfsPar(root *sim.System, maxDepth int, cfg Config, workers int, visit Visit
 	if e.dedup {
 		shared = newShardedSet()
 	}
-	err = runTasks(root, maxDepth, workers, sp.tasks, shared, &st,
+	err = runTasks(root, maxDepth, workers, cfg, sp.tasks, shared, &st,
 		func(we *engine, t subtreeTask) error {
 			return we.dfs(len(t.path), visit)
 		}, nil, nil)
@@ -589,7 +589,7 @@ func leavesParHunt(root *sim.System, maxDepth int, cfg Config, workers int,
 	if splitErr := sp.walk(0); splitErr != nil && !isSentinel(splitErr) {
 		return st, splitErr
 	}
-	err = runTasks(root, maxDepth, workers, sp.tasks, nil, &st,
+	err = runTasks(root, maxDepth, workers, cfg, sp.tasks, nil, &st,
 		func(we *engine, t subtreeTask) error {
 			return we.leaves(len(t.path), func(leaf *sim.System) error {
 				return fn(leaf, t.seq)

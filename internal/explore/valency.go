@@ -513,7 +513,7 @@ func analyzePar(root *sim.System, maxDepth int, cfg Config, workers int) (*Valen
 		return nil, err
 	}
 	results := make([]analyzeTaskResult, len(sp.tasks))
-	err = runTasks(root, maxDepth, workers, sp.tasks, nil, &rep.Stats,
+	err = runTasks(root, maxDepth, workers, cfg, sp.tasks, nil, &rep.Stats,
 		func(we *engine, t subtreeTask) error {
 			taskRep := &ValencyReport{}
 			wa := &valAnalyzer{

@@ -117,6 +117,22 @@ func FromEvents(events []Event) (*History, error) {
 	return h, nil
 }
 
+// Reserve pre-grows the internal buffers to hold at least n events without
+// reallocating. The live runtime's merger calls it once with the run's
+// event budget so that merging millions of recorded events never pays an
+// append-time copy.
+func (h *History) Reserve(n int) {
+	if cap(h.events) >= n {
+		return
+	}
+	events := make([]Event, len(h.events), n)
+	copy(events, h.events)
+	h.events = events
+	invIdx := make([]int, len(h.invIdx), n)
+	copy(invIdx, h.invIdx)
+	h.invIdx = invIdx
+}
+
 // Len returns the number of events.
 func (h *History) Len() int { return len(h.events) }
 

@@ -1,0 +1,267 @@
+// Package live executes real goroutine concurrency against genuinely shared
+// objects — the regime every other layer of this repository deliberately
+// avoids. sim/explore drive cooperative, single-threaded schedules so that
+// executions are reproducible and exhaustively checkable; live trades that
+// control for actual parallelism: N client goroutines hammer one shared
+// object, per-client sharded recorders capture the history without a global
+// lock on the hot path, and an online windowed monitor (check.Incremental)
+// t-lin-checks the merged history as it grows. When the monitor flags a
+// window, the shrinker (Shrink) minimizes it by delta debugging and replays
+// the result inside the deterministic simulator (sim.Replay) — the bridge
+// back from the live world to the model checker.
+//
+// # Tickets and the recorded history
+//
+// One shared atomic counter sequences the run, and it counts commits only:
+// an operation draws its commit ticket at the object's linearization point
+// (inside the mutex for Serialized; for AtomicFetchInc the draw IS the
+// fetch-add — a fetch&increment is itself a sequencer, so the ticket is
+// the response). Invocation events do not draw tickets; they carry a
+// seq.Load() stamp taken at operation start and are merged into the gap
+// after the stamped commit (ties broken by client id). The merged history
+// orders response events by commit ticket and places each invocation after
+// every commit its stamp proves it followed.
+//
+// Real-time precedence survives the encoding soundly: a recorded edge
+// "operation X precedes operation Y" means X's commit ticket is at most
+// Y's invocation stamp, i.e. X's linearization happened before Y loaded
+// the sequencer at its start — a true wall-time precedence. (Some true
+// precedences are lost when a stamp reads low; losing edges only weakens
+// the check.) A correct implementation therefore always has its own commit
+// order as a linearization witness and the monitor never raises a false
+// alarm; the commit order of a buggy implementation fails to serialize,
+// which is exactly what the monitor catches.
+//
+// # Reproducibility
+//
+// True concurrency makes the interleaving schedule-dependent, so two live
+// runs of the same seed need not agree. What the seed pins down is
+// everything *except* the race outcomes: per-client operation streams are
+// deterministic RNG streams, and response choices of eventually
+// linearizable objects are pure functions of (seed, commit ticket). The
+// recorded commit order therefore determines the entire run: Replay
+// re-executes a merged history serially, re-deriving every response, and
+// must reproduce it byte for byte — the reproducibility contract the fuzz
+// and shrink layers build on.
+package live
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// Object is a concurrency-safe shared object: many client goroutines call
+// Apply simultaneously. Implementations draw the operation's commit ticket
+// from seq at their linearization point (see the package comment) and must
+// be deterministic functions of the commit order, so that Replay can
+// re-derive every response from a recorded run.
+type Object interface {
+	// Name is the object's name in recorded histories.
+	Name() string
+	// Spec is the sequential specification recorded histories are checked
+	// against.
+	Spec() spec.Object
+	// Apply performs op for client proc, returning the response and the
+	// commit ticket. seq is the run's commit sequencer: Apply must draw the
+	// ticket (seq.Add(1)) exactly once, at the operation's linearization
+	// point, and the response must be a deterministic function of the
+	// object's commit history in ticket order.
+	Apply(proc int, op spec.Op, seq *atomic.Uint64) (resp int64, ticket uint64, err error)
+	// Fresh returns a new instance with the same parameters and pristine
+	// state (the replay and fuzz layers re-execute against it).
+	Fresh() Object
+}
+
+// ----------------------------------------------------------------------------
+// Serialized: the mutex adapter.
+
+// Serialized makes any base.Object concurrency-safe by serializing Apply
+// under a mutex — the correctness baseline every lock-free object is
+// measured against, and the only generic way to run eventually linearizable
+// base objects (whose candidate computation is stateful) under real
+// concurrency. Response choices among weak-consistency candidates are a
+// pure function of (seed, commit ticket), keeping runs reproducible from
+// the recorded commit order.
+type Serialized struct {
+	name     string
+	sp       spec.Object
+	eventual bool
+	policy   base.Policy
+	seed     int64
+	opts     check.Options
+
+	mu  sync.Mutex
+	obj base.Object
+}
+
+var _ Object = (*Serialized)(nil)
+
+// NewSerialized wraps an atomic (linearizable) base object of the given
+// specification.
+func NewSerialized(name string, obj spec.Object, seed int64) (*Serialized, error) {
+	return newSerialized(name, obj, false, nil, seed, check.Options{})
+}
+
+// NewSerializedEventual wraps an eventually linearizable base object: before
+// the policy's stabilization point responses range over the Definition 1
+// candidate set, chosen deterministically from (seed, commit ticket).
+func NewSerializedEventual(name string, obj spec.Object, policy base.Policy, seed int64, opts check.Options) (*Serialized, error) {
+	if policy == nil {
+		policy = base.Never{}
+	}
+	return newSerialized(name, obj, true, policy, seed, opts)
+}
+
+func newSerialized(name string, obj spec.Object, eventual bool, policy base.Policy, seed int64, opts check.Options) (*Serialized, error) {
+	s := &Serialized{name: name, sp: obj, eventual: eventual, policy: policy, seed: seed, opts: opts}
+	var err error
+	if eventual {
+		s.obj, err = base.NewEventual(name, obj, policy, opts)
+	} else {
+		s.obj, err = base.NewAtomic(name, obj)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Name implements Object.
+func (s *Serialized) Name() string { return s.name }
+
+// Spec implements Object.
+func (s *Serialized) Spec() spec.Object { return s.sp }
+
+// Fresh implements Object.
+func (s *Serialized) Fresh() Object {
+	cp, err := newSerialized(s.name, s.sp, s.eventual, s.policy, s.seed, s.opts)
+	if err != nil {
+		// Construction succeeded once with identical parameters.
+		panic(fmt.Sprintf("live: Serialized.Fresh: %v", err))
+	}
+	return cp
+}
+
+// Apply implements Object: candidates, ticket draw and commit happen inside
+// one critical section, so the commit ticket is the linearization point.
+func (s *Serialized) Apply(proc int, op spec.Op, seq *atomic.Uint64) (int64, uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cands, err := s.obj.Candidates(proc, op)
+	if err != nil {
+		return 0, 0, err
+	}
+	ticket := seq.Add(1)
+	resp := cands[0]
+	if len(cands) > 1 {
+		resp = cands[pickIndex(s.seed, ticket, len(cands))]
+	}
+	if err := s.obj.Commit(proc, op, resp); err != nil {
+		return 0, 0, err
+	}
+	return resp, ticket, nil
+}
+
+// pickIndex chooses a candidate index as a pure function of (seed, ticket):
+// a splitmix64 step over the combined value.
+func pickIndex(seed int64, ticket uint64, n int) int {
+	x := uint64(seed) ^ (ticket * 0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int(x % uint64(n))
+}
+
+// ----------------------------------------------------------------------------
+// AtomicFetchInc: the first lock-free "production" object.
+
+// AtomicFetchInc is a lock-free linearizable fetch&increment over one
+// machine word: Apply is a single atomic fetch-add, the hardware analog of
+// the paper's CAS-counter implementation with the retry loop compiled
+// away. The fetch-add is performed directly on the run's commit sequencer:
+// a fetch&increment is itself a sequencer, so the linearization point, the
+// commit ticket and the response are one atomic operation — which is what
+// makes the recorded run exactly commit-deterministic (Replay re-derives
+// every response from the ticket alone).
+type AtomicFetchInc struct {
+	name string
+	init int64
+}
+
+var _ Object = (*AtomicFetchInc)(nil)
+
+// NewAtomicFetchInc returns a lock-free counter starting at init.
+func NewAtomicFetchInc(name string, init int64) *AtomicFetchInc {
+	return &AtomicFetchInc{name: name, init: init}
+}
+
+// Name implements Object.
+func (c *AtomicFetchInc) Name() string { return c.name }
+
+// Spec implements Object.
+func (c *AtomicFetchInc) Spec() spec.Object {
+	return spec.Object{Type: spec.FetchInc{InitVal: c.init}, Init: c.init}
+}
+
+// Fresh implements Object.
+func (c *AtomicFetchInc) Fresh() Object { return NewAtomicFetchInc(c.name, c.init) }
+
+// Apply implements Object.
+func (c *AtomicFetchInc) Apply(proc int, op spec.Op, seq *atomic.Uint64) (int64, uint64, error) {
+	if op.Method != spec.MethodFetchInc || op.NArgs != 0 {
+		return 0, 0, fmt.Errorf("live: %s rejects %s (fetchinc only)", c.name, op)
+	}
+	ticket := seq.Add(1)
+	return c.init + int64(ticket) - 1, ticket, nil
+}
+
+// ----------------------------------------------------------------------------
+// JunkFetchInc: the injected-bug adapter.
+
+// JunkFetchInc is a deliberately broken counter: it behaves like
+// AtomicFetchInc until its value reaches Stick, then loses every further
+// increment and hands the same value out forever — duplicate responses that
+// no serialization explains. It exists to prove the monitoring pipeline
+// end to end: the online monitor must flag it, the shrinker must minimize
+// the window, and the sim replay must refuse the duplicate.
+type JunkFetchInc struct {
+	name  string
+	stick int64
+}
+
+var _ Object = (*JunkFetchInc)(nil)
+
+// NewJunkFetchInc returns a counter that sticks at the given value.
+func NewJunkFetchInc(name string, stick int64) *JunkFetchInc {
+	return &JunkFetchInc{name: name, stick: stick}
+}
+
+// Name implements Object.
+func (c *JunkFetchInc) Name() string { return c.name }
+
+// Spec implements Object: it claims to be a correct counter — the claim the
+// monitor falsifies.
+func (c *JunkFetchInc) Spec() spec.Object { return spec.NewObject(spec.FetchInc{}) }
+
+// Fresh implements Object.
+func (c *JunkFetchInc) Fresh() Object { return NewJunkFetchInc(c.name, c.stick) }
+
+// Apply implements Object.
+func (c *JunkFetchInc) Apply(proc int, op spec.Op, seq *atomic.Uint64) (int64, uint64, error) {
+	if op.Method != spec.MethodFetchInc || op.NArgs != 0 {
+		return 0, 0, fmt.Errorf("live: %s rejects %s (fetchinc only)", c.name, op)
+	}
+	tick := seq.Add(1)
+	val := int64(tick) - 1
+	if val > c.stick {
+		val = c.stick
+	}
+	return val, tick, nil
+}

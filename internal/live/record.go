@@ -1,0 +1,184 @@
+package live
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// rec is one recorded event in a client's shard. Commit records carry the
+// commit ticket in pos; invocation records carry the sequencer stamp read
+// at operation start (the number of commits provably before the start).
+type rec struct {
+	pos    uint64
+	invoke bool
+	resp   int64
+	op     spec.Op
+}
+
+// key orders the merged run: commit t sits at (t,0), an invocation stamped
+// g in the gap after commit g at (g,1). Ties between invocations of
+// different clients are broken by client id in the merger (invocation
+// order among concurrent starts carries no precedence information).
+func (r *rec) key() (uint64, int) {
+	if r.invoke {
+		return r.pos, 1
+	}
+	return r.pos, 0
+}
+
+// shard is one client's private recorder. The owning goroutine writes into
+// a preallocated array and publishes progress with one atomic length store
+// per record — the only hot-path synchronization besides the commit
+// sequencer itself. The array never reallocates, so the merger may read
+// recs[:n.Load()] concurrently: the release store of n orders the entry
+// writes before any acquire load that observes them.
+type shard struct {
+	recs []rec
+	n    atomic.Int64
+	done atomic.Bool
+	w    int // writer-local count (== n, unpublished view)
+}
+
+func newShard(capacity int) *shard {
+	return &shard{recs: make([]rec, capacity)}
+}
+
+// push appends one record. It returns false when the capacity (fixed at
+// the run's op budget) is exhausted, which indicates a runtime accounting
+// bug rather than load.
+func (s *shard) push(r rec) bool {
+	if s.w >= len(s.recs) {
+		return false
+	}
+	s.recs[s.w] = r
+	s.w++
+	s.n.Store(int64(s.w))
+	return true
+}
+
+// finish marks the shard complete (no further pushes will come).
+func (s *shard) finish() { s.done.Store(true) }
+
+// merger performs the online k-way merge of client shards into one
+// history.History in key order. Safety is a per-client watermark argument:
+// a client's records are pushed in strictly increasing key order, and its
+// next unpublished record's key is strictly greater than its last
+// published one, so any available record whose key is at most every
+// unfinished drained client's last-published key can never be preceded by
+// a record that has not been published yet.
+type merger struct {
+	objName string
+	shards  []*shard
+	cursor  []int
+	// lastPos/lastInv track each shard's last consumed key (the watermark
+	// for drained shards). The initial (0,-1) watermark is below every real
+	// key, so nothing is merged until every client has published its first
+	// record — required, since an unstarted client's first invocation may
+	// be stamped 0.
+	lastPos []uint64
+	lastInv []int
+	// nBuf/doneBuf are the per-drain snapshot scratch.
+	nBuf    []int
+	doneBuf []bool
+}
+
+func newMerger(objName string, shards []*shard) *merger {
+	m := &merger{
+		objName: objName,
+		shards:  shards,
+		cursor:  make([]int, len(shards)),
+		lastPos: make([]uint64, len(shards)),
+		lastInv: make([]int, len(shards)),
+		nBuf:    make([]int, len(shards)),
+		doneBuf: make([]bool, len(shards)),
+	}
+	for i := range m.lastInv {
+		m.lastInv[i] = -1 // (0,-1): below the smallest possible key
+	}
+	return m
+}
+
+// keyLess compares (pos,kind,client) triples.
+func keyLess(p1 uint64, k1, c1 int, p2 uint64, k2, c2 int) bool {
+	if p1 != p2 {
+		return p1 < p2
+	}
+	if k1 != k2 {
+		return k1 < k2
+	}
+	return c1 < c2
+}
+
+// drain merges every safely-ordered published record into h, invoking feed
+// (if non-nil) on each appended event. It returns the number of events
+// appended; call it repeatedly until the run completes. Shard progress is
+// snapshotted once per call (one atomic load per shard), which is sound —
+// records published mid-drain are merged by the next call.
+func (m *merger) drain(h *history.History, feed func(history.Event) error) (int, error) {
+	n, done := m.nBuf, m.doneBuf
+	for i, sh := range m.shards {
+		// done before n: a shard observed done has pushed everything, so
+		// the later n load is guaranteed to cover its final records (the
+		// reverse order could skip the watermark of a shard whose last
+		// records are invisible in this snapshot).
+		done[i] = sh.done.Load()
+		n[i] = int(sh.n.Load())
+	}
+	moved := 0
+	for {
+		best := -1
+		var bp uint64
+		var bk int
+		for i, sh := range m.shards {
+			c := m.cursor[i]
+			if c >= n[i] {
+				continue
+			}
+			p, k := sh.recs[c].key()
+			if best < 0 || keyLess(p, k, i, bp, bk, best) {
+				best, bp, bk = i, p, k
+			}
+		}
+		if best < 0 {
+			return moved, nil
+		}
+		// Watermark check: every unfinished, fully-drained shard may still
+		// publish a record with key greater than its last consumed one; the
+		// candidate is safe only if it is at or below all such watermarks.
+		safe := true
+		for i := range m.shards {
+			if m.cursor[i] < n[i] || done[i] {
+				continue
+			}
+			if keyLess(m.lastPos[i], m.lastInv[i], i, bp, bk, best) {
+				safe = false
+				break
+			}
+		}
+		if !safe {
+			return moved, nil
+		}
+		r := &m.shards[best].recs[m.cursor[best]]
+		m.cursor[best]++
+		m.lastPos[best], m.lastInv[best] = bp, bk
+		var err error
+		if r.invoke {
+			err = h.Invoke(best, m.objName, r.op)
+		} else {
+			err = h.Respond(best, r.resp)
+		}
+		if err != nil {
+			return moved, fmt.Errorf("live: merge: %w", err)
+		}
+		if feed != nil {
+			e := h.Event(h.Len() - 1)
+			if err := feed(e); err != nil {
+				return moved, err
+			}
+		}
+		moved++
+	}
+}

@@ -1,0 +1,376 @@
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// OpGen generates the i-th operation of a client. r is the client's private
+// deterministic RNG stream (derived from the run seed and the client id),
+// so the operation sequence of every client is a pure function of the seed.
+type OpGen func(client, i int, r *rand.Rand) spec.Op
+
+// FetchIncGen returns the generator for pure fetch&increment workloads.
+func FetchIncGen() OpGen {
+	op := spec.MakeOp(spec.MethodFetchInc)
+	return func(int, int, *rand.Rand) spec.Op { return op }
+}
+
+// MixGen draws operations from a weighted mix.
+func MixGen(ops []spec.Op, weights []int) (OpGen, error) {
+	if len(ops) == 0 || len(ops) != len(weights) {
+		return nil, fmt.Errorf("live: mix of %d ops with %d weights", len(ops), len(weights))
+	}
+	total := 0
+	for _, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("live: non-positive mix weight %d", w)
+		}
+		total += w
+	}
+	return func(_, _ int, r *rand.Rand) spec.Op {
+		k := r.Intn(total)
+		for j, w := range weights {
+			if k < w {
+				return ops[j]
+			}
+			k -= w
+		}
+		return ops[len(ops)-1]
+	}, nil
+}
+
+// RegisterMixGen returns a read/write mix for register-shaped objects:
+// writes (with values drawn from [1, valueRange]) occur with probability
+// writeRatio, reads otherwise.
+func RegisterMixGen(writeRatio float64, valueRange int64) OpGen {
+	read := spec.MakeOp(spec.MethodRead)
+	return func(_, _ int, r *rand.Rand) spec.Op {
+		if r.Float64() < writeRatio {
+			return spec.MakeOp1(spec.MethodWrite, 1+r.Int63n(valueRange))
+		}
+		return read
+	}
+}
+
+// Config describes one live stress run.
+type Config struct {
+	// Object is the shared object under test.
+	Object Object
+	// Clients is the number of client goroutines (default 4).
+	Clients int
+	// Ops is the per-client operation budget (default 1000).
+	Ops int
+	// Gen generates each client's operations (default FetchIncGen).
+	Gen OpGen
+	// Seed pins the per-client RNG streams and the response choices of
+	// eventually linearizable objects.
+	Seed int64
+	// Rate, when positive, switches to open-loop mode: each client issues
+	// operations at Rate ops/second (scheduled at fixed intervals, with
+	// latency measured from the scheduled start, so queueing delay counts).
+	// Zero means closed loop: each client issues its next operation as soon
+	// as the previous one returns.
+	Rate float64
+	// Monitor tunes the online windowed monitor.
+	Monitor check.IncrementalConfig
+	// NoMonitor disables online checking: the run records and merges only
+	// (the configuration for pure throughput measurement).
+	NoMonitor bool
+	// LatencySample records one latency sample every LatencySample
+	// operations per client (default 1: every operation; raise it on
+	// multi-million-op runs to keep the timestamping off the hot path).
+	LatencySample int
+}
+
+func (c *Config) fill() error {
+	if c.Object == nil {
+		return fmt.Errorf("live: Config.Object is nil")
+	}
+	if c.Clients <= 0 {
+		c.Clients = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 1000
+	}
+	if c.Gen == nil {
+		c.Gen = FetchIncGen()
+	}
+	if c.LatencySample <= 0 {
+		c.LatencySample = 1
+	}
+	return nil
+}
+
+// Result is the outcome of a live run.
+type Result struct {
+	// History is the merged history (ordered by commit ticket, invocations
+	// by sequencer stamp). On a violation stop it covers the run up to and
+	// including the offending window.
+	History *history.History
+	// Ops counts completed operations; ClientOps breaks them down per
+	// client.
+	Ops       int
+	ClientOps []int
+	// Elapsed is the wall-clock run time, Throughput the completed
+	// operations per second.
+	Elapsed    time.Duration
+	Throughput float64
+	// LatP50/P95/P99/Max are latency percentiles over the sampled
+	// operations (closed loop: call duration; open loop: from scheduled
+	// start).
+	LatP50, LatP95, LatP99, LatMax time.Duration
+	// Verdict is the online monitor's trend over per-window MinT samples
+	// (zero when NoMonitor).
+	Verdict check.Verdict
+	// Violation is the offending window when the monitor stopped the run.
+	Violation *check.WindowViolation
+	// Stopped reports that the monitor stopped the run early at a
+	// violation (client errors surface as Run's error instead).
+	Stopped bool
+}
+
+// Run executes one live stress run: Clients goroutines apply Ops operations
+// each to the shared Object, per-client shards record invocation stamps and
+// commit tickets, and the merging loop feeds the growing history to the
+// online monitor. A monitor violation stops the clients and returns with
+// the offending window; see Shrink for what to do with it.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	var seq atomic.Uint64
+	var stop atomic.Bool
+	var firstErr atomic.Value // error
+
+	shards := make([]*shard, cfg.Clients)
+	lats := make([][]int64, cfg.Clients)
+	clientOps := make([]int, cfg.Clients)
+	for c := range shards {
+		shards[c] = newShard(2 * cfg.Ops)
+		lats[c] = make([]int64, 0, cfg.Ops/cfg.LatencySample+1)
+	}
+
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		if firstErr.CompareAndSwap(nil, err) {
+			stop.Store(true)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			defer shards[c].finish()
+			r := rand.New(rand.NewSource(cfg.Seed ^ int64(c+1)*0x5DEECE66D))
+			sh := shards[c]
+			var interval time.Duration
+			if cfg.Rate > 0 {
+				interval = time.Duration(float64(time.Second) / cfg.Rate)
+			}
+			for i := 0; i < cfg.Ops; i++ {
+				if stop.Load() {
+					return
+				}
+				op := cfg.Gen(c, i, r)
+				// Timestamps stay off the hot path: closed-loop ops take one
+				// only when sampled; open-loop ops know their scheduled start
+				// for free.
+				sample := i%cfg.LatencySample == 0
+				var t0 time.Time
+				if interval > 0 {
+					t0 = start.Add(time.Duration(i) * interval)
+					if d := time.Until(t0); d > 0 {
+						time.Sleep(d)
+					}
+				} else if sample {
+					t0 = time.Now()
+				}
+				if !sh.push(rec{pos: seq.Load(), invoke: true, op: op}) {
+					fail(fmt.Errorf("live: client %d shard overflow", c))
+					return
+				}
+				resp, ticket, err := cfg.Object.Apply(c, op, &seq)
+				if err != nil {
+					fail(fmt.Errorf("live: client %d op %d: %w", c, i, err))
+					return
+				}
+				if !sh.push(rec{pos: ticket, resp: resp, op: op}) {
+					fail(fmt.Errorf("live: client %d shard overflow", c))
+					return
+				}
+				clientOps[c]++
+				if sample {
+					lats[c] = append(lats[c], int64(time.Since(t0)))
+				}
+			}
+		}(c)
+	}
+
+	clientsDone := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(clientsDone)
+	}()
+
+	// Merge-and-monitor loop (runs on this goroutine).
+	var mon *check.Incremental
+	if !cfg.NoMonitor {
+		mon = check.NewIncremental(cfg.Object.Spec(), cfg.Monitor)
+	}
+	h := history.New()
+	h.Reserve(2 * cfg.Clients * cfg.Ops)
+	m := newMerger(cfg.Object.Name(), shards)
+	var violation *check.WindowViolation
+	feed := func(e history.Event) error {
+		if mon == nil {
+			return nil
+		}
+		v, err := mon.Feed(e)
+		if err != nil {
+			return err
+		}
+		if v != nil {
+			violation = v
+			stop.Store(true)
+			return errStopMerge
+		}
+		return nil
+	}
+	done := false
+	for {
+		if _, err := m.drain(h, feed); err != nil && err != errStopMerge {
+			stop.Store(true)
+			<-clientsDone
+			return nil, err
+		}
+		if violation != nil {
+			break
+		}
+		if done {
+			break
+		}
+		select {
+		case <-clientsDone:
+			// One final drain after every shard finished.
+			done = true
+		default:
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	<-clientsDone
+	elapsed := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, err
+	}
+	if mon != nil && violation == nil {
+		v, err := mon.Finish()
+		if err != nil {
+			return nil, err
+		}
+		violation = v
+	}
+
+	res := &Result{
+		History:   h,
+		ClientOps: clientOps,
+		Elapsed:   elapsed,
+		Violation: violation,
+		Stopped:   violation != nil,
+	}
+	for _, n := range clientOps {
+		res.Ops += n
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	if mon != nil {
+		res.Verdict = mon.Verdict()
+	}
+	res.LatP50, res.LatP95, res.LatP99, res.LatMax = percentiles(lats)
+	return res, nil
+}
+
+// errStopMerge aborts the merge loop when the monitor flags a violation.
+var errStopMerge = fmt.Errorf("live: stop merge")
+
+// percentiles merges the sampled latencies and returns p50/p95/p99/max.
+func percentiles(lats [][]int64) (p50, p95, p99, max time.Duration) {
+	var all []int64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, 0, 0, 0
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	at := func(q float64) time.Duration {
+		i := int(q * float64(len(all)-1))
+		return time.Duration(all[i])
+	}
+	return at(0.50), at(0.95), at(0.99), time.Duration(all[len(all)-1])
+}
+
+// Replay re-executes a merged history serially against a fresh instance of
+// obj, re-deriving every response from the recorded commit order, and
+// returns the rebuilt history. For a correct (commit-deterministic) object
+// the result is byte-identical to the input — the reproducibility contract
+// of the package: seed plus recorded commit order determine the run. A
+// mismatch means the object is not a deterministic function of its commit
+// order (state outside the linearization discipline), reported as an error
+// by Verify.
+func Replay(obj Object, h *history.History) (*history.History, error) {
+	fresh := obj.Fresh()
+	var seq atomic.Uint64
+	out := history.New()
+	out.Reserve(h.Len())
+	pending := make(map[int]spec.Op)
+	for i := 0; i < h.Len(); i++ {
+		e := h.Event(i)
+		if e.Kind == history.KindInvoke {
+			pending[e.Proc] = e.Op
+			if err := out.Invoke(e.Proc, e.Obj, e.Op); err != nil {
+				return nil, fmt.Errorf("live: replay event %d: %w", i, err)
+			}
+			continue
+		}
+		op, ok := pending[e.Proc]
+		if !ok {
+			return nil, fmt.Errorf("live: replay event %d: response without invocation", i)
+		}
+		delete(pending, e.Proc)
+		resp, _, err := fresh.Apply(e.Proc, op, &seq)
+		if err != nil {
+			return nil, fmt.Errorf("live: replay event %d: %w", i, err)
+		}
+		if err := out.Respond(e.Proc, resp); err != nil {
+			return nil, fmt.Errorf("live: replay event %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Verify replays h against a fresh obj and reports whether the rebuilt
+// history is byte-identical (via the canonical history fingerprint).
+func Verify(obj Object, h *history.History) (bool, error) {
+	replayed, err := Replay(obj, h)
+	if err != nil {
+		return false, err
+	}
+	a := h.AppendFingerprint(nil)
+	b := replayed.AppendFingerprint(nil)
+	return string(a) == string(b), nil
+}

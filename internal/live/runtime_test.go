@@ -1,0 +1,294 @@
+package live
+
+import (
+	"testing"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func newHist(t *testing.T) *history.History {
+	t.Helper()
+	return history.New()
+}
+
+func TestRunAtomicCounterClean(t *testing.T) {
+	res, err := Run(Config{
+		Object:  NewAtomicFetchInc("C", 0),
+		Clients: 8,
+		Ops:     1500,
+		Seed:    7,
+		Monitor: check.IncrementalConfig{Stride: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("clean counter flagged: %v", res.Violation)
+	}
+	if res.Ops != 8*1500 {
+		t.Fatalf("ops = %d, want %d", res.Ops, 8*1500)
+	}
+	if res.History.Len() != 2*res.Ops {
+		t.Fatalf("history %d events, want %d", res.History.Len(), 2*res.Ops)
+	}
+	for _, s := range res.Verdict.Samples {
+		if s.MinT != 0 {
+			t.Fatalf("linearizable counter window MinT = %d at %d events", s.MinT, s.Events)
+		}
+	}
+	if res.Verdict.Trend != check.TrendStabilized {
+		t.Fatalf("trend = %s, want stabilized", res.Verdict.Trend)
+	}
+	if res.Throughput <= 0 || res.LatMax <= 0 {
+		t.Fatalf("missing perf stats: %+v", res)
+	}
+}
+
+func TestRunReplayByteIdentical(t *testing.T) {
+	// The reproducibility contract: replaying a recorded run re-derives it
+	// byte for byte, for every object kind (the junk counter runs with the
+	// monitor in observe-only mode so its run completes).
+	mkSerial := func() Object {
+		s, err := NewSerialized("C", spec.NewObject(spec.FetchInc{}), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	mkEventual := func() Object {
+		s, err := NewSerializedEventual("C", spec.NewObject(spec.FetchInc{}),
+			base.Window{K: 200}, 3, check.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	objects := map[string]Object{
+		"atomic-fi":   NewAtomicFetchInc("C", 0),
+		"serialized":  mkSerial(),
+		"el-counter":  mkEventual(),
+		"junk-sticky": NewJunkFetchInc("C", 40),
+	}
+	for name, obj := range objects {
+		res, err := Run(Config{
+			Object:  obj,
+			Clients: 6,
+			Ops:     300,
+			Seed:    5,
+			Monitor: check.IncrementalConfig{Stride: 128, NoViolation: true},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		same, err := Verify(obj, res.History)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !same {
+			t.Fatalf("%s: replay is not byte-identical to the recorded run", name)
+		}
+		// Replay is pure: running it twice agrees with itself.
+		h1, err := Replay(obj, res.History)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := Replay(obj, res.History)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(h1.AppendFingerprint(nil)) != string(h2.AppendFingerprint(nil)) {
+			t.Fatalf("%s: two replays disagree", name)
+		}
+	}
+}
+
+func TestRunEventualStabilizes(t *testing.T) {
+	// An eventually linearizable counter: stale windows early, exact after
+	// the policy stabilizes. In observe-only mode the trend must stabilize.
+	s, err := NewSerializedEventual("C", spec.NewObject(spec.FetchInc{}),
+		base.Window{K: 300}, 9, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Object:  s,
+		Clients: 3,
+		Ops:     800,
+		Seed:    9,
+		Monitor: check.IncrementalConfig{Stride: 256, NoViolation: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := res.Verdict.Samples
+	if len(samples) < 6 {
+		t.Fatalf("only %d windows", len(samples))
+	}
+	// Early staleness must be visible, late windows exact.
+	if samples[0].MinT == 0 {
+		t.Logf("note: first window already exact (stale choices can be true by chance)")
+	}
+	last := samples[len(samples)-1]
+	if last.MinT != 0 {
+		t.Fatalf("post-stabilization window MinT = %d: %+v", last.MinT, samples)
+	}
+	if res.Verdict.Trend != check.TrendStabilized {
+		t.Fatalf("trend = %s, want stabilized (%+v)", res.Verdict.Trend, samples)
+	}
+}
+
+func TestRunJunkCaughtShrunkConfirmed(t *testing.T) {
+	// The end-to-end acceptance pipeline: the junk counter is caught by the
+	// online monitor, the window shrinks to a near-minimal core, and the
+	// shrunk counterexample replays to the same violation inside sim.
+	res, err := Run(Config{
+		Object:  NewJunkFetchInc("C", 50),
+		Clients: 4,
+		Ops:     200,
+		Seed:    1,
+		Monitor: check.IncrementalConfig{Stride: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation == nil {
+		t.Fatal("junk counter not caught by the online monitor")
+	}
+	if !res.Stopped {
+		t.Fatal("violation did not stop the run")
+	}
+	w, err := Shrink(res.Violation, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Ops < 1 || w.Ops > 2 {
+		t.Fatalf("shrunk witness has %d ops, want 1 or 2:\n%s", w.Ops, w.History)
+	}
+	if !w.Replay.Diverged {
+		t.Fatal("shrunk witness does not diverge in sim")
+	}
+	if w.Replay.Got != 50 {
+		t.Fatalf("diverging response %d, want the stuck value 50", w.Replay.Got)
+	}
+	if w.Trials < 2 {
+		t.Fatalf("shrinker ran only %d trials", w.Trials)
+	}
+}
+
+func TestFuzzFindsJunkAndCleanPasses(t *testing.T) {
+	junk, err := Fuzz(FuzzConfig{
+		Base: Config{
+			Object:  NewJunkFetchInc("C", 30),
+			Clients: 4,
+			Ops:     100,
+			Seed:    100,
+			Monitor: check.IncrementalConfig{Stride: 64},
+		},
+		Runs: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !junk.Found() {
+		t.Fatal("fuzz missed the junk counter")
+	}
+	if junk.Witness == nil || !junk.Witness.Replay.Diverged {
+		t.Fatalf("fuzz witness not sim-confirmed: %+v", junk.Witness)
+	}
+	if junk.Seed != 100 {
+		t.Fatalf("violating seed %d, want 100 (first run)", junk.Seed)
+	}
+
+	clean, err := Fuzz(FuzzConfig{
+		Base: Config{
+			Object:  NewAtomicFetchInc("C", 0),
+			Clients: 4,
+			Ops:     200,
+			Seed:    100,
+			Monitor: check.IncrementalConfig{Stride: 64},
+		},
+		Runs: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Found() {
+		t.Fatalf("fuzz flagged the correct counter: %+v", clean.Violation)
+	}
+	if clean.Runs != 3 || clean.TotalOps != 3*4*200 {
+		t.Fatalf("campaign stats: %+v", clean)
+	}
+}
+
+func TestRunOpenLoop(t *testing.T) {
+	res, err := Run(Config{
+		Object:  NewAtomicFetchInc("C", 0),
+		Clients: 3,
+		Ops:     50,
+		Seed:    2,
+		Rate:    50000, // per-client ops/sec: finishes in ~1ms of schedule
+		Monitor: check.IncrementalConfig{Stride: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("open-loop clean run flagged: %v", res.Violation)
+	}
+	if res.Ops != 150 {
+		t.Fatalf("ops = %d, want 150", res.Ops)
+	}
+	if res.LatMax <= 0 {
+		t.Fatal("open-loop latency not recorded")
+	}
+}
+
+func TestRunSerializedRegisterMix(t *testing.T) {
+	// A non-counter type through the generic checker: read/write mix on a
+	// mutex-serialized register. Stride keeps each window under the
+	// generic engine's operation cap.
+	s, err := NewSerialized("R", spec.NewObject(spec.Register{}), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Object:  s,
+		Clients: 4,
+		Ops:     150,
+		Seed:    4,
+		Gen:     RegisterMixGen(0.3, 8),
+		Monitor: check.IncrementalConfig{Stride: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("serialized register flagged: %v", res.Violation)
+	}
+	if res.Verdict.Trend != check.TrendStabilized {
+		t.Fatalf("trend = %s, want stabilized", res.Verdict.Trend)
+	}
+}
+
+func TestRunLatencySampling(t *testing.T) {
+	res, err := Run(Config{
+		Object:        NewAtomicFetchInc("C", 0),
+		Clients:       2,
+		Ops:           1000,
+		Seed:          3,
+		NoMonitor:     true,
+		LatencySample: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil || len(res.Verdict.Samples) != 0 {
+		t.Fatalf("NoMonitor run produced monitor output: %+v", res)
+	}
+	if res.LatP50 <= 0 || res.LatP99 < res.LatP50 {
+		t.Fatalf("latency percentiles: p50=%v p99=%v", res.LatP50, res.LatP99)
+	}
+}

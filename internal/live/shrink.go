@@ -1,0 +1,149 @@
+package live
+
+import (
+	"fmt"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/sim"
+)
+
+// Witness is a minimized, simulator-confirmed counterexample.
+type Witness struct {
+	// History is the minimized window: removing any chunk the shrinker
+	// tried would make the violation disappear.
+	History *history.History
+	// Ops is the number of completed operations remaining.
+	Ops int
+	// Replay is the confirming deterministic-simulator run: Diverged names
+	// the first operation whose recorded response the model cannot
+	// produce.
+	Replay *sim.ReplayResult
+	// Trials counts the candidate histories the shrinker re-checked.
+	Trials int
+}
+
+// Shrink minimizes a monitor violation by delta debugging: completed
+// operations of the offending window are removed chunk-wise (ddmin), a
+// candidate surviving when it still exhibits the violation that was
+// reported — MinT above the monitor's tolerance — so a tolerance-monitored
+// object can never shrink to a window that is back inside tolerance. The
+// final witness is then confirmed by a commit-order replay inside the
+// deterministic simulator: a window with MinT above the (non-negative)
+// tolerance has no 0-linearization, so in particular its own commit order
+// fails to serialize and sim.Replay pinpoints the first response the model
+// cannot produce. Pending operations are kept throughout (they commit
+// nothing, and removing them could only manufacture constraints).
+func Shrink(v *check.WindowViolation, opts check.Options) (*Witness, error) {
+	if v == nil {
+		return nil, fmt.Errorf("live: Shrink of nil violation")
+	}
+	maxT := v.MaxT
+	if maxT < 0 {
+		maxT = 0
+	}
+	w := &Witness{}
+	violates := func(h *history.History) (bool, error) {
+		w.Trials++
+		t, ok, err := check.MinT(v.Object, h, opts)
+		if err != nil {
+			return false, err
+		}
+		return !ok || t > maxT, nil
+	}
+
+	ops := v.Window.Operations()
+	var completed []int
+	for i, op := range ops {
+		if !op.Pending() {
+			completed = append(completed, i)
+		}
+	}
+	still, err := violates(v.Window)
+	if err != nil {
+		return nil, err
+	}
+	if !still {
+		return nil, fmt.Errorf("live: violation window re-checks clean (MinT within %d): monitor and shrinker disagree", maxT)
+	}
+	best := v.Window
+	cur := completed
+
+	// ddmin over the completed-operation set.
+	n := 2
+	for len(cur) > 1 && n <= len(cur) {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for lo := 0; lo < len(cur); lo += chunk {
+			hi := lo + chunk
+			if hi > len(cur) {
+				hi = len(cur)
+			}
+			trial := make([]int, 0, len(cur)-(hi-lo))
+			trial = append(trial, cur[:lo]...)
+			trial = append(trial, cur[hi:]...)
+			th := subHistory(v.Window, ops, trial)
+			d, err := violates(th)
+			if err != nil {
+				return nil, err
+			}
+			if d {
+				cur = trial
+				best = th
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	w.History = best
+	w.Ops = len(cur)
+	// Confirm the minimized witness in the deterministic simulator.
+	rep, err := sim.Replay(sim.ReplayConfig{Object: v.Object, CheckOpts: opts}, best)
+	if err != nil {
+		return nil, err
+	}
+	w.Replay = rep
+	return w, nil
+}
+
+// subHistory projects h onto the kept completed operations (by index into
+// ops) plus every pending operation, preserving event order.
+func subHistory(h *history.History, ops []history.Operation, keep []int) *history.History {
+	keepEvent := make([]bool, h.Len())
+	for _, op := range ops {
+		if op.Pending() {
+			keepEvent[op.Inv] = true
+		}
+	}
+	for _, k := range keep {
+		keepEvent[ops[k].Inv] = true
+		keepEvent[ops[k].Res] = true
+	}
+	out := history.New()
+	for i := 0; i < h.Len(); i++ {
+		if !keepEvent[i] {
+			continue
+		}
+		e := h.Event(i)
+		// Projection of a well-formed history onto whole operations is
+		// well-formed; Append re-validates anyway.
+		if e.Kind == history.KindInvoke {
+			_ = out.Invoke(e.Proc, e.Obj, e.Op)
+		} else {
+			_ = out.Respond(e.Proc, e.Resp)
+		}
+	}
+	return out
+}

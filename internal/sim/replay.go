@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/passthrough"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// ReplayConfig describes a commit-order replay of a recorded history inside
+// the deterministic simulator.
+type ReplayConfig struct {
+	// Object is the specification the history claims to implement. Its Init
+	// must be the state at the history's start (rebased windows carry it).
+	Object spec.Object
+	// Eventually replays against an eventually linearizable base instead of
+	// an atomic one: recorded responses are accepted whenever they are
+	// weakly consistent (Definition 1) rather than only when exact.
+	Eventually bool
+	// Policy is the stabilization policy of the eventual base (default
+	// Never, the most permissive: no response is rejected merely for coming
+	// late). Ignored unless Eventually.
+	Policy base.Policy
+	// CheckOpts configures the weak-consistency candidate computations.
+	CheckOpts check.Options
+}
+
+// ReplayResult reports a commit-order replay.
+type ReplayResult struct {
+	// Diverged reports that some recorded response is outside the model:
+	// for an atomic base it differs from the true serialization value, for
+	// an eventual base it is not even weakly consistent. A diverged replay
+	// confirms that no execution of the paper's model produces the recorded
+	// commit-order behaviour.
+	Diverged bool
+	// Event is the index (in the source history) of the response event at
+	// which the replay diverged.
+	Event int
+	// Proc and Op identify the diverging operation.
+	Proc int
+	Op   spec.Op
+	// Got is the recorded response; Want are the responses the model
+	// permits at that point.
+	Got  int64
+	Want []int64
+	// Steps is the number of simulator steps taken.
+	Steps int
+	// History is the simulator-recorded history up to the divergence (or
+	// the full serialization when the replay completes). Each operation's
+	// invocation is recorded at its commit point, so the history reads as
+	// the commit-order serialization itself.
+	History *history.History
+}
+
+// Replay re-executes a recorded single-object history in the deterministic
+// simulator, following the recorded commit order: a passthrough
+// implementation over one base object is driven so that each operation
+// performs its base action exactly when its response event appears in h,
+// and the base is asked to commit the recorded response. The history's
+// response events must therefore be placed in commit order — the recording
+// discipline of the live runtime, whose response events carry commit
+// tickets — not at client-return time (an arbitrary sim.Run history records
+// responses at return actions, which may trail the commit out of order). sim.System rejects
+// any response outside the paper's execution tree, so a completed replay
+// certifies the recorded commit-order behaviour is reachable in the model,
+// and a divergence pinpoints the first operation whose recorded response no
+// model execution can give — the bridge that turns a live-runtime violation
+// into a model-checker-level witness. Trailing pending invocations in h are
+// ignored (they committed nothing).
+func Replay(cfg ReplayConfig, h *history.History) (*ReplayResult, error) {
+	objs := h.Objects()
+	if len(objs) > 1 {
+		return nil, fmt.Errorf("sim: replay of multi-object history %v", objs)
+	}
+	name := "replay"
+	if len(objs) == 1 {
+		name = objs[0]
+	}
+	impl := passthrough.New(name, cfg.Object, cfg.Eventually)
+	procs := h.Procs()
+	maxProc := -1
+	for _, p := range procs {
+		if p > maxProc {
+			maxProc = p
+		}
+	}
+	workload := make([][]spec.Op, maxProc+1)
+	for _, op := range h.Operations() {
+		workload[op.Proc] = append(workload[op.Proc], op.Op)
+	}
+	for p := range workload {
+		if len(workload[p]) == 0 {
+			// NewSystem requires every process to have work; idle process
+			// ids (holes in the numbering) get one op that is never run.
+			workload[p] = []spec.Op{fallbackOp(cfg.Object)}
+		}
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = base.Never{}
+	}
+	sys, err := NewSystem(impl, workload, base.SamePolicy(policy), cfg.CheckOpts, false)
+	if err != nil {
+		return nil, fmt.Errorf("sim: replay system: %w", err)
+	}
+	res := &ReplayResult{}
+	for i := 0; i < h.Len(); i++ {
+		e := h.Event(i)
+		if e.Kind != history.KindRespond {
+			continue
+		}
+		// The operation's base action commits now, with the recorded
+		// response; the return step follows immediately.
+		cands, err := sys.Candidates(e.Proc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: replay candidates at event %d: %w", i, err)
+		}
+		member := false
+		for _, c := range cands {
+			if c == e.Resp {
+				member = true
+				break
+			}
+		}
+		act, _, err := sys.NextAction(e.Proc)
+		if err != nil {
+			return nil, fmt.Errorf("sim: replay action at event %d: %w", i, err)
+		}
+		if !member {
+			res.Diverged = true
+			res.Event = i
+			res.Proc = e.Proc
+			res.Op = act.Op
+			res.Got = e.Resp
+			res.Want = cands
+			break
+		}
+		if err := sys.AdvanceResp(e.Proc, e.Resp); err != nil {
+			return nil, fmt.Errorf("sim: replay base step at event %d: %w", i, err)
+		}
+		if err := sys.AdvanceResp(e.Proc, e.Resp); err != nil {
+			return nil, fmt.Errorf("sim: replay return step at event %d: %w", i, err)
+		}
+	}
+	res.Steps = sys.Steps()
+	res.History = sys.History()
+	return res, nil
+}
+
+// fallbackOp returns some operation of the object's type (for processes a
+// replay never schedules).
+func fallbackOp(obj spec.Object) spec.Op {
+	if e, ok := obj.Type.(interface{ EnumOps() []spec.Op }); ok {
+		if ops := e.EnumOps(); len(ops) > 0 {
+			return ops[0]
+		}
+	}
+	return spec.MakeOp(spec.MethodFetchInc)
+}

@@ -1,0 +1,148 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+var replayFI = spec.MakeOp(spec.MethodFetchInc)
+
+func TestReplayCleanConcurrent(t *testing.T) {
+	// Two overlapping fetchincs answered in commit order, then a serial one.
+	h := history.New()
+	must(t, h.Invoke(0, "C", replayFI))
+	must(t, h.Invoke(1, "C", replayFI))
+	must(t, h.Respond(1, 0))
+	must(t, h.Respond(0, 1))
+	must(t, h.Call(0, "C", replayFI, 2))
+	res, err := Replay(ReplayConfig{Object: spec.NewObject(spec.FetchInc{})}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatalf("clean history diverged: %+v", res)
+	}
+	if res.Steps != 6 {
+		t.Fatalf("steps = %d, want 6 (2 per op)", res.Steps)
+	}
+	// The replayed history is the commit-order serialization.
+	if !res.History.Sequential() {
+		t.Fatalf("replay history not sequential:\n%s", res.History)
+	}
+	lin, err := check.Linearizable(map[string]spec.Object{"C": spec.NewObject(spec.FetchInc{})},
+		res.History, check.Options{})
+	if err != nil || !lin {
+		t.Fatalf("replay serialization not linearizable (lin=%v err=%v)", lin, err)
+	}
+}
+
+func TestReplayDivergesOnDuplicate(t *testing.T) {
+	h := history.New()
+	must(t, h.Call(0, "C", replayFI, 0))
+	must(t, h.Call(1, "C", replayFI, 1))
+	must(t, h.Call(0, "C", replayFI, 1)) // lost update: 1 handed out twice
+	res, err := Replay(ReplayConfig{Object: spec.NewObject(spec.FetchInc{})}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Diverged {
+		t.Fatal("duplicate response did not diverge")
+	}
+	if res.Event != 5 || res.Proc != 0 || res.Got != 1 {
+		t.Fatalf("divergence at event %d proc %d got %d, want 5/0/1", res.Event, res.Proc, res.Got)
+	}
+	if len(res.Want) != 1 || res.Want[0] != 2 {
+		t.Fatalf("model permits %v, want [2]", res.Want)
+	}
+	if res.Steps != 4 {
+		t.Fatalf("steps before divergence = %d, want 4", res.Steps)
+	}
+}
+
+func TestReplayEventualAcceptsStale(t *testing.T) {
+	// A stale (weakly consistent) response: second op answers 0 again after
+	// the first completed. An atomic replay diverges; an eventual one with
+	// the Never policy accepts it.
+	h := history.New()
+	must(t, h.Call(0, "C", replayFI, 0))
+	must(t, h.Call(1, "C", replayFI, 0))
+	atomicRes, err := Replay(ReplayConfig{Object: spec.NewObject(spec.FetchInc{})}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !atomicRes.Diverged {
+		t.Fatal("stale response accepted by atomic replay")
+	}
+	evRes, err := Replay(ReplayConfig{
+		Object:     spec.NewObject(spec.FetchInc{}),
+		Eventually: true,
+		Policy:     base.Never{},
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evRes.Diverged {
+		t.Fatalf("weakly consistent response rejected by eventual replay: %+v", evRes)
+	}
+}
+
+func TestReplayPendingAndHoles(t *testing.T) {
+	// Process ids with a hole (p0, p2) and a trailing pending invocation.
+	h := history.New()
+	must(t, h.Call(2, "C", replayFI, 0))
+	must(t, h.Invoke(0, "C", replayFI))
+	res, err := Replay(ReplayConfig{Object: spec.NewObject(spec.FetchInc{})}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged || res.Steps != 2 {
+		t.Fatalf("diverged=%v steps=%d, want clean 2", res.Diverged, res.Steps)
+	}
+}
+
+func TestReplayRoundTripSerialRun(t *testing.T) {
+	// A serial simulator run replays cleanly: with one process the response
+	// order and the commit order coincide, so the recorded history is in
+	// replayable form by construction.
+	run, err := Run(Config{
+		Impl:     counter.CAS{},
+		Workload: UniformWorkload(1, 6, replayFI),
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Replay(ReplayConfig{Object: counter.CAS{}.Spec()}, run.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Diverged {
+		t.Fatalf("serial history diverged on replay: %+v", res)
+	}
+	if res.Steps != 12 {
+		t.Fatalf("steps = %d, want 12", res.Steps)
+	}
+}
+
+func TestReplayRejectsMultiObject(t *testing.T) {
+	h := history.New()
+	must(t, h.Call(0, "A", replayFI, 0))
+	must(t, h.Call(0, "B", replayFI, 0))
+	_, err := Replay(ReplayConfig{Object: spec.NewObject(spec.FetchInc{})}, h)
+	if err == nil || !strings.Contains(err.Error(), "multi-object") {
+		t.Fatalf("err = %v, want multi-object rejection", err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -69,6 +69,10 @@ type System struct {
 	undo   []undoRec
 	undoOn bool
 
+	// detCheck re-verifies programme determinism on every probe: see
+	// EnableDeterminismCheck.
+	detCheck bool
+
 	fpBuf  []byte  // scratch for Fingerprint
 	advBuf []int64 // scratch for Advance's branch resolution
 }
@@ -274,6 +278,25 @@ func (s *System) nextActionCached(p int) (*actCache, error) {
 		return nil, fmt.Errorf("sim: %s p%d invokes unknown base %d",
 			s.impl.Name(), p, act.Obj)
 	}
+	if s.detCheck {
+		// Step a second, independent clone identically and compare: the
+		// machine.Process contract requires Step to be a deterministic
+		// function of the programme state, and the advance/undo engine
+		// silently assumes it (the stepped probe is installed without
+		// re-stepping the live programme). A divergence here means the
+		// implementation draws on state outside its Clone — shared pointers,
+		// global randomness, map iteration — and every exploration result
+		// over it is suspect.
+		probe2 := s.procs[p].Clone()
+		if begins {
+			probe2.Begin(s.workload[p][s.opIdx[p]])
+		}
+		if act2 := probe2.Step(s.nextResp[p]); act2 != act {
+			return nil, fmt.Errorf(
+				"sim: %s p%d is nondeterministic: identical probes stepped to %v and %v",
+				s.impl.Name(), p, act, act2)
+		}
+	}
 	c.id = s.stateID
 	c.act = act
 	c.begins = begins
@@ -332,6 +355,13 @@ func (s *System) Candidates(p int) ([]int64, error) {
 // Exploration engines enable it on their working copy; long random runs
 // (sim.Run) leave it off so the step log does not grow without bound.
 func (s *System) EnableUndo() { s.undoOn = true }
+
+// EnableDeterminismCheck makes every probe step its programme clone twice
+// and compare the actions, turning a nondeterministic implementation (one
+// whose Step depends on state outside its Clone) into a hard error instead
+// of one arbitrary explored behaviour. It roughly doubles the per-step
+// programme cost; exploration exposes it as Config.CheckDeterminism.
+func (s *System) EnableDeterminismCheck() { s.detCheck = true }
 
 // UndoDepth returns the number of recorded steps available to Undo.
 func (s *System) UndoDepth() int { return len(s.undo) }
@@ -584,6 +614,7 @@ func (s *System) Clone() *System {
 		nextID:       1,
 		actCache:     make([]actCache, len(s.procs)),
 		candTagProc:  -1,
+		detCheck:     s.detCheck,
 	}
 	for i, b := range s.bases {
 		cp.bases[i] = b.Clone()
