@@ -3,7 +3,7 @@ package elin
 // One benchmark per experiment table of EXPERIMENTS.md (E1..E15), plus the
 // design-choice ablations and micro-benchmarks of the decision procedures.
 // The experiment benchmarks time a full table regeneration; run
-// `go run ./cmd/elbench` to see the tables themselves.
+// `go run ./cmd/elin bench` to see the tables themselves.
 
 import (
 	"math/rand"
@@ -25,7 +25,7 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		table, err := e.Run()
+		table, err := e.Run(exp.Config{})
 		if err != nil {
 			b.Fatal(err)
 		}

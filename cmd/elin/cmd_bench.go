@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/elin-go/elin/internal/exp"
+	"github.com/elin-go/elin/internal/scenario"
+)
+
+// timing is one experiment's machine-readable result — the BENCH_*.json
+// trajectory format, unchanged across the CLI merge so archived
+// performance history stays comparable.
+type timing struct {
+	// ID is the experiment identifier, e.g. "E8".
+	ID string `json:"id"`
+	// Artifact names the paper artifact the experiment reproduces.
+	Artifact string `json:"artifact"`
+	// Rows is the number of table rows the experiment produced.
+	Rows int `json:"rows"`
+	// NS is the wall-clock run time in nanoseconds.
+	NS int64 `json:"ns"`
+	// Workers is the exploration worker setting the run used (0 =
+	// GOMAXPROCS).
+	Workers int `json:"workers"`
+	// GOMAXPROCS records the scheduler parallelism the run had available,
+	// so timings stay attributable across machines.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+// runBench is the experiment-suite subcommand (the retired elbench): one
+// experiment per paper artifact, each regenerating its EXPERIMENTS.md
+// table.
+func runBench(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elin bench", flag.ContinueOnError)
+	list := fs.Bool("list", false, "list experiments and exit")
+	sel := fs.String("run", "", "comma-separated experiment ids (default: all)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable per-experiment timings instead of tables")
+	workers := fs.Int("workers", 0, "exploration workers for the experiments: 0 = GOMAXPROCS, 1 = sequential")
+	stress := fs.Bool("stress", false, "append the live stress trajectory records (unified Reports) to the -json output")
+	stressOps := fs.Int("stress-ops", 250000, "per-client operation budget of the -stress records (default: 1M total ops at 4 clients, the historical archive scale)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	all := exp.All()
+	if *list {
+		for _, e := range all {
+			fmt.Fprintln(out, e.ID)
+		}
+		return nil
+	}
+
+	var chosen []exp.Experiment
+	if *sel == "" {
+		chosen = all
+	} else {
+		for _, id := range strings.Split(*sel, ",") {
+			e, ok := exp.ByID(strings.TrimSpace(id))
+			if !ok {
+				return fmt.Errorf("unknown experiment %q", id)
+			}
+			chosen = append(chosen, e)
+		}
+	}
+
+	cfg := exp.Config{Workers: *workers}
+	var timings []timing
+	for _, e := range chosen {
+		start := time.Now()
+		table, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *jsonOut {
+			timings = append(timings, timing{
+				ID:         table.ID,
+				Artifact:   table.Artifact,
+				Rows:       len(table.Rows),
+				NS:         time.Since(start).Nanoseconds(),
+				Workers:    *workers,
+				GOMAXPROCS: runtime.GOMAXPROCS(0),
+			})
+			continue
+		}
+		if err := table.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut {
+		records := make([]any, 0, len(timings)+3)
+		for _, t := range timings {
+			records = append(records, t)
+		}
+		if *stress {
+			reps, err := stressTrajectory(*stressOps)
+			if err != nil {
+				return err
+			}
+			records = append(records, reps...)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(records)
+	}
+	return nil
+}
+
+// stressTrajectory runs the archived live stress configurations and
+// returns their unified Reports — the BENCH_*.json stress records since
+// the CLI merge. The scenario Name identifies each configuration across
+// archives; throughput/latency live in the report's perf section.
+func stressTrajectory(ops int) ([]any, error) {
+	configs := []scenario.Scenario{
+		{Name: "STRESS-atomic-fi-c4", Impl: "atomic-fi", Procs: 4, Ops: ops, Seed: 1, Stride: 512, LatencySample: 8},
+		{Name: "STRESS-mutex-fi-c4", Impl: "mutex-fi", Procs: 4, Ops: ops, Seed: 1, Stride: 512, LatencySample: 8},
+		{Name: "STRESS-atomic-fi-c8-nomon", Impl: "atomic-fi", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8},
+	}
+	var out []any
+	for _, s := range configs {
+		s.NoVerify = true // trajectory records time the hot path, not the replay
+		rep, err := scenario.Run("live", s)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.Name, err)
+		}
+		if rep.Trend != nil {
+			// Archives track the summary (trend, final MinT, window count),
+			// not a million-op run's per-window sample list.
+			rep.Trend.Samples = rep.Trend.Samples[:0]
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}

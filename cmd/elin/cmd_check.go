@@ -1,20 +1,3 @@
-// Command elcheck checks recorded histories against the paper's
-// consistency conditions: linearizability, t-linearizability
-// (Definition 2), the minimum stabilization cut MinT, weak consistency
-// (Definition 1), and the MinT-trend classification that diagnoses
-// eventual linearizability on growing prefixes.
-//
-// Usage:
-//
-//	elcheck -obj X=register -mode lin  history.txt
-//	elcheck -obj X=fetchinc -mode mint history.txt
-//	elcheck -obj X=fetchinc -mode tlin -t 4 history.txt
-//	elcheck -obj X=fetchinc -mode track -stride 8 history.txt
-//	elcheck -obj X=register -obj Y=fetchinc -mode weak history.txt
-//
-// Histories are the compact text format ("inv p0 X fetchinc" /
-// "res p0 X 3", one event per line, '#' comments) or a JSON event array
-// with -json. With no file argument, stdin is read.
 package main
 
 import (
@@ -31,6 +14,7 @@ import (
 	"github.com/elin-go/elin/internal/spec"
 )
 
+// objFlags collects repeatable -obj NAME=TYPE[:init] specifications.
 type objFlags map[string]spec.Object
 
 func (o objFlags) String() string { return fmt.Sprintf("%d objects", len(o)) }
@@ -48,15 +32,13 @@ func (o objFlags) Set(v string) error {
 	return nil
 }
 
-func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
-		fmt.Fprintln(os.Stderr, "elcheck:", err)
-		os.Exit(1)
-	}
-}
-
-func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("elcheck", flag.ContinueOnError)
+// runCheck is the recorded-history subcommand (the retired elcheck):
+// linearizability, t-linearizability (Definition 2), MinT, weak
+// consistency (Definition 1) and the MinT-trend classification. Histories
+// are the compact text serialization or a JSON event array (-json); with
+// no file argument, stdin is read.
+func runCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elin check", flag.ContinueOnError)
 	objs := objFlags{}
 	fs.Var(objs, "obj", "object spec NAME=TYPE[:init] (repeatable), e.g. X=fetchinc")
 	mode := fs.String("mode", "lin", "check: lin | tlin | mint | mintlocal | weak | track | legal")

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"flag"
+	"io"
+
+	"github.com/elin-go/elin/internal/scenario"
+)
+
+// runExplore is the exhaustive-exploration subcommand (the retired
+// elexplore): every interleaving and every weakly consistent response up
+// to the depth bound.
+func runExplore(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elin explore", flag.ContinueOnError)
+	sf := addScenarioFlags(fs, "cas-counter", 2, 1, "never", 0)
+	mode := fs.String("mode", "lin", "analysis: lin | weak | valency | stable")
+	depth := fs.Int("depth", 16, "exploration depth bound")
+	verifyDepth := fs.Int("verify-depth", 14, "stability verification depth (mode stable)")
+	dedup := fs.Bool("dedup", false, "merge equivalent configurations (mode valency): the tree becomes a DAG")
+	workers := fs.Int("workers", 0, "exploration workers: 0 = GOMAXPROCS, 1 = sequential reference engine")
+	checkDet := fs.Bool("checkdet", false, "verify programme determinism on every probe")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := sf.scenario()
+	s.Analysis = *mode
+	s.Budget.Depth = *depth
+	s.Budget.VerifyDepth = *verifyDepth
+	s.Dedup = *dedup
+	s.Workers = *workers
+	s.CheckDeterminism = *checkDet
+
+	rep, err := scenario.Run("explore", s)
+	if err != nil {
+		return err
+	}
+	return sf.emit(out, rep)
+}

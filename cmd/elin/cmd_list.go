@@ -1,0 +1,62 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"github.com/elin-go/elin/internal/exp"
+	"github.com/elin-go/elin/internal/registry"
+)
+
+// runList prints the registry contents: everything nameable in a scenario.
+func runList(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elin list", flag.ContinueOnError)
+	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | types | experiments")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	sections := []struct {
+		name  string
+		items []string
+	}{
+		{"impls", registry.ImplNames()},
+		{"objects", registry.LiveObjectNames()},
+		{"engines", registry.EngineNames()},
+		{"workloads", registry.WorkloadNames()},
+		{"schedulers", registry.SchedulerNames()},
+		{"choosers", registry.ChooserNames()},
+		{"policies", registry.PolicyNames()},
+		{"types", registry.TypeNames()},
+		{"experiments", experimentIDs()},
+	}
+	found := false
+	for _, s := range sections {
+		if *section != "" && s.name != *section {
+			continue
+		}
+		found = true
+		if *section == "" {
+			fmt.Fprintf(out, "%s:\n", s.name)
+		}
+		for _, it := range s.items {
+			if *section == "" {
+				fmt.Fprintf(out, "  %s\n", it)
+			} else {
+				fmt.Fprintln(out, it)
+			}
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown section %q", *section)
+	}
+	return nil
+}
+
+func experimentIDs() []string {
+	var ids []string
+	for _, e := range exp.All() {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"flag"
+	"io"
+
+	"github.com/elin-go/elin/internal/scenario"
+)
+
+// runStress is the live-runtime subcommand (the retired elstress): real
+// goroutine clients against a genuinely shared object, online windowed
+// monitoring, seeded fuzzing and shrink-to-simulator replay.
+func runStress(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elin stress", flag.ContinueOnError)
+	sf := addScenarioFlags(fs, "atomic-fi", 4, 10000, "window:400", 1)
+	rate := fs.Float64("rate", 0, "open-loop rate per client in ops/sec (0 = closed loop)")
+	stride := fs.Int("stride", 0, "monitor window stride in events (0 = auto)")
+	noMonitor := fs.Bool("nomonitor", false, "disable online monitoring (pure throughput)")
+	latSample := fs.Int("latsample", 1, "record one latency sample every N ops per client")
+	fuzz := fs.Int("fuzz", 0, "run a fuzz campaign over N consecutive seeds instead of one run")
+	noShrink := fs.Bool("noshrink", false, "skip ddmin shrinking of a violation window")
+	noVerify := fs.Bool("noverify", false, "skip the byte-identical replay verification")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	s := sf.scenario()
+	s.Rate = *rate
+	s.Stride = *stride
+	s.NoMonitor = *noMonitor
+	s.LatencySample = *latSample
+	s.FuzzRuns = *fuzz
+	s.NoShrink = *noShrink
+	s.NoVerify = *noVerify
+
+	rep, err := scenario.Run("live", s)
+	if err != nil {
+		return err
+	}
+	return sf.emit(out, rep)
+}

@@ -28,7 +28,7 @@
 // This package is the façade: it re-exports the surface most users need.
 // The full API lives in the internal packages and is exercised by the
 // example programs under examples/ and the experiment suite in
-// cmd/elbench.
+// cmd/elin (elin bench).
 package elin
 
 import (
@@ -38,8 +38,47 @@ import (
 	"github.com/elin-go/elin/internal/history"
 	"github.com/elin-go/elin/internal/live"
 	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/scenario"
 	"github.com/elin-go/elin/internal/sim"
 	"github.com/elin-go/elin/internal/spec"
+)
+
+// Scenario layer — the declarative entry point. One Scenario value runs
+// unchanged on every engine (Explore, Sim, Live) and every engine answers
+// with the same unified Report; the elin CLI is a thin shell over exactly
+// this surface.
+type (
+	// Scenario is one declarative description of an execution to check:
+	// object/implementation by registry name or value, workload, scheduler,
+	// checker options, tolerance, budget, workers, seed.
+	Scenario = scenario.Scenario
+	// ScenarioBudget bounds a scenario's execution per engine regime.
+	ScenarioBudget = scenario.Budget
+	// Engine executes scenarios in one regime ("explore", "sim", "live").
+	Engine = scenario.Engine
+	// Report is the unified outcome every engine returns; its JSON
+	// encoding is stable (schema elin/report/v1) and golden-tested.
+	Report = scenario.Report
+)
+
+// Scenario verdicts and Explore-engine analyses.
+const (
+	VerdictOK        = scenario.VerdictOK
+	VerdictViolation = scenario.VerdictViolation
+	AnalysisLin      = scenario.AnalysisLin
+	AnalysisWeak     = scenario.AnalysisWeak
+	AnalysisValency  = scenario.AnalysisValency
+	AnalysisStable   = scenario.AnalysisStable
+)
+
+var (
+	// RunScenario resolves the named engine ("" = sim) and executes the
+	// scenario on it.
+	RunScenario = scenario.Run
+	// Engines returns every scenario engine.
+	Engines = scenario.Engines
+	// EngineByName resolves a scenario engine by registry name.
+	EngineByName = scenario.EngineByName
 )
 
 // Specification layer.
@@ -198,40 +237,28 @@ var (
 	// operation.
 	UniformWorkload = sim.UniformWorkload
 	// ExploreDFS walks every interleaving to a depth bound using the
-	// in-place advance/undo engine.
+	// in-place advance/undo engine; ExploreConfig selects dedup and worker
+	// parallelism (the zero value keeps the walk sequential, safe for
+	// stateful visitors).
 	ExploreDFS = explore.DFS
-	// ExploreDFSConfig is ExploreDFS with exploration options.
-	ExploreDFSConfig = explore.DFSConfig
 	// ExploreLeaves enumerates the leaf configurations of the bounded
-	// execution tree.
+	// execution tree (worker parallelism fans subtrees out across cores).
 	ExploreLeaves = explore.Leaves
-	// ExploreLeavesConfig is ExploreLeaves with exploration options
-	// (worker parallelism fans subtrees out across cores).
-	ExploreLeavesConfig = explore.LeavesConfig
-	// LinearizableEverywhere checks all bounded interleavings.
+	// LinearizableEverywhere checks all bounded interleavings; the
+	// violation witness is deterministic for every worker count.
 	LinearizableEverywhere = explore.LinearizableEverywhere
-	// LinearizableEverywhereConfig is LinearizableEverywhere with
-	// exploration options; the violation witness is deterministic for
-	// every worker count.
-	LinearizableEverywhereConfig = explore.LinearizableEverywhereConfig
 	// WeaklyConsistentEverywhere checks weak consistency of all bounded
-	// interleavings.
+	// interleavings; the violation witness is deterministic for every
+	// worker count.
 	WeaklyConsistentEverywhere = explore.WeaklyConsistentEverywhere
-	// WeaklyConsistentEverywhereConfig is WeaklyConsistentEverywhere with
-	// exploration options; the violation witness is deterministic for
-	// every worker count.
-	WeaklyConsistentEverywhereConfig = explore.WeaklyConsistentEverywhereConfig
-	// AnalyzeValency performs the Proposition 15 valency analysis.
-	AnalyzeValency = explore.Analyze
-	// AnalyzeValencyConfig is AnalyzeValency with exploration options
+	// AnalyzeValency performs the Proposition 15 valency analysis
 	// (configuration deduplication merges symmetric interleavings; worker
 	// parallelism classifies subtrees concurrently).
-	AnalyzeValencyConfig = explore.AnalyzeConfig
-	// FindStable searches for a Proposition 18 stable configuration.
+	AnalyzeValency = explore.Analyze
+	// FindStable searches for a Proposition 18 stable configuration
+	// (worker parallelism pipelines the per-candidate stability
+	// verifications).
 	FindStable = explore.FindStable
-	// FindStableConfig is FindStable with exploration options (worker
-	// parallelism pipelines the per-candidate stability verifications).
-	FindStableConfig = explore.FindStableConfig
 )
 
 // Live concurrent runtime: real goroutine clients against genuinely shared

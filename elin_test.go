@@ -52,7 +52,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	allLin, _, st, err := LinearizableEverywhere(root, 12, Options{})
+	allLin, _, st, err := LinearizableEverywhere(root, 12, ExploreConfig{}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,5 +137,43 @@ func TestFacadeLiveRuntime(t *testing.T) {
 	}
 	if !junk.Found() || !junk.Witness.Replay.Diverged {
 		t.Fatalf("junk not caught+confirmed: %+v", junk)
+	}
+}
+
+// TestFacadeScenario drives the declarative entry point through the
+// façade: one Scenario value on every engine, one Report schema.
+func TestFacadeScenario(t *testing.T) {
+	s := Scenario{
+		Impl:     "cas-counter",
+		Workload: "uniform:inc",
+		Procs:    2,
+		Ops:      2,
+		Seed:     1,
+		Budget:   ScenarioBudget{Depth: 22},
+	}
+	for _, e := range Engines() {
+		rep, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if rep.Verdict != VerdictOK {
+			t.Errorf("%s verdict = %s (%s)", e.Name(), rep.Verdict, rep.Detail)
+		}
+	}
+	rep, err := RunScenario("explore", Scenario{
+		Impl:     "reg-consensus",
+		Procs:    2,
+		Ops:      1,
+		Analysis: AnalysisValency,
+		Budget:   ScenarioBudget{Depth: 14},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Valency == nil || rep.Verdict != VerdictViolation {
+		t.Fatalf("valency scenario: verdict=%s valency=%+v", rep.Verdict, rep.Valency)
+	}
+	if _, err := EngineByName("nosuch"); err == nil {
+		t.Error("unknown engine accepted")
 	}
 }

@@ -57,7 +57,7 @@ func Example_runAndCheck() {
 func Example_exploreEverywhere() {
 	root, _ := elin.NewSystem(counter.CAS{},
 		elin.UniformWorkload(2, 1, elin.MakeOp("fetchinc")), nil, elin.Options{}, false)
-	ok, _, st, _ := elin.LinearizableEverywhere(root, 12, elin.Options{})
+	ok, _, st, _ := elin.LinearizableEverywhere(root, 12, elin.ExploreConfig{}, elin.Options{})
 	fmt.Println("all interleavings linearizable:", ok, "leaves:", st.Leaves)
 	// Output:
 	// all interleavings linearizable: true leaves: 28

@@ -43,7 +43,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	lin, bad, _, err := explore.LinearizableEverywhere(root, 16, check.Options{})
+	lin, bad, _, err := explore.LinearizableEverywhere(root, 16, explore.Config{}, check.Options{})
 	if err != nil {
 		return err
 	}
@@ -89,7 +89,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	lin2, _, st, err := explore.LinearizableEverywhere(root2, 24, check.Options{})
+	lin2, _, st, err := explore.LinearizableEverywhere(root2, 24, explore.Config{}, check.Options{})
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,13 @@
-// Quickstart: build a concurrent history by hand, then ask the checker the
-// three questions the paper is about — is it linearizable, is it
-// t-linearizable for some cut t, and where is the least such cut (MinT)?
+// Quickstart: the scenario-first API. One declarative Scenario — an
+// implementation, a workload, a seed, a tolerance — runs unchanged on all
+// three engines (exhaustive exploration, deterministic simulation, live
+// goroutine stress), and every engine answers with the same Report.
+//
+// The object under test is the paper's warmup counter: an eventually
+// linearizable fetch&increment that answers with a private count until the
+// shared count crosses a threshold. While warming up it may hand out
+// duplicate responses — "intermittent inconsistency" — which is exactly
+// what a strict tolerance flags and an observe-only tolerance tracks.
 package main
 
 import (
@@ -18,53 +25,53 @@ func main() {
 }
 
 func run() error {
-	// Two processes share a fetch&increment counter. Process p0's
-	// operation overlaps p1's, and both return 0 — the kind of
-	// "intermittent inconsistency" eventual linearizability tolerates.
-	h := elin.NewHistory()
-	steps := []func() error{
-		func() error { return h.Invoke(0, "X", elin.MakeOp("fetchinc")) },
-		func() error { return h.Invoke(1, "X", elin.MakeOp("fetchinc")) },
-		func() error { return h.Respond(0, 0) },
-		func() error { return h.Respond(1, 0) }, // duplicate!
-		func() error { return h.Call(0, "X", elin.MakeOp("fetchinc"), 2) },
-		func() error { return h.Call(1, "X", elin.MakeOp("fetchinc"), 3) },
+	// One declarative description. Strict tolerance (0) demands
+	// linearizability.
+	s := elin.Scenario{
+		Impl:     "warmup-counter:2",
+		Workload: "uniform:inc",
+		Procs:    2,
+		Ops:      2,
+		Seed:     5,
+		Chooser:  "stale",
+		Policy:   "window:2",
+		Budget:   elin.ScenarioBudget{Depth: 16},
 	}
-	for _, s := range steps {
-		if err := s(); err != nil {
+
+	// The exhaustive engine proves the duplicates are reachable; the
+	// simulation engine exhibits one run and measures its MinT; the live
+	// engine hammers the same implementation with real goroutines.
+	for _, engine := range []string{"explore", "sim"} {
+		rep, err := elin.RunScenario(engine, s)
+		if err != nil {
 			return err
 		}
+		fmt.Printf("%-8s verdict=%s  %s\n", engine, rep.Verdict, rep.Detail)
 	}
-	fmt.Print(h.String())
 
-	obj := elin.NewObject(elin.FetchInc{})
-	objs := map[string]elin.Object{"X": obj}
-
-	lin, err := elin.Linearizable(objs, h, elin.Options{})
+	// Observe-only tolerance: the same scenario, now tracked rather than
+	// judged — the finite-data instrument for eventual linearizability.
+	s.Tolerance = -1
+	rep, err := elin.RunScenario("sim", s)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("linearizable:       %v (two operations returned 0)\n", lin)
+	if rep.Checks != nil && rep.Checks.MinT != nil {
+		fmt.Printf("sim observe: MinT=%d of %d events, trend=%s\n",
+			*rep.Checks.MinT, rep.Perf.Events, rep.Trend.Trend)
+	}
 
-	weak, err := elin.WeaklyConsistent(objs, h, elin.Options{})
+	live, err := elin.RunScenario("live", s)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("weakly consistent:  %v (each 0 has a witness ignoring the other)\n", weak)
+	fmt.Printf("live     verdict=%s  ops=%d replay-identical=%v\n",
+		live.Verdict, live.Perf.Ops, *live.Checks.ReplayIdentical)
 
-	// Definition 2: after cutting the first t events, does a legal
-	// sequential witness exist? MinT finds the least such cut.
-	t, ok, err := elin.MinT(obj, h, elin.Options{})
-	if err != nil {
-		return err
-	}
-	if !ok {
-		return fmt.Errorf("history is not t-linearizable for any t")
-	}
-	fmt.Printf("MinT:               %d of %d events\n", t, h.Len())
 	fmt.Println()
-	fmt.Println("The history is weakly consistent and t-linearizable for a finite cut:")
-	fmt.Println("exactly the behaviour an eventually linearizable counter may exhibit")
-	fmt.Println("while it is still stabilizing.")
+	fmt.Println("The warmup counter is weakly consistent and t-linearizable for a")
+	fmt.Println("finite cut: strict tolerance rejects it mid-stabilization, observe")
+	fmt.Println("mode watches MinT stabilize — the behaviour of an eventually")
+	fmt.Println("linearizable object, on every engine, from one scenario value.")
 	return nil
 }

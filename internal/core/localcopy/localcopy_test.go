@@ -71,7 +71,7 @@ func TestLocalCopyHistoriesWeaklyConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, bad, _, err := explore.WeaklyConsistentEverywhere(root, 8, check.Options{})
+	ok, bad, _, err := explore.WeaklyConsistentEverywhere(root, 8, explore.Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestLocalCopyNonTrivialTypeNotLinearizable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, bad, _, err := explore.LinearizableEverywhere(root, 8, check.Options{})
+	ok, bad, _, err := explore.LinearizableEverywhere(root, 8, explore.Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -123,7 +123,7 @@ func TestLocalCopyTrivialTypeIsLinearizable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, bad, _, err := explore.LinearizableEverywhere(root, 8, check.Options{})
+	ok, bad, _, err := explore.LinearizableEverywhere(root, 8, explore.Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -110,7 +110,7 @@ func Transform(impl machine.Impl, cfg Config) (*Impl, *Report, error) {
 	}
 
 	// Step 1: find a stable configuration (Claim 1).
-	stable, err := explore.FindStableConfig(root, cfg.SearchDepth, cfg.VerifyDepth,
+	stable, err := explore.FindStable(root, cfg.SearchDepth, cfg.VerifyDepth,
 		explore.Config{Workers: cfg.Workers}, cfg.CheckOpts)
 	if err != nil {
 		return nil, nil, fmt.Errorf("stabilize: %w", err)

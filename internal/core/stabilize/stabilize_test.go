@@ -48,7 +48,7 @@ func TestTransformWarmupCounter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, bad, st, err := explore.LinearizableEverywhere(root, 24, check.Options{})
+	ok, bad, st, err := explore.LinearizableEverywhere(root, 24, explore.Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestCASCounterTransformIsIdentityLike(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, bad, _, err := explore.LinearizableEverywhere(root, 22, check.Options{})
+	ok, bad, _, err := explore.LinearizableEverywhere(root, 22, explore.Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ var fetchinc = spec.MakeOp(spec.MethodFetchInc)
 // E9ELConsensus reproduces Proposition 16: the Proposals-array consensus
 // over eventually linearizable registers is wait-free and eventually
 // linearizable; MinT tracks the adversary's stabilization window.
-func E9ELConsensus() (*Table, error) {
+func E9ELConsensus(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E9",
 		Artifact: "Proposition 16",
@@ -91,7 +91,7 @@ func E9ELConsensus() (*Table, error) {
 // communication-free implementation is eventually linearizable (bounded
 // MinT: all zeros sit in a finite prefix), while the CAS-based one is
 // linearizable outright.
-func E10TestSet() (*Table, error) {
+func E10TestSet(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E10",
 		Artifact: "Section 4/5 (test&set)",
@@ -152,7 +152,7 @@ func E10TestSet() (*Table, error) {
 // fully linearizable; the sloppy counter (not eventually linearizable)
 // makes the stable search fail, as Claim 1 predicts it must not for EL
 // implementations.
-func E11Stabilize() (*Table, error) {
+func E11Stabilize(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E11",
 		Artifact: "Proposition 18 (the paradox)",
@@ -170,7 +170,7 @@ func E11Stabilize() (*Table, error) {
 		OpsPerProc:  4,
 		SearchDepth: 8,
 		VerifyDepth: 16,
-		Workers:     workers,
+		Workers:     cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("E11 warmup: %w", err)
@@ -179,7 +179,7 @@ func E11Stabilize() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	linOK, _, _, err := explore.LinearizableEverywhereConfig(root, 24, exploreCfg(), check.Options{})
+	linOK, _, _, err := explore.LinearizableEverywhere(root, 24, cfg.explore(), check.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +191,7 @@ func E11Stabilize() (*Table, error) {
 		OpsPerProc:  3,
 		SearchDepth: 5,
 		VerifyDepth: 12,
-		Workers:     workers,
+		Workers:     cfg.Workers,
 	})
 	t.AddRow("sloppy-counter (not EL)", err == nil, "-", "-", "-", "-")
 	return t, nil
@@ -201,7 +201,7 @@ func E11Stabilize() (*Table, error) {
 // sloppy counter's MinT diverges linearly with run length under
 // contention, while the CAS counter sits at MinT = 0. No register-only
 // fetch&increment can be eventually linearizable.
-func E12Divergence() (*Table, error) {
+func E12Divergence(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E12",
 		Artifact: "Corollary 19",
@@ -246,7 +246,7 @@ func E12Divergence() (*Table, error) {
 // contention, the register-only sloppy counter completes operations in a
 // bounded number of steps while the CAS counter retries; the price is
 // consistency (E12), which is the trade-off the paper formalizes.
-func E13Throughput() (*Table, error) {
+func E13Throughput(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E13",
 		Artifact: "Introduction (motivating trade-off)",
@@ -297,7 +297,7 @@ func E13Throughput() (*Table, error) {
 // E14Checker measures the decision procedures themselves: the polynomial
 // Lemma 17 fetch&inc checker against the generic exponential engine, and
 // MinT via binary search.
-func E14Checker() (*Table, error) {
+func E14Checker(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E14",
 		Artifact: "checker engineering (Lemma 17 as an algorithm)",

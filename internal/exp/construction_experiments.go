@@ -25,7 +25,7 @@ func implObjs(impl machine.Impl) map[string]spec.Object {
 // weak-consistency-violating counter in the announce/verify algorithm
 // restores weak consistency on every schedule, while an honest counter
 // passes through unharmed.
-func E5Announce() (*Table, error) {
+func E5Announce(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E5",
 		Artifact: "Proposition 11 / Figure 1",
@@ -83,7 +83,7 @@ func E5Announce() (*Table, error) {
 // wait-free implementation whose histories stay weakly consistent; for the
 // non-trivial register type, bounded exploration exhibits the
 // linearizability violation that the theorem's contrapositive predicts.
-func E6LocalCopy() (*Table, error) {
+func E6LocalCopy(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E6",
 		Artifact: "Theorem 12 (local-copy construction)",
@@ -131,11 +131,11 @@ func E6LocalCopy() (*Table, error) {
 		// both rows, so it enumerates the whole tree and the count is
 		// deterministic; the linearizability sweep aborts at its first
 		// violation, leaving its counters at a schedule-dependent point.
-		wcOK, _, wcSt, err := explore.WeaklyConsistentEverywhereConfig(root, 10, exploreCfg(), check.Options{})
+		wcOK, _, wcSt, err := explore.WeaklyConsistentEverywhere(root, 10, cfg.explore(), check.Options{})
 		if err != nil {
 			return nil, err
 		}
-		linOK, _, _, err := explore.LinearizableEverywhereConfig(root, 10, exploreCfg(), check.Options{})
+		linOK, _, _, err := explore.LinearizableEverywhere(root, 10, cfg.explore(), check.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -147,7 +147,7 @@ func E6LocalCopy() (*Table, error) {
 // E7Trivial reproduces Proposition 14: the Definition 13 decision procedure
 // agrees with bounded exploration of the local-copy construction — trivial
 // types survive it linearizably, non-trivial types do not.
-func E7Trivial() (*Table, error) {
+func E7Trivial(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E7",
 		Artifact: "Definition 13 / Proposition 14",
@@ -190,7 +190,7 @@ func E7Trivial() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		linOK, _, _, err := explore.LinearizableEverywhereConfig(root, 10, exploreCfg(), check.Options{})
+		linOK, _, _, err := explore.LinearizableEverywhere(root, 10, cfg.explore(), check.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -205,7 +205,7 @@ func E7Trivial() (*Table, error) {
 // agreement; a protocol whose pivot is a strong object has critical
 // configurations whose pending actions all touch that object — the proof's
 // case analysis made visible.
-func E8Valency() (*Table, error) {
+func E8Valency(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E8",
 		Artifact: "Proposition 15 (valency argument)",
@@ -236,7 +236,7 @@ func E8Valency() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		rep, err := explore.AnalyzeConfig(root, 18, exploreCfg())
+		rep, err := explore.Analyze(root, 18, cfg.explore())
 		if err != nil {
 			return nil, fmt.Errorf("E8 %s: %w", tc.name, err)
 		}

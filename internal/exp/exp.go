@@ -2,7 +2,7 @@
 // experiment per paper artifact (lemma, proposition, theorem,
 // counterexample, algorithm), each regenerating a table that records what
 // the paper claims and what this reproduction measures. The experiments
-// are deterministic (fixed seeds) and shared by cmd/elbench and the root
+// are deterministic (fixed seeds) and shared by cmd/elin (elin bench) and the root
 // benchmark suite.
 package exp
 
@@ -14,22 +14,20 @@ import (
 	"github.com/elin-go/elin/internal/explore"
 )
 
-// workers is the exploration worker count the experiments hand to package
-// explore: 0 (the default) uses GOMAXPROCS — the results are deterministic
-// for every worker count, so parallelism is safe to leave on — and 1
-// forces the sequential reference engine for apples-to-apples timings.
-var workers int
+// Config tunes an experiment run. There is no package-global state: every
+// experiment receives its configuration explicitly, so concurrent runs with
+// different settings cannot interfere.
+type Config struct {
+	// Workers is the exploration worker count the experiments hand to
+	// package explore: 0 (the default) uses GOMAXPROCS — the results are
+	// deterministic for every worker count, so parallelism is safe to
+	// leave on — and 1 forces the sequential reference engine for
+	// apples-to-apples timings.
+	Workers int
+}
 
-// SetWorkers configures how many exploration workers the experiments use
-// (cmd/elbench's -workers flag).
-func SetWorkers(n int) { workers = n }
-
-// Workers returns the configured exploration worker count (0 =
-// GOMAXPROCS).
-func Workers() int { return workers }
-
-// exploreCfg is the exploration configuration the experiments share.
-func exploreCfg() explore.Config { return explore.Config{Workers: workers} }
+// explore is the exploration configuration the experiments share.
+func (c Config) explore() explore.Config { return explore.Config{Workers: c.Workers} }
 
 // Table is one experiment's output.
 type Table struct {
@@ -112,8 +110,8 @@ func (t *Table) Render(w io.Writer) error {
 type Experiment struct {
 	// ID is the experiment identifier.
 	ID string
-	// Run executes the experiment.
-	Run func() (*Table, error)
+	// Run executes the experiment with the given configuration.
+	Run func(Config) (*Table, error)
 }
 
 // All returns the full suite in order.

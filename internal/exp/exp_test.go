@@ -13,7 +13,7 @@ func runExp(t *testing.T, id string) *Table {
 	if !ok {
 		t.Fatalf("unknown experiment %s", id)
 	}
-	tab, err := e.Run()
+	tab, err := e.Run(Config{})
 	if err != nil {
 		t.Fatalf("%s: %v", id, err)
 	}

@@ -30,7 +30,7 @@ import (
 //   - consensus power required: fetch&inc — only with CAS does the MinT
 //     trend stabilize, and by Proposition 18 any such implementation
 //     already contains a fully linearizable one.
-func E16Hierarchy() (*Table, error) {
+func E16Hierarchy(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E16",
 		Artifact: "Section 6 (open question)",
@@ -83,7 +83,7 @@ func E16Hierarchy() (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("E16 %s/%s seed %d: %w", tc.typeName, tc.impl.Name(), seed, err)
 			}
-			v, err := check.TrackMinT(tc.impl.Spec(), res.History, maxInt(res.History.Len()/8, 2), check.Options{})
+			v, err := check.TrackMinT(tc.impl.Spec(), res.History, max(res.History.Len()/8, 2), check.Options{})
 			if err != nil {
 				return nil, err
 			}
@@ -119,11 +119,4 @@ func workloadFor(impl machine.Impl, procs, ops int) [][]spec.Op {
 		}
 	}
 	return w
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -13,7 +13,7 @@ import (
 // E1MonotonePrefix verifies Lemma 5 (t-linearizability is monotone in t)
 // and Lemma 6 (t-linearizability is prefix-closed) on randomized histories
 // of three types, counting verified implications.
-func E1MonotonePrefix() (*Table, error) {
+func E1MonotonePrefix(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E1",
 		Artifact: "Lemma 5 + Lemma 6",
@@ -117,7 +117,7 @@ func randomTwoObject(r *rand.Rand) *history.History {
 // E2Locality verifies Lemma 7/Lemma 8 empirically: per-object
 // (locality-based) linearizability and weak-consistency verdicts agree
 // with the direct product-state check on random two-object histories.
-func E2Locality() (*Table, error) {
+func E2Locality(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E2",
 		Artifact: "Lemma 7 + Lemma 8 (locality)",
@@ -179,7 +179,7 @@ func E2Locality() (*Table, error) {
 // history over registers R1..Rk in which every per-object projection has
 // t_o = 2 but the global MinT grows linearly in k, because the "write 1 /
 // read 0" pattern keeps recurring on fresh objects.
-func E3InfiniteObjects() (*Table, error) {
+func E3InfiniteObjects(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E3",
 		Artifact: "Proposition 9 counterexample",
@@ -218,7 +218,7 @@ func E3InfiniteObjects() (*Table, error) {
 // prefix of the fetch&inc history is 2-linearizable, yet the witness
 // placement of p's operation escapes to infinity, so the infinite history
 // is not 2-linearizable and t-linearizability is not limit-closed.
-func E4NotSafety() (*Table, error) {
+func E4NotSafety(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E4",
 		Artifact: "Section 3.2 (t-linearizability is not a safety property)",

@@ -13,7 +13,7 @@ import (
 // certify obstruction-freedom, the starvation adversary separates
 // wait-freedom from the non-blocking property, and per-operation step
 // bounds estimate wait-free bounds.
-func E15Progress() (*Table, error) {
+func E15Progress(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E15",
 		Artifact: "Section 3 (progress conditions)",

@@ -17,7 +17,7 @@ import (
 // violation verdicts and trends do not). The buggy and eventually
 // linearizable rows run a single client so that even the shrunk witness
 // size is reproducible.
-func E17Stress() (*Table, error) {
+func E17Stress(cfg Config) (*Table, error) {
 	t := &Table{
 		ID:       "E17",
 		Artifact: "Live runtime",
@@ -27,7 +27,7 @@ func E17Stress() (*Table, error) {
 			"verdict: clean = no window exceeded tolerance; caught = the online monitor stopped the run",
 			"replay: identical = re-deriving every response from the recorded commit order reproduces the merged history byte for byte",
 			"shrunk-ops / sim-diverged: size of the ddmin-minimized window and whether its commit-order replay diverges in the deterministic simulator",
-			"throughput/latency are measured by cmd/elstress and archived in BENCH_*.json (schedule-dependent, so not table cells)",
+			"throughput/latency are measured by elin stress and archived in BENCH_*.json (schedule-dependent, so not table cells)",
 		},
 	}
 

@@ -44,7 +44,7 @@ func BenchmarkExploreUndoValency(b *testing.B) {
 	root := valencyRoot(b, true)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := Analyze(root, valencyDepth)
+		rep, err := Analyze(root, valencyDepth, Config{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -72,7 +72,7 @@ func BenchmarkExploreUndoValencyDedup(b *testing.B) {
 	root := valencyRoot(b, true)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		rep, err := AnalyzeConfig(root, valencyDepth, Config{Dedup: true})
+		rep, err := Analyze(root, valencyDepth, Config{Dedup: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -88,7 +88,7 @@ func BenchmarkExploreUndoValencyEL(b *testing.B) {
 	root := valencyRoot(b, false)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := Analyze(root, 12); err != nil {
+		if _, err := Analyze(root, 12, Config{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -118,7 +118,7 @@ func BenchmarkExploreUndoLeaves(b *testing.B) {
 	root := leavesRoot(b)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		st, err := Leaves(root, 12, func(*sim.System) error { return nil })
+		st, err := Leaves(root, 12, Config{}, func(*sim.System) error { return nil })
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +160,7 @@ func BenchmarkExploreParValency(b *testing.B) {
 			root := valencyRoot(b, true)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				rep, err := AnalyzeConfig(root, valencyDepth, Config{Workers: w})
+				rep, err := Analyze(root, valencyDepth, Config{Workers: w})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -180,7 +180,7 @@ func BenchmarkExploreParValencyEL(b *testing.B) {
 			root := valencyRoot(b, false)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := AnalyzeConfig(root, 12, Config{Workers: w}); err != nil {
+				if _, err := Analyze(root, 12, Config{Workers: w}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -196,7 +196,7 @@ func BenchmarkExploreParLeaves(b *testing.B) {
 			root := leavesRoot(b)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				st, err := LeavesConfig(root, 12, Config{Workers: w}, func(*sim.System) error { return nil })
+				st, err := Leaves(root, 12, Config{Workers: w}, func(*sim.System) error { return nil })
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -222,7 +222,7 @@ func BenchmarkExploreParStable(b *testing.B) {
 			}
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := FindStableConfig(root, 8, 16, Config{Workers: w}, check.Options{})
+				res, err := FindStable(root, 8, 16, Config{Workers: w}, check.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -243,7 +243,7 @@ func BenchmarkExploreParLinEverywhere(b *testing.B) {
 			root := leavesRoot(b)
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				ok, _, _, err := LinearizableEverywhereConfig(root, 22, Config{Workers: w}, check.Options{})
+				ok, _, _, err := LinearizableEverywhere(root, 22, Config{Workers: w}, check.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}

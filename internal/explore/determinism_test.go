@@ -53,12 +53,12 @@ func ndRoot(t *testing.T) *sim.System {
 func TestCheckDeterminismCatchesNondetProgramme(t *testing.T) {
 	// Without the check the nondeterministic programme explores silently
 	// (one arbitrary behaviour per node).
-	if _, err := DFSConfig(ndRoot(t), 4, Config{Workers: 1}, nil); err != nil {
+	if _, err := DFS(ndRoot(t), 4, Config{Workers: 1}, nil); err != nil {
 		t.Fatalf("unchecked exploration failed: %v", err)
 	}
 	// With it the divergence is a hard error, sequentially and in parallel.
 	for _, workers := range []int{1, 4} {
-		_, err := DFSConfig(ndRoot(t), 4, Config{Workers: workers, CheckDeterminism: true}, nil)
+		_, err := DFS(ndRoot(t), 4, Config{Workers: workers, CheckDeterminism: true}, nil)
 		if err == nil || !strings.Contains(err.Error(), "nondeterministic") {
 			t.Errorf("workers=%d: err = %v, want nondeterminism error", workers, err)
 		}
@@ -71,12 +71,12 @@ func TestCheckDeterminismPassesDeterministicImpl(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	base, err := DFS(root, 12, nil)
+	base, err := DFS(root, 12, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{1, 4} {
-		st, err := DFSConfig(root, 12, Config{Workers: workers, CheckDeterminism: true}, nil)
+		st, err := DFS(root, 12, Config{Workers: workers, CheckDeterminism: true}, nil)
 		if err != nil {
 			t.Fatalf("workers=%d: deterministic impl flagged: %v", workers, err)
 		}

@@ -87,7 +87,7 @@ func TestUndoEngineMatchesCloneEngineDFS(t *testing.T) {
 	for _, sc := range seedScenarios(t) {
 		t.Run(sc.name, func(t *testing.T) {
 			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
-			undoStats, err := DFS(root, sc.depth, nil)
+			undoStats, err := DFS(root, sc.depth, Config{}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -117,7 +117,9 @@ func TestUndoEngineMatchesCloneEngineLeafHistories(t *testing.T) {
 				}
 				return hs, st
 			}
-			undoH, undoStats := collect(Leaves)
+			undoH, undoStats := collect(func(root *sim.System, maxDepth int, fn func(*sim.System) error) (Stats, error) {
+				return Leaves(root, maxDepth, Config{}, fn)
+			})
 			cloneH, cloneStats := collect(CloneLeaves)
 			if undoStats != cloneStats {
 				t.Fatalf("stats diverge: undo %+v, clone %+v", undoStats, cloneStats)
@@ -138,7 +140,7 @@ func TestUndoEngineMatchesCloneEngineValency(t *testing.T) {
 	for _, sc := range seedScenarios(t) {
 		t.Run(sc.name, func(t *testing.T) {
 			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
-			undoRep, err := Analyze(root, sc.depth)
+			undoRep, err := Analyze(root, sc.depth, Config{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -182,7 +184,7 @@ func TestUndoEngineMatchesCloneEngineStableVerdicts(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			root := mustSystem(t, tc.impl, sim.UniformWorkload(2, 2, fetchinc), nil)
-			stable, undoStats, err := NodeStable(root, tc.verify, check.Options{})
+			stable, undoStats, err := NodeStable(root, tc.verify, Config{}, check.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -263,7 +265,7 @@ func TestUndoEngineQuickRandomWorkloads(t *testing.T) {
 			t.Fatal(err)
 		}
 		var undoH, cloneH []string
-		undoStats, err := Leaves(root, depth, func(leaf *sim.System) error {
+		undoStats, err := Leaves(root, depth, Config{}, func(leaf *sim.System) error {
 			undoH = append(undoH, leaf.History().String())
 			return nil
 		})
@@ -309,7 +311,7 @@ func TestParallelEngineMatchesCloneEngine(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			parStats, err := DFSConfig(root, sc.depth, Config{Workers: 4}, nil)
+			parStats, err := DFS(root, sc.depth, Config{Workers: 4}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -320,7 +322,7 @@ func TestParallelEngineMatchesCloneEngine(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			parRep, err := AnalyzeConfig(root, sc.depth, Config{Workers: 4})
+			parRep, err := Analyze(root, sc.depth, Config{Workers: 4})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -375,11 +377,11 @@ func TestDedupMatchesExactAnalysis(t *testing.T) {
 	for _, sc := range cases {
 		t.Run(sc.name, func(t *testing.T) {
 			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
-			exact, err := Analyze(root, sc.depth)
+			exact, err := Analyze(root, sc.depth, Config{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			dedup, err := AnalyzeConfig(root, sc.depth, Config{Dedup: true})
+			dedup, err := Analyze(root, sc.depth, Config{Dedup: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -407,11 +409,11 @@ func TestDedupMatchesExactAnalysis(t *testing.T) {
 // TestDedupDFSLeafReduction checks the generic visited-set option on DFS.
 func TestDedupDFSLeafReduction(t *testing.T) {
 	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
-	exact, err := DFS(root, 12, nil)
+	exact, err := DFS(root, 12, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	dedup, err := DFSConfig(root, 12, Config{Dedup: true}, nil)
+	dedup, err := DFS(root, 12, Config{Dedup: true}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +438,9 @@ func TestVisitorSeesConsistentDepths(t *testing.T) {
 		}
 		return tr
 	}
-	undoTrace := trace(DFS)
+	undoTrace := trace(func(root *sim.System, maxDepth int, visit Visitor) (Stats, error) {
+		return DFS(root, maxDepth, Config{}, visit)
+	})
 	cloneTrace := trace(CloneDFS)
 	if !reflect.DeepEqual(undoTrace, cloneTrace) {
 		t.Fatalf("visitor traces diverge:\nundo:  %v\nclone: %v", undoTrace, cloneTrace)

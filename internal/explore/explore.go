@@ -75,13 +75,19 @@ type Config struct {
 	// machine.Fingerprinter.
 	Dedup bool
 
-	// Workers is the number of exploration workers. 0 means GOMAXPROCS; 1
-	// forces the sequential in-place engine (the semantic reference). With
-	// more than one worker the execution tree is split at a frontier depth
-	// and the root subtrees are handed to a worker pool; counters and
-	// verdicts stay deterministic, but visitor/leaf callbacks may be
-	// invoked concurrently and in schedule-dependent order, so stateful
-	// callbacks must either synchronize or set Workers to 1.
+	// Workers is the number of exploration workers. 0 picks the engine
+	// default: GOMAXPROCS for the verdict and analysis searches
+	// (LinearizableEverywhere, WeaklyConsistentEverywhere, Analyze,
+	// NodeStable, FindStable), whose results are deterministic for every
+	// worker count, and sequential for the callback walks (DFS, Leaves),
+	// whose visitors are typically stateful. A negative value forces
+	// GOMAXPROCS everywhere; 1 forces the sequential in-place engine (the
+	// semantic reference). With more than one worker the execution tree is
+	// split at a frontier depth and the root subtrees are handed to a
+	// worker pool; counters and verdicts stay deterministic, but
+	// visitor/leaf callbacks may be invoked concurrently and in
+	// schedule-dependent order, so stateful callbacks must either
+	// synchronize or keep the walk sequential.
 	Workers int
 
 	// FrontierDepth fixes the depth at which the tree is split into
@@ -292,17 +298,12 @@ func (e *engine) leaves(depth int, fn func(*sim.System) error) error {
 // DFS explores every interleaving (and every eventually linearizable
 // response choice) from root down to maxDepth, invoking visit on each node
 // in preorder. The root system is never mutated (the engine works on a
-// clone). DFS always runs sequentially so that stateful visitors need no
-// synchronization; DFSConfig adds worker parallelism.
-func DFS(root *sim.System, maxDepth int, visit Visitor) (Stats, error) {
-	return DFSConfig(root, maxDepth, Config{Workers: 1}, visit)
-}
-
-// DFSConfig is DFS with exploration options. With more than one worker the
-// visitor may be invoked concurrently from multiple goroutines and the
-// preorder across subtrees is schedule-dependent; Stats stay deterministic.
-func DFSConfig(root *sim.System, maxDepth int, cfg Config, visit Visitor) (Stats, error) {
-	if w := cfg.workerCount(); w > 1 && maxDepth >= 2 {
+// clone). With the zero Config the walk is sequential, so stateful
+// visitors need no synchronization; with more than one worker the visitor
+// may be invoked concurrently from multiple goroutines and the preorder
+// across subtrees is schedule-dependent, while Stats stay deterministic.
+func DFS(root *sim.System, maxDepth int, cfg Config, visit Visitor) (Stats, error) {
+	if w := cfg.callbackWorkerCount(); w > 1 && maxDepth >= 2 {
 		return dfsPar(root, maxDepth, cfg, w, visit)
 	}
 	var st Stats
@@ -313,19 +314,13 @@ func DFSConfig(root *sim.System, maxDepth int, cfg Config, visit Visitor) (Stats
 
 // Leaves explores to maxDepth and invokes fn on every leaf (terminal or
 // horizon configuration). The leaf system passed to fn is the engine's
-// working copy: valid only during the call, Clone it to keep it. Leaves
-// always runs sequentially (fn is typically stateful); LeavesConfig adds
-// worker parallelism.
-func Leaves(root *sim.System, maxDepth int, fn func(leaf *sim.System) error) (Stats, error) {
-	return LeavesConfig(root, maxDepth, Config{Workers: 1}, fn)
-}
-
-// LeavesConfig is Leaves with exploration options. With more than one
-// worker fn may be invoked concurrently from multiple goroutines and the
-// leaf order across subtrees is schedule-dependent; Stats and the set of
-// leaves stay deterministic.
-func LeavesConfig(root *sim.System, maxDepth int, cfg Config, fn func(leaf *sim.System) error) (Stats, error) {
-	if w := cfg.workerCount(); w > 1 && maxDepth >= 2 {
+// working copy: valid only during the call, Clone it to keep it. With the
+// zero Config the walk is sequential (fn is typically stateful); with more
+// than one worker fn may be invoked concurrently and the leaf order across
+// subtrees is schedule-dependent, while Stats and the set of leaves stay
+// deterministic.
+func Leaves(root *sim.System, maxDepth int, cfg Config, fn func(leaf *sim.System) error) (Stats, error) {
+	if w := cfg.callbackWorkerCount(); w > 1 && maxDepth >= 2 {
 		return leavesPar(root, maxDepth, cfg, w,
 			func(leaf *sim.System, _ int) error { return fn(leaf) }, nil)
 	}
@@ -340,17 +335,13 @@ func LeavesConfig(root *sim.System, maxDepth int, cfg Config, fn func(leaf *sim.
 // It returns the first violating configuration (a clone, safe to keep), if
 // any. The walk aborts as soon as a violation is found, so the returned
 // Stats cover the full tree only when the check passes.
-func LinearizableEverywhere(root *sim.System, maxDepth int, opts check.Options) (bool, *sim.System, Stats, error) {
-	return LinearizableEverywhereConfig(root, maxDepth, Config{}, opts)
-}
-
-// LinearizableEverywhereConfig is LinearizableEverywhere with exploration
-// options. Regardless of worker count the witness is the violating leaf
-// with the lexicographically smallest branch path — the one the sequential
-// walk finds first — not whichever worker loses the race. Config.Dedup is
+//
+// Regardless of worker count the witness is the violating leaf with the
+// lexicographically smallest branch path — the one the sequential walk
+// finds first — not whichever worker loses the race. Config.Dedup is
 // ignored: linearizability of the recorded history is path-dependent, so
 // configuration merging would be unsound here.
-func LinearizableEverywhereConfig(root *sim.System, maxDepth int, cfg Config, opts check.Options) (bool, *sim.System, Stats, error) {
+func LinearizableEverywhere(root *sim.System, maxDepth int, cfg Config, opts check.Options) (bool, *sim.System, Stats, error) {
 	specs := implSpecs(root)
 	found, bad, st, err := searchViolation(root, maxDepth, cfg, true, func(leaf *sim.System) (bool, error) {
 		return check.Linearizable(specs, leaf.History(), opts)
@@ -363,15 +354,9 @@ func LinearizableEverywhereConfig(root *sim.System, maxDepth int, cfg Config, op
 
 // WeaklyConsistentEverywhere checks weak consistency of every leaf history.
 // Like LinearizableEverywhere it aborts on the first violation and returns
-// the lexicographically first witness.
-func WeaklyConsistentEverywhere(root *sim.System, maxDepth int, opts check.Options) (bool, *sim.System, Stats, error) {
-	return WeaklyConsistentEverywhereConfig(root, maxDepth, Config{}, opts)
-}
-
-// WeaklyConsistentEverywhereConfig is WeaklyConsistentEverywhere with
-// exploration options; see LinearizableEverywhereConfig for the witness and
-// Dedup semantics.
-func WeaklyConsistentEverywhereConfig(root *sim.System, maxDepth int, cfg Config, opts check.Options) (bool, *sim.System, Stats, error) {
+// the lexicographically first witness; see there for the witness and Dedup
+// semantics.
+func WeaklyConsistentEverywhere(root *sim.System, maxDepth int, cfg Config, opts check.Options) (bool, *sim.System, Stats, error) {
 	specs := implSpecs(root)
 	found, bad, st, err := searchViolation(root, maxDepth, cfg, true, func(leaf *sim.System) (bool, error) {
 		return check.WeaklyConsistent(specs, leaf.History(), opts)

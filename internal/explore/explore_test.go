@@ -27,7 +27,7 @@ func mustSystem(t *testing.T, impl machine.Impl, workload [][]spec.Op, pol base.
 func TestDFSCountsTinyTree(t *testing.T) {
 	// CAS counter, 1 process, 1 op: read, cas, return — a single path.
 	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(1, 1, fetchinc), nil)
-	st, err := DFS(root, 10, nil)
+	st, err := DFS(root, 10, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +44,7 @@ func TestDFSCountsTinyTree(t *testing.T) {
 
 func TestDFSTruncation(t *testing.T) {
 	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
-	st, err := DFS(root, 3, nil)
+	st, err := DFS(root, 3, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,11 +55,11 @@ func TestDFSTruncation(t *testing.T) {
 
 func TestDFSVisitorPrune(t *testing.T) {
 	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 1, fetchinc), nil)
-	full, err := DFS(root, 20, nil)
+	full, err := DFS(root, 20, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := DFS(root, 20, func(s *sim.System, depth int) (bool, error) {
+	pruned, err := DFS(root, 20, Config{}, func(s *sim.System, depth int) (bool, error) {
 		return depth < 2, nil
 	})
 	if err != nil {
@@ -75,7 +75,7 @@ func TestCASCounterLinearizableEverywhere(t *testing.T) {
 	// Worst-case run length: 12 base steps plus 2 extra steps per failed
 	// CAS, and each failure is charged to another process's success (at
 	// most 4), so 22 covers every interleaving.
-	ok, bad, st, err := LinearizableEverywhere(root, 22, check.Options{})
+	ok, bad, st, err := LinearizableEverywhere(root, 22, Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestCASCounterLinearizableEverywhere(t *testing.T) {
 
 func TestSloppyCounterViolationFoundExhaustively(t *testing.T) {
 	root := mustSystem(t, counter.Sloppy{}, sim.UniformWorkload(2, 1, fetchinc), nil)
-	ok, bad, _, err := LinearizableEverywhere(root, 10, check.Options{})
+	ok, bad, _, err := LinearizableEverywhere(root, 10, Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +101,7 @@ func TestSloppyCounterViolationFoundExhaustively(t *testing.T) {
 	}
 	// But every leaf is weakly consistent (the counter always counts its
 	// own increments).
-	wok, wbad, _, err := WeaklyConsistentEverywhere(root, 10, check.Options{})
+	wok, wbad, _, err := WeaklyConsistentEverywhere(root, 10, Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,11 +121,11 @@ func TestEventualBaseBranching(t *testing.T) {
 	}
 	never := mustSystem(t, impl, w, base.SamePolicy(base.Never{}))
 	atomicish := mustSystem(t, impl, w, base.SamePolicy(base.Immediate()))
-	stNever, err := DFS(never, 10, nil)
+	stNever, err := DFS(never, 10, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	stAtomic, err := DFS(atomicish, 10, nil)
+	stAtomic, err := DFS(atomicish, 10, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestValencyBrokenRegisterConsensus(t *testing.T) {
 		{spec.MakeOp1(spec.MethodPropose, 20)},
 	}
 	root := mustSystem(t, impl, w, nil)
-	rep, err := Analyze(root, 16)
+	rep, err := Analyze(root, 16, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestValencyStrongObjectPivot(t *testing.T) {
 		{spec.MakeOp1(spec.MethodPropose, 20)},
 	}
 	root := mustSystem(t, impl, w, nil)
-	rep, err := Analyze(root, 10)
+	rep, err := Analyze(root, 10, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +212,7 @@ func TestValencyELConsensusDisagreesBeforeStabilization(t *testing.T) {
 		{spec.MakeOp1(spec.MethodPropose, 20)},
 	}
 	root := mustSystem(t, impl, w, base.SamePolicy(base.Never{}))
-	rep, err := Analyze(root, 16)
+	rep, err := Analyze(root, 16, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestValencyELConsensusDisagreesBeforeStabilization(t *testing.T) {
 func TestStableNodeCASCounterRootStable(t *testing.T) {
 	// The CAS counter is linearizable, so the root itself is stable.
 	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
-	res, err := FindStable(root, 4, 14, check.Options{})
+	res, err := FindStable(root, 4, 14, Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestStableNodeWarmupCounter(t *testing.T) {
 	impl := counter.Warmup{Threshold: 2}
 	root := mustSystem(t, impl, sim.UniformWorkload(2, 2, fetchinc), nil)
 
-	stable0, _, err := NodeStable(root, 14, check.Options{})
+	stable0, _, err := NodeStable(root, 14, Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +248,7 @@ func TestStableNodeWarmupCounter(t *testing.T) {
 		t.Fatal("warmup counter root must not be stable")
 	}
 
-	res, err := FindStable(root, 8, 14, check.Options{})
+	res, err := FindStable(root, 8, 14, Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +283,7 @@ func TestFindStableFailsWithinTinyBounds(t *testing.T) {
 	// must report failure rather than a bogus configuration.
 	impl := counter.Warmup{Threshold: 50}
 	root := mustSystem(t, impl, sim.UniformWorkload(2, 3, fetchinc), nil)
-	if _, err := FindStable(root, 2, 10, check.Options{}); err == nil {
+	if _, err := FindStable(root, 2, 10, Config{}, check.Options{}); err == nil {
 		t.Fatal("expected failure for unreachable stabilization")
 	}
 }

@@ -43,12 +43,23 @@ import (
 	"github.com/elin-go/elin/internal/spec"
 )
 
-// workerCount resolves Config.Workers: 0 means GOMAXPROCS.
+// workerCount resolves Config.Workers for the verdict and analysis
+// searches: 0 (and any negative value) means GOMAXPROCS.
 func (c Config) workerCount() int {
 	if c.Workers > 0 {
 		return c.Workers
 	}
 	return runtime.GOMAXPROCS(0)
+}
+
+// callbackWorkerCount resolves Config.Workers for the callback walks (DFS,
+// Leaves): 0 means sequential — the safe default for stateful visitors —
+// and a negative value opts in to GOMAXPROCS.
+func (c Config) callbackWorkerCount() int {
+	if c.Workers == 0 {
+		return 1
+	}
+	return c.workerCount()
 }
 
 // pathStep is one edge of the execution tree: process proc advances by its
@@ -118,7 +129,7 @@ func (s *shardedSet) checkAndAdd(key []byte) bool {
 }
 
 // ---------------------------------------------------------------------------
-// Sharded valence memo (AnalyzeConfig with Dedup under parallel workers).
+// Sharded valence memo (Analyze with Dedup under parallel workers).
 
 // memoEntry is one memoized subtree valence. The claimant publishes
 // decisions/truncated and closes ready; later arrivals wait on ready.

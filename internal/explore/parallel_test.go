@@ -32,7 +32,7 @@ func TestParallelLeavesMatchesSequential(t *testing.T) {
 		t.Run(sc.name, func(t *testing.T) {
 			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
 			var seqH []string
-			seqStats, err := Leaves(root, sc.depth, func(leaf *sim.System) error {
+			seqStats, err := Leaves(root, sc.depth, Config{}, func(leaf *sim.System) error {
 				seqH = append(seqH, leaf.History().String())
 				return nil
 			})
@@ -43,7 +43,7 @@ func TestParallelLeavesMatchesSequential(t *testing.T) {
 			for _, w := range parWorkerCounts {
 				var mu sync.Mutex
 				var parH []string
-				parStats, err := LeavesConfig(root, sc.depth, Config{Workers: w}, func(leaf *sim.System) error {
+				parStats, err := Leaves(root, sc.depth, Config{Workers: w}, func(leaf *sim.System) error {
 					h := leaf.History().String()
 					mu.Lock()
 					parH = append(parH, h)
@@ -69,12 +69,12 @@ func TestParallelDFSMatchesSequential(t *testing.T) {
 	for _, sc := range seedScenarios(t) {
 		t.Run(sc.name, func(t *testing.T) {
 			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
-			seqStats, err := DFS(root, sc.depth, nil)
+			seqStats, err := DFS(root, sc.depth, Config{}, nil)
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, w := range parWorkerCounts {
-				parStats, err := DFSConfig(root, sc.depth, Config{Workers: w}, nil)
+				parStats, err := DFS(root, sc.depth, Config{Workers: w}, nil)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -93,12 +93,12 @@ func TestParallelDFSVisitorPrune(t *testing.T) {
 	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
 	for _, cut := range []int{1, 3, 5} {
 		visit := func(s *sim.System, depth int) (bool, error) { return depth < cut, nil }
-		seqStats, err := DFS(root, 12, visit)
+		seqStats, err := DFS(root, 12, Config{}, visit)
 		if err != nil {
 			t.Fatal(err)
 		}
 		for _, w := range parWorkerCounts {
-			parStats, err := DFSConfig(root, 12, Config{Workers: w}, visit)
+			parStats, err := DFS(root, 12, Config{Workers: w}, visit)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,7 +113,7 @@ func TestParallelDFSVisitorPrune(t *testing.T) {
 // merged DAG has schedule-independent counters.
 func TestParallelDedupCounts(t *testing.T) {
 	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
-	seqStats, err := DFSConfig(root, 12, Config{Dedup: true, Workers: 1}, nil)
+	seqStats, err := DFS(root, 12, Config{Dedup: true, Workers: 1}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestParallelDedupCounts(t *testing.T) {
 		t.Fatal("symmetric workload should merge configurations")
 	}
 	for _, w := range parWorkerCounts {
-		parStats, err := DFSConfig(root, 12, Config{Dedup: true, Workers: w}, nil)
+		parStats, err := DFS(root, 12, Config{Dedup: true, Workers: w}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,12 +135,12 @@ func TestParallelAnalyzeMatchesSequential(t *testing.T) {
 	for _, sc := range seedScenarios(t) {
 		t.Run(sc.name, func(t *testing.T) {
 			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
-			seqRep, err := AnalyzeConfig(root, sc.depth, Config{Workers: 1})
+			seqRep, err := Analyze(root, sc.depth, Config{Workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, w := range parWorkerCounts {
-				parRep, err := AnalyzeConfig(root, sc.depth, Config{Workers: w})
+				parRep, err := Analyze(root, sc.depth, Config{Workers: w})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -175,13 +175,13 @@ func TestParallelAnalyzeDedupDeterministic(t *testing.T) {
 	for _, sc := range cases {
 		t.Run(sc.name, func(t *testing.T) {
 			root := mustSystem(t, sc.impl, sc.workload, sc.policies)
-			seqRep, err := AnalyzeConfig(root, sc.depth, Config{Dedup: true, Workers: 1})
+			seqRep, err := Analyze(root, sc.depth, Config{Dedup: true, Workers: 1})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, w := range parWorkerCounts {
 				for round := 0; round < 3; round++ {
-					parRep, err := AnalyzeConfig(root, sc.depth, Config{Dedup: true, Workers: w})
+					parRep, err := Analyze(root, sc.depth, Config{Dedup: true, Workers: w})
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -215,7 +215,7 @@ func TestParallelAnalyzeDedupDeterministic(t *testing.T) {
 // regardless of worker count and schedule.
 func TestParallelViolationWitnessDeterministic(t *testing.T) {
 	root := mustSystem(t, counter.Sloppy{}, sim.UniformWorkload(2, 1, fetchinc), nil)
-	ok, seqBad, _, err := LinearizableEverywhereConfig(root, 10, Config{Workers: 1}, check.Options{})
+	ok, seqBad, _, err := LinearizableEverywhere(root, 10, Config{Workers: 1}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +225,7 @@ func TestParallelViolationWitnessDeterministic(t *testing.T) {
 	want := seqBad.History().String()
 	for _, w := range parWorkerCounts {
 		for round := 0; round < 5; round++ {
-			ok, bad, _, err := LinearizableEverywhereConfig(root, 10, Config{Workers: w}, check.Options{})
+			ok, bad, _, err := LinearizableEverywhere(root, 10, Config{Workers: w}, check.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -243,7 +243,7 @@ func TestParallelViolationWitnessDeterministic(t *testing.T) {
 // with no violation the walk is exhaustive and Stats are deterministic.
 func TestParallelLinearizableEverywhereClean(t *testing.T) {
 	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
-	okSeq, _, seqStats, err := LinearizableEverywhereConfig(root, 22, Config{Workers: 1}, check.Options{})
+	okSeq, _, seqStats, err := LinearizableEverywhere(root, 22, Config{Workers: 1}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,7 +251,7 @@ func TestParallelLinearizableEverywhereClean(t *testing.T) {
 		t.Fatal("CAS counter must be linearizable everywhere")
 	}
 	for _, w := range parWorkerCounts {
-		ok, bad, parStats, err := LinearizableEverywhereConfig(root, 22, Config{Workers: w}, check.Options{})
+		ok, bad, parStats, err := LinearizableEverywhere(root, 22, Config{Workers: w}, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,11 +268,11 @@ func TestParallelLinearizableEverywhereClean(t *testing.T) {
 // stop at the first violating leaf instead of enumerating the full tree.
 func TestEarlyExitOnViolation(t *testing.T) {
 	root := mustSystem(t, counter.Sloppy{}, sim.UniformWorkload(2, 1, fetchinc), nil)
-	full, err := DFS(root, 10, nil)
+	full, err := DFS(root, 10, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, _, st, err := LinearizableEverywhere(root, 10, check.Options{})
+	ok, _, st, err := LinearizableEverywhere(root, 10, Config{}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -296,12 +296,12 @@ func TestParallelNodeStableMatchesSequential(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			root := mustSystem(t, tc.impl, sim.UniformWorkload(2, 2, fetchinc), nil)
-			seqStable, seqStats, err := NodeStableConfig(root, tc.verify, Config{Workers: 1}, check.Options{})
+			seqStable, seqStats, err := NodeStable(root, tc.verify, Config{Workers: 1}, check.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			for _, w := range parWorkerCounts {
-				stable, st, err := NodeStableConfig(root, tc.verify, Config{Workers: w}, check.Options{})
+				stable, st, err := NodeStable(root, tc.verify, Config{Workers: w}, check.Options{})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -322,12 +322,12 @@ func TestParallelNodeStableMatchesSequential(t *testing.T) {
 func TestParallelFindStableMatchesSequential(t *testing.T) {
 	impl := counter.Warmup{Threshold: 2}
 	root := mustSystem(t, impl, sim.UniformWorkload(2, 2, fetchinc), nil)
-	seq, err := FindStableConfig(root, 8, 12, Config{Workers: 1}, check.Options{})
+	seq, err := FindStable(root, 8, 12, Config{Workers: 1}, check.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range parWorkerCounts {
-		par, err := FindStableConfig(root, 8, 12, Config{Workers: w}, check.Options{})
+		par, err := FindStable(root, 8, 12, Config{Workers: w}, check.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -347,12 +347,12 @@ func TestParallelFindStableMatchesSequential(t *testing.T) {
 func TestParallelFindStableFailureMatchesSequential(t *testing.T) {
 	impl := counter.Warmup{Threshold: 50}
 	root := mustSystem(t, impl, sim.UniformWorkload(2, 3, fetchinc), nil)
-	_, seqErr := FindStableConfig(root, 2, 10, Config{Workers: 1}, check.Options{})
+	_, seqErr := FindStable(root, 2, 10, Config{Workers: 1}, check.Options{})
 	if seqErr == nil {
 		t.Fatal("expected failure for unreachable stabilization")
 	}
 	for _, w := range parWorkerCounts {
-		_, err := FindStableConfig(root, 2, 10, Config{Workers: w}, check.Options{})
+		_, err := FindStable(root, 2, 10, Config{Workers: w}, check.Options{})
 		if err == nil {
 			t.Fatalf("workers=%d: expected failure", w)
 		}
@@ -366,12 +366,12 @@ func TestParallelFindStableFailureMatchesSequential(t *testing.T) {
 // the same results (the frontier is a correctness-neutral tuning knob).
 func TestParallelExplicitFrontierDepths(t *testing.T) {
 	root := mustSystem(t, counter.CAS{}, sim.UniformWorkload(2, 2, fetchinc), nil)
-	seqStats, err := DFS(root, 12, nil)
+	seqStats, err := DFS(root, 12, Config{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, k := range []int{1, 2, 4, 7, 20} {
-		parStats, err := DFSConfig(root, 12, Config{Workers: 4, FrontierDepth: k}, nil)
+		parStats, err := DFS(root, 12, Config{Workers: 4, FrontierDepth: k}, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -418,7 +418,7 @@ func TestParallelQuickRandomWorkloads(t *testing.T) {
 			t.Fatal(err)
 		}
 		var seqH []string
-		seqStats, err := LeavesConfig(root, depth, Config{Workers: 1, Dedup: dedup}, func(leaf *sim.System) error {
+		seqStats, err := Leaves(root, depth, Config{Workers: 1, Dedup: dedup}, func(leaf *sim.System) error {
 			seqH = append(seqH, leaf.History().String())
 			return nil
 		})
@@ -427,7 +427,7 @@ func TestParallelQuickRandomWorkloads(t *testing.T) {
 		}
 		var mu sync.Mutex
 		var parH []string
-		parStats, err := LeavesConfig(root, depth, Config{Workers: workers, Dedup: dedup}, func(leaf *sim.System) error {
+		parStats, err := Leaves(root, depth, Config{Workers: workers, Dedup: dedup}, func(leaf *sim.System) error {
 			h := leaf.History().String()
 			mu.Lock()
 			parH = append(parH, h)

@@ -29,15 +29,12 @@ type StableResult struct {
 // execution with prefix αC is |αC|-linearizable". By the prefix closure of
 // t-linearizability (Lemma 6), checking the maximal (leaf) extensions
 // covers every intermediate configuration.
-func NodeStable(node *sim.System, verifyDepth int, opts check.Options) (bool, Stats, error) {
-	return NodeStableConfig(node, verifyDepth, Config{}, opts)
-}
-
-// NodeStableConfig is NodeStable with exploration options. The verdict is
-// deterministic for every worker count; the returned Stats cover the full
-// subtree only when the node IS stable (a violation aborts the walk early,
-// and under parallel workers the abort point is schedule-dependent).
-func NodeStableConfig(node *sim.System, verifyDepth int, cfg Config, opts check.Options) (bool, Stats, error) {
+//
+// The verdict is deterministic for every worker count; the returned Stats
+// cover the full subtree only when the node IS stable (a violation aborts
+// the walk early, and under parallel workers the abort point is
+// schedule-dependent).
+func NodeStable(node *sim.System, verifyDepth int, cfg Config, opts check.Options) (bool, Stats, error) {
 	t := node.History().Len()
 	obj := node.Impl().Spec()
 	found, _, st, err := searchViolation(node, verifyDepth, cfg, false, func(leaf *sim.System) (bool, error) {
@@ -121,23 +118,19 @@ func appendChildren(e *engine, depth int, path []pathStep, queue [][]pathStep) (
 // The implementation under test must use only linearizable base objects
 // (Proposition 18's hypothesis); eventually linearizable bases make the
 // tree branch on responses, which is supported but usually unintended here.
-func FindStable(root *sim.System, searchDepth, verifyDepth int, opts check.Options) (*StableResult, error) {
-	return FindStableConfig(root, searchDepth, verifyDepth, Config{}, opts)
-}
-
-// FindStableConfig is FindStable with exploration options. With more than
-// one worker each candidate's stability verification — the search's
-// dominant cost, an exhaustive walk of the candidate's bounded subtree —
-// fans its leaf checks out across the worker pool, while candidates are
-// still consumed strictly in breadth-first order, so the result
-// (configuration, depth, T, NodesSearched and the winner's VerifyStats)
-// is identical to the sequential search. Parallelism goes inside the
-// verification rather than across candidates because the stable winner's
-// full-subtree verification dwarfs the early-aborting unstable checks
-// before it: speeding up that single walk is what moves wall-clock.
+//
+// With more than one worker each candidate's stability verification — the
+// search's dominant cost, an exhaustive walk of the candidate's bounded
+// subtree — fans its leaf checks out across the worker pool, while
+// candidates are still consumed strictly in breadth-first order, so the
+// result (configuration, depth, T, NodesSearched and the winner's
+// VerifyStats) is identical to the sequential search. Parallelism goes
+// inside the verification rather than across candidates because the stable
+// winner's full-subtree verification dwarfs the early-aborting unstable
+// checks before it: speeding up that single walk is what moves wall-clock.
 // Config.Dedup is ignored (stability of a node depends on its recorded
 // history, not just the configuration).
-func FindStableConfig(root *sim.System, searchDepth, verifyDepth int, cfg Config, opts check.Options) (*StableResult, error) {
+func FindStable(root *sim.System, searchDepth, verifyDepth int, cfg Config, opts check.Options) (*StableResult, error) {
 	return findStable(root, searchDepth, verifyDepth, cfg, opts)
 }
 
@@ -174,7 +167,7 @@ func findStable(root *sim.System, searchDepth, verifyDepth int, cfg Config, opts
 			// candidate exhaustively on the worker pool. A winner decided
 			// here enumerates its whole subtree, so its VerifyStats match
 			// the sequential search's exactly.
-			stable, vst, err = NodeStableConfig(e.sys, verifyDepth, cfg, opts)
+			stable, vst, err = NodeStable(e.sys, verifyDepth, cfg, opts)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("explore: stability check at depth %d: %w", depth, err)

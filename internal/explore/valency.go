@@ -109,11 +109,8 @@ type ValencyReport struct {
 // completed operations return different values are recorded as agreement
 // violations (their "decision set" contains both values, which keeps the
 // valence bookkeeping meaningful for broken protocols too).
-func Analyze(root *sim.System, maxDepth int) (*ValencyReport, error) {
-	return AnalyzeConfig(root, maxDepth, Config{})
-}
-
-// AnalyzeConfig is Analyze with exploration options. With Config.Dedup the
+//
+// With Config.Dedup the
 // valence of each distinct configuration is computed once and memoized
 // under a key combining the full configuration encoding with the multiset
 // of responses already completed (past decisions contribute to a node's
@@ -131,7 +128,7 @@ func Analyze(root *sim.System, maxDepth int) (*ValencyReport, error) {
 // example strings (ViolationHistory, a Critical's History) may differ
 // between runs — the same caveat Dedup already carries sequentially
 // versus the exact analysis.
-func AnalyzeConfig(root *sim.System, maxDepth int, cfg Config) (*ValencyReport, error) {
+func Analyze(root *sim.System, maxDepth int, cfg Config) (*ValencyReport, error) {
 	if w := cfg.workerCount(); w > 1 && maxDepth >= 2 {
 		return analyzePar(root, maxDepth, cfg, w)
 	}
@@ -487,7 +484,7 @@ type analyzeTaskResult struct {
 // frontier, classify the subtrees on the worker pool, then merge decision
 // sets bottom-up through the recorded prefix tree. Criticals and counters
 // are emitted in the sequential analysis's postorder, so the merged report
-// matches the sequential one field for field (see AnalyzeConfig for the
+// matches the sequential one field for field (see Analyze for the
 // Dedup caveat).
 func analyzePar(root *sim.System, maxDepth int, cfg Config, workers int) (*ValencyReport, error) {
 	rep := &ValencyReport{}

@@ -1,0 +1,85 @@
+package live
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/counter"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// TestSerializedImplCASCounter runs the model checker's CAS counter under
+// real goroutine concurrency: the monitor must stay clean and the run must
+// replay byte-identically from its commit order.
+func TestSerializedImplCASCounter(t *testing.T) {
+	obj, err := NewSerializedImpl(counter.CAS{}, 4, nil, 1, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Object:  obj,
+		Clients: 4,
+		Ops:     200,
+		Seed:    1,
+		Monitor: check.IncrementalConfig{Stride: 512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Violation != nil {
+		t.Fatalf("correct counter flagged: %v", res.Violation)
+	}
+	if res.Ops != 800 {
+		t.Fatalf("completed %d ops, want 800", res.Ops)
+	}
+	same, err := Verify(obj, res.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("clean run did not replay byte-identically")
+	}
+}
+
+// TestSerializedImplEventualReplayDeterministic pins the reproducibility
+// contract for implementations over eventually linearizable bases: the
+// weak-consistency response choices are pure functions of (seed, ticket,
+// step), so the recorded commit order determines the whole run.
+func TestSerializedImplEventualReplayDeterministic(t *testing.T) {
+	obj, err := NewSerializedImpl(counter.Warmup{Threshold: 3}, 3,
+		base.SamePolicy(base.Window{K: 6}), 7, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Object:  obj,
+		Clients: 3,
+		Ops:     50,
+		Seed:    7,
+		Monitor: check.IncrementalConfig{Stride: 512, MaxT: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := Verify(obj, res.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("eventually linearizable run did not replay byte-identically")
+	}
+}
+
+// TestSerializedImplRejectsUnknownClient pins the client-range check.
+func TestSerializedImplRejectsUnknownClient(t *testing.T) {
+	obj, err := NewSerializedImpl(counter.CAS{}, 2, nil, 1, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq atomic.Uint64
+	if _, _, err := obj.Apply(2, spec.MakeOp(spec.MethodFetchInc), &seq); err == nil {
+		t.Fatal("client 2 of 2 accepted")
+	}
+}

@@ -1,0 +1,198 @@
+package registry
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// TestUnknownNameErrorsListAvailable pins the contract that every resolver
+// names the available choices when it rejects an unknown name.
+func TestUnknownNameErrorsListAvailable(t *testing.T) {
+	cases := []struct {
+		resolver string
+		err      error
+		want     string
+	}{
+		{"Impl", errOf(func() error { _, err := Impl("nosuch"); return err }), "cas-counter"},
+		{"Scheduler", errOf(func() error { _, err := Scheduler("nosuch"); return err }), "solo:P"},
+		{"Chooser", errOf(func() error { _, err := Chooser("nosuch"); return err }), "mix:P"},
+		{"Policy", errOf(func() error { _, err := Policy("nosuch"); return err }), "window:K"},
+		{"TypeByName", errOf(func() error { _, err := TypeByName("nosuch"); return err }), "fetchinc"},
+		{"WorkloadByName", errOf(func() error {
+			impl, _ := Impl("cas-counter")
+			_, err := WorkloadByName("nosuch", impl, 2, 1)
+			return err
+		}), "uniform:OP"},
+		{"Engine", errOf(func() error { _, err := Engine("nosuch"); return err }), "explore"},
+		{"LiveObject", errOf(func() error {
+			_, err := LiveObject("nosuch", 2, nil, 1, check.Options{})
+			return err
+		}), "atomic-fi"},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s accepted an unknown name", tc.resolver)
+			continue
+		}
+		if !strings.Contains(tc.err.Error(), tc.want) {
+			t.Errorf("%s error does not list available names: %v", tc.resolver, tc.err)
+		}
+	}
+}
+
+func errOf(f func() error) error { return f() }
+
+// TestParameterValidation pins the argument errors of parameterized names:
+// malformed arguments fail, and names that take no parameter reject stray
+// ones instead of silently ignoring them.
+func TestParameterValidation(t *testing.T) {
+	bad := []struct {
+		resolver string
+		err      error
+	}{
+		{"Impl(warmup-counter:)", errOf(func() error { _, err := Impl("warmup-counter:"); return err })},
+		{"Impl(warmup-counter:zap)", errOf(func() error { _, err := Impl("warmup-counter:zap"); return err })},
+		{"Impl(cas-counter:3)", errOf(func() error { _, err := Impl("cas-counter:3"); return err })},
+		{"Scheduler(rr:1)", errOf(func() error { _, err := Scheduler("rr:1"); return err })},
+		{"Scheduler(random:2)", errOf(func() error { _, err := Scheduler("random:2"); return err })},
+		{"Scheduler(solo:)", errOf(func() error { _, err := Scheduler("solo:"); return err })},
+		{"Chooser(true:1)", errOf(func() error { _, err := Chooser("true:1"); return err })},
+		{"Chooser(stale:0.5)", errOf(func() error { _, err := Chooser("stale:0.5"); return err })},
+		{"Chooser(mix:)", errOf(func() error { _, err := Chooser("mix:"); return err })},
+		{"Policy(never:4)", errOf(func() error { _, err := Policy("never:4"); return err })},
+		{"Policy(immediate:1)", errOf(func() error { _, err := Policy("immediate:1"); return err })},
+		{"Policy(window:)", errOf(func() error { _, err := Policy("window:"); return err })},
+		{"TypeByName(consensus:1)", errOf(func() error { _, err := TypeByName("consensus:1"); return err })},
+		{"TypeByName(queue:1)", errOf(func() error { _, err := TypeByName("queue:1"); return err })},
+		{"TypeByName(register:)", errOf(func() error { _, err := TypeByName("register:"); return err })},
+		{"Workload(uniform:)", errOf(func() error {
+			impl, _ := Impl("cas-counter")
+			_, err := WorkloadByName("uniform:", impl, 2, 1)
+			return err
+		})},
+		{"Workload(default:3)", errOf(func() error {
+			impl, _ := Impl("cas-counter")
+			_, err := WorkloadByName("default:3", impl, 2, 1)
+			return err
+		})},
+		{"Workload(rw:200)", errOf(func() error {
+			impl, _ := Impl("el-register")
+			_, err := WorkloadByName("rw:200", impl, 2, 1)
+			return err
+		})},
+		{"LiveObject(junk-fi:zap)", errOf(func() error {
+			_, err := LiveObject("junk-fi:zap", 2, nil, 1, check.Options{})
+			return err
+		})},
+	}
+	for _, tc := range bad {
+		if tc.err == nil {
+			t.Errorf("%s accepted", tc.resolver)
+		}
+	}
+}
+
+// TestWorkloadByName pins the workload vocabulary on the simulation side.
+func TestWorkloadByName(t *testing.T) {
+	impl, err := Impl("cas-counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WorkloadByName("uniform:inc", impl, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 3 || len(w[0]) != 2 || w[2][1].Method != spec.MethodFetchInc {
+		t.Fatalf("uniform:inc workload = %v", w)
+	}
+	w, err = WorkloadByName("uniform:write(7)", impl, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0][0].Method != spec.MethodWrite || w[0][0].Args[0] != 7 {
+		t.Fatalf("uniform:write(7) workload = %v", w)
+	}
+	w, err = WorkloadByName("default", impl, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[0][0].Method != spec.MethodFetchInc {
+		t.Fatalf("default workload = %v", w)
+	}
+	w, err = WorkloadByName("rw:50", impl, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := 0, 0
+	for _, ops := range w {
+		for _, op := range ops {
+			if op.Method == spec.MethodRead {
+				reads++
+			} else if op.Method == spec.MethodWrite {
+				writes++
+			}
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatalf("rw:50 produced reads=%d writes=%d", reads, writes)
+	}
+}
+
+// TestOpGenByNameMatchesWorkload pins that the live generator speaks the
+// same vocabulary.
+func TestOpGenByNameMatchesWorkload(t *testing.T) {
+	obj, err := TypeByName("fetchinc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := OpGenByName("uniform:inc", obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := gen(0, 0, nil); op.Method != spec.MethodFetchInc {
+		t.Fatalf("uniform:inc gen = %v", op)
+	}
+	cons, err := TypeByName("consensus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err = OpGenByName("default", cons)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if op := gen(2, 0, nil); op.Method != spec.MethodPropose || op.Args[0] != 3 {
+		t.Fatalf("consensus default gen = %v", op)
+	}
+	if _, err := OpGenByName("nosuch", obj); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+// TestLiveObjectResolvesImplNames pins the cross-engine bridge: any
+// implementation name runs live via the serialized step-machine adapter.
+func TestLiveObjectResolvesImplNames(t *testing.T) {
+	obj, err := LiveObject("cas-counter", 2, nil, 1, check.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj.Name() != "cas-counter" {
+		t.Fatalf("live object name = %q", obj.Name())
+	}
+	var seq atomic.Uint64
+	resp, ticket, err := obj.Apply(0, spec.MakeOp(spec.MethodFetchInc), &seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp != 0 || ticket != 1 {
+		t.Fatalf("first fetchinc = (%d, %d)", resp, ticket)
+	}
+	for _, name := range []string{"atomic-fi", "mutex-fi:5", "mutex-reg", "el-fi", "junk-fi:8"} {
+		if _, err := LiveObject(name, 2, nil, 3, check.Options{}); err != nil {
+			t.Errorf("LiveObject(%q): %v", name, err)
+		}
+	}
+}

@@ -37,63 +37,78 @@ import (
 //	localcopy-register     Theorem 12 local-copy of el-register
 func Impl(name string) (machine.Impl, error) {
 	base, arg, hasArg := strings.Cut(name, ":")
-	argInt := func(def int64) (int64, error) {
-		if !hasArg {
-			return def, nil
-		}
-		v, err := strconv.ParseInt(arg, 10, 64)
-		if err != nil {
-			return 0, fmt.Errorf("registry: bad parameter %q in %q: %w", arg, name, err)
-		}
-		return v, nil
-	}
-	switch base {
-	case "cas-counter":
-		return counter.CAS{}, nil
-	case "sloppy-counter":
-		return counter.Sloppy{}, nil
-	case "el-sloppy-counter":
-		return counter.Sloppy{EventualBases: true}, nil
-	case "warmup-counter":
-		k, err := argInt(4)
-		if err != nil {
-			return nil, err
-		}
-		return counter.Warmup{Threshold: k}, nil
-	case "junk-counter":
-		return counter.Junk{}, nil
-	case "announced-junk":
-		return announce.New(counter.Junk{}, announce.FetchIncCodec(), check.Options{})
-	case "announced-cas":
-		return announce.New(counter.CAS{}, announce.FetchIncCodec(), check.Options{})
-	case "el-consensus":
-		return elconsensus.Impl{}, nil
-	case "reg-consensus":
-		return elconsensus.Impl{AtomicBases: true}, nil
-	case "el-testset":
-		return eltestset.Local{}, nil
-	case "cas-testset":
-		return eltestset.FromCAS{}, nil
-	case "el-register":
-		return passthrough.New("el-register", spec.NewObject(spec.Register{}), true), nil
-	case "localcopy-register":
-		inner := passthrough.New("el-register", spec.NewObject(spec.Register{}), true)
-		return localcopy.New(inner, 0)
-	case "base-consensus":
-		return passthrough.New("base-consensus", spec.NewObject(spec.Consensus{}), false), nil
-	default:
+	ent, ok := implTable[base]
+	if !ok {
 		return nil, fmt.Errorf("registry: unknown implementation %q (known: %s)",
 			name, strings.Join(ImplNames(), ", "))
 	}
+	if hasArg && ent.param == "" {
+		return nil, fmt.Errorf("registry: implementation %q takes no parameter (got %q in %q)", base, arg, name)
+	}
+	argVal := ent.paramDef
+	if hasArg {
+		v, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("registry: bad parameter %q in %q: %w", arg, name, err)
+		}
+		argVal = v
+	}
+	return ent.make(argVal)
 }
 
-// ImplNames lists the registered implementation names.
+// implEntry is one implementation registration: the single source for
+// resolution, name listing and parameter validation, so they cannot
+// desynchronize.
+type implEntry struct {
+	// param annotates the parameter in listings ("K"); empty means the
+	// name takes none and a stray ":x" is rejected.
+	param string
+	// paramDef is the parameter's default when omitted.
+	paramDef int64
+	// make constructs the implementation (arg is paramDef for
+	// parameterless entries).
+	make func(arg int64) (machine.Impl, error)
+}
+
+func implOK(impl machine.Impl) func(int64) (machine.Impl, error) {
+	return func(int64) (machine.Impl, error) { return impl, nil }
+}
+
+var implTable = map[string]implEntry{
+	"cas-counter":       {make: implOK(counter.CAS{})},
+	"sloppy-counter":    {make: implOK(counter.Sloppy{})},
+	"el-sloppy-counter": {make: implOK(counter.Sloppy{EventualBases: true})},
+	"warmup-counter": {param: "K", paramDef: 4, make: func(k int64) (machine.Impl, error) {
+		return counter.Warmup{Threshold: k}, nil
+	}},
+	"junk-counter": {make: implOK(counter.Junk{})},
+	"announced-junk": {make: func(int64) (machine.Impl, error) {
+		return announce.New(counter.Junk{}, announce.FetchIncCodec(), check.Options{})
+	}},
+	"announced-cas": {make: func(int64) (machine.Impl, error) {
+		return announce.New(counter.CAS{}, announce.FetchIncCodec(), check.Options{})
+	}},
+	"el-consensus":  {make: implOK(elconsensus.Impl{})},
+	"reg-consensus": {make: implOK(elconsensus.Impl{AtomicBases: true})},
+	"el-testset":    {make: implOK(eltestset.Local{})},
+	"cas-testset":   {make: implOK(eltestset.FromCAS{})},
+	"el-register":   {make: implOK(passthrough.New("el-register", spec.NewObject(spec.Register{}), true))},
+	"localcopy-register": {make: func(int64) (machine.Impl, error) {
+		inner := passthrough.New("el-register", spec.NewObject(spec.Register{}), true)
+		return localcopy.New(inner, 0)
+	}},
+	"base-consensus": {make: implOK(passthrough.New("base-consensus", spec.NewObject(spec.Consensus{}), false))},
+}
+
+// ImplNames lists the registered implementation names (parameterized ones
+// annotated as name:PARAM).
 func ImplNames() []string {
-	names := []string{
-		"cas-counter", "sloppy-counter", "el-sloppy-counter", "warmup-counter:K",
-		"junk-counter", "announced-junk", "announced-cas",
-		"el-consensus", "reg-consensus", "el-testset", "cas-testset",
-		"el-register", "localcopy-register", "base-consensus",
+	names := make([]string, 0, len(implTable))
+	for n, ent := range implTable {
+		if ent.param != "" {
+			n += ":" + ent.param
+		}
+		names = append(names, n)
 	}
 	sort.Strings(names)
 	return names
@@ -129,14 +144,25 @@ func Workload(impl machine.Impl, procs, ops int) [][]spec.Op {
 	return w
 }
 
+// SchedulerNames lists the registered scheduler names.
+func SchedulerNames() []string {
+	return []string{"burst:N", "random", "rr", "solo:P"}
+}
+
 // Scheduler resolves a scheduler by name: "rr", "random", "solo:P",
 // "burst:N".
 func Scheduler(name string) (sim.Scheduler, error) {
 	kind, arg, hasArg := strings.Cut(name, ":")
 	switch kind {
 	case "", "rr", "roundrobin":
+		if hasArg {
+			return nil, fmt.Errorf("registry: scheduler %q takes no parameter (got %q)", kind, arg)
+		}
 		return sim.RoundRobin{}, nil
 	case "random":
+		if hasArg {
+			return nil, fmt.Errorf("registry: scheduler %q takes no parameter (got %q)", kind, arg)
+		}
 		return sim.Random{}, nil
 	case "solo":
 		p := 0
@@ -159,8 +185,14 @@ func Scheduler(name string) (sim.Scheduler, error) {
 		}
 		return sim.Burst{Phase: n}, nil
 	default:
-		return nil, fmt.Errorf("registry: unknown scheduler %q (rr, random, solo:P, burst:N)", name)
+		return nil, fmt.Errorf("registry: unknown scheduler %q (known: %s)",
+			name, strings.Join(SchedulerNames(), ", "))
 	}
+}
+
+// ChooserNames lists the registered chooser names.
+func ChooserNames() []string {
+	return []string{"mix:P", "stale", "true"}
 }
 
 // Chooser resolves an eventually-linearizable response chooser by name:
@@ -169,8 +201,14 @@ func Chooser(name string) (sim.Chooser, error) {
 	kind, arg, hasArg := strings.Cut(name, ":")
 	switch kind {
 	case "", "true":
+		if hasArg {
+			return nil, fmt.Errorf("registry: chooser %q takes no parameter (got %q)", kind, arg)
+		}
 		return sim.TrueChooser{}, nil
 	case "stale":
+		if hasArg {
+			return nil, fmt.Errorf("registry: chooser %q takes no parameter (got %q)", kind, arg)
+		}
 		return sim.StaleChooser{}, nil
 	case "mix":
 		p := 0.5
@@ -183,8 +221,14 @@ func Chooser(name string) (sim.Chooser, error) {
 		}
 		return sim.MixChooser{P: p}, nil
 	default:
-		return nil, fmt.Errorf("registry: unknown chooser %q (true, stale, mix:P)", name)
+		return nil, fmt.Errorf("registry: unknown chooser %q (known: %s)",
+			name, strings.Join(ChooserNames(), ", "))
 	}
+}
+
+// PolicyNames lists the registered stabilization-policy names.
+func PolicyNames() []string {
+	return []string{"immediate", "never", "window:K"}
 }
 
 // Policy resolves a stabilization policy: "immediate", "never",
@@ -193,8 +237,14 @@ func Policy(name string) (base.Policy, error) {
 	kind, arg, hasArg := strings.Cut(name, ":")
 	switch kind {
 	case "", "immediate":
+		if hasArg {
+			return nil, fmt.Errorf("registry: policy %q takes no parameter (got %q)", kind, arg)
+		}
 		return base.Immediate(), nil
 	case "never":
+		if hasArg {
+			return nil, fmt.Errorf("registry: policy %q takes no parameter (got %q)", kind, arg)
+		}
 		return base.Never{}, nil
 	case "window":
 		k := 4
@@ -207,8 +257,15 @@ func Policy(name string) (base.Policy, error) {
 		}
 		return base.Window{K: k}, nil
 	default:
-		return nil, fmt.Errorf("registry: unknown policy %q (immediate, never, window:K)", name)
+		return nil, fmt.Errorf("registry: unknown policy %q (known: %s)",
+			name, strings.Join(PolicyNames(), ", "))
 	}
+}
+
+// TypeNames lists the registered specification-type names.
+func TypeNames() []string {
+	return []string{"cas[:init]", "consensus", "fetchinc[:init]", "maxregister[:init]",
+		"queue", "register[:init]", "testset"}
 }
 
 // TypeByName resolves a specification type: "register[:init]",
@@ -220,7 +277,7 @@ func TypeByName(name string) (spec.Object, error) {
 	if hasArg {
 		v, err := strconv.ParseInt(arg, 10, 64)
 		if err != nil {
-			return spec.Object{}, fmt.Errorf("registry: bad initial value %q: %w", arg, err)
+			return spec.Object{}, fmt.Errorf("registry: bad initial value %q in %q: %w", arg, name, err)
 		}
 		initVal = v
 	}
@@ -229,17 +286,23 @@ func TypeByName(name string) (spec.Object, error) {
 		return spec.Object{Type: spec.Register{InitVal: initVal}, Init: initVal}, nil
 	case "fetchinc":
 		return spec.Object{Type: spec.FetchInc{InitVal: initVal}, Init: initVal}, nil
-	case "consensus":
-		return spec.NewObject(spec.Consensus{}), nil
-	case "testset":
-		return spec.NewObject(spec.TestSet{}), nil
+	case "consensus", "testset", "queue":
+		if hasArg {
+			return spec.Object{}, fmt.Errorf("registry: type %q takes no initial value (got %q)", kind, arg)
+		}
+		switch kind {
+		case "consensus":
+			return spec.NewObject(spec.Consensus{}), nil
+		case "testset":
+			return spec.NewObject(spec.TestSet{}), nil
+		}
+		return spec.NewObject(spec.Queue{}), nil
 	case "cas":
 		return spec.Object{Type: spec.CAS{InitVal: initVal}, Init: initVal}, nil
-	case "queue":
-		return spec.NewObject(spec.Queue{}), nil
 	case "maxregister":
 		return spec.Object{Type: spec.MaxRegister{InitVal: initVal}, Init: initVal}, nil
 	default:
-		return spec.Object{}, fmt.Errorf("registry: unknown type %q", name)
+		return spec.Object{}, fmt.Errorf("registry: unknown type %q (known: %s)",
+			name, strings.Join(TypeNames(), ", "))
 	}
 }

@@ -1,0 +1,173 @@
+package registry
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"github.com/elin-go/elin/internal/live"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// WorkloadNames lists the registered workload names.
+func WorkloadNames() []string {
+	return []string{"default", "rw:P", "uniform:OP"}
+}
+
+// opAliases maps the short operation names the workload vocabulary accepts
+// to canonical method names; anything else goes through spec.ParseOp, so
+// "write(3)" and friends work too.
+var opAliases = map[string]string{
+	"inc":      spec.MethodFetchInc,
+	"fetchinc": spec.MethodFetchInc,
+	"read":     spec.MethodRead,
+	"testset":  spec.MethodTestSet,
+}
+
+// parseWorkloadOp resolves the operation of a "uniform:OP" workload.
+func parseWorkloadOp(s string) (spec.Op, error) {
+	if m, ok := opAliases[s]; ok {
+		return spec.MakeOp(m), nil
+	}
+	op, err := spec.ParseOp(s)
+	if err != nil {
+		return spec.Op{}, fmt.Errorf("registry: bad workload operation %q: %w", s, err)
+	}
+	return op, nil
+}
+
+// WorkloadByName builds an ops-per-process workload for the simulation and
+// exploration engines:
+//
+//	default       per-process operations chosen by the implemented type
+//	              (propose(p+1) for consensus, testset, register r/w mix,
+//	              fetchinc otherwise)
+//	uniform:OP    every process repeats OP ("inc", "read", "write(3)", ...)
+//	rw:P          register read/write mix: process p writes p*ops+k+1 with
+//	              probability P% (seeded per process), reads otherwise
+func WorkloadByName(name string, impl machine.Impl, procs, ops int) ([][]spec.Op, error) {
+	kind, arg, hasArg := strings.Cut(name, ":")
+	switch kind {
+	case "", "default":
+		if hasArg {
+			return nil, fmt.Errorf("registry: workload %q takes no parameter (got %q)", kind, arg)
+		}
+		return Workload(impl, procs, ops), nil
+	case "uniform":
+		if !hasArg || arg == "" {
+			return nil, fmt.Errorf("registry: workload uniform needs an operation (uniform:OP)")
+		}
+		op, err := parseWorkloadOp(arg)
+		if err != nil {
+			return nil, err
+		}
+		w := make([][]spec.Op, procs)
+		for p := range w {
+			for k := 0; k < ops; k++ {
+				w[p] = append(w[p], op)
+			}
+		}
+		return w, nil
+	case "rw":
+		pct, err := workloadPct(arg, hasArg)
+		if err != nil {
+			return nil, err
+		}
+		w := make([][]spec.Op, procs)
+		for p := range w {
+			r := rand.New(rand.NewSource(int64(p) + 1))
+			for k := 0; k < ops; k++ {
+				if r.Intn(100) < pct {
+					w[p] = append(w[p], spec.MakeOp1(spec.MethodWrite, int64(p*ops+k+1)))
+				} else {
+					w[p] = append(w[p], spec.MakeOp(spec.MethodRead))
+				}
+			}
+		}
+		return w, nil
+	default:
+		return nil, fmt.Errorf("registry: unknown workload %q (known: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+}
+
+// workloadPct parses the write percentage of an "rw:P" workload.
+func workloadPct(arg string, hasArg bool) (int, error) {
+	if !hasArg {
+		return 30, nil
+	}
+	var pct int
+	if _, err := fmt.Sscanf(arg, "%d", &pct); err != nil || pct < 0 || pct > 100 {
+		return 0, fmt.Errorf("registry: bad rw write percentage %q (want 0..100)", arg)
+	}
+	return pct, nil
+}
+
+// OpGenByName builds the per-client operation generator the live engine
+// uses for a named workload against an object of the given specification.
+// The vocabulary matches WorkloadByName, so one scenario drives the same
+// operation mix on every engine.
+func OpGenByName(name string, obj spec.Object) (live.OpGen, error) {
+	kind, arg, hasArg := strings.Cut(name, ":")
+	switch kind {
+	case "", "default":
+		if hasArg {
+			return nil, fmt.Errorf("registry: workload %q takes no parameter (got %q)", kind, arg)
+		}
+		return defaultOpGen(obj), nil
+	case "uniform":
+		if !hasArg || arg == "" {
+			return nil, fmt.Errorf("registry: workload uniform needs an operation (uniform:OP)")
+		}
+		op, err := parseWorkloadOp(arg)
+		if err != nil {
+			return nil, err
+		}
+		return func(int, int, *rand.Rand) spec.Op { return op }, nil
+	case "rw":
+		pct, err := workloadPct(arg, hasArg)
+		if err != nil {
+			return nil, err
+		}
+		return live.RegisterMixGen(float64(pct)/100, 16), nil
+	default:
+		return nil, fmt.Errorf("registry: unknown workload %q (known: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+}
+
+// defaultOpGen mirrors DefaultOp for the live regime: a generator the
+// implemented type can always answer.
+func defaultOpGen(obj spec.Object) live.OpGen {
+	switch obj.Type.(type) {
+	case spec.Consensus:
+		return func(client, _ int, _ *rand.Rand) spec.Op {
+			return spec.MakeOp1(spec.MethodPropose, int64(client+1))
+		}
+	case spec.TestSet:
+		return func(int, int, *rand.Rand) spec.Op { return spec.MakeOp(spec.MethodTestSet) }
+	case spec.Register:
+		return live.RegisterMixGen(0.3, 16)
+	default:
+		return live.FetchIncGen()
+	}
+}
+
+// EngineNames lists the registered scenario-engine names.
+func EngineNames() []string {
+	return []string{"explore", "live", "sim"}
+}
+
+// Engine canonicalizes a scenario-engine name ("" defaults to "sim").
+func Engine(name string) (string, error) {
+	switch name {
+	case "":
+		return "sim", nil
+	case "explore", "sim", "live":
+		return name, nil
+	default:
+		return "", fmt.Errorf("registry: unknown engine %q (known: %s)",
+			name, strings.Join(EngineNames(), ", "))
+	}
+}

@@ -1,0 +1,351 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/history"
+)
+
+// Schema is the Report JSON schema identifier. Bump it on any
+// backwards-incompatible change to the encoding; the golden tests pin the
+// current shape.
+const Schema = "elin/report/v1"
+
+// Verdict values.
+const (
+	// VerdictOK: the scenario passed its engine's check (within tolerance,
+	// up to the configured bounds).
+	VerdictOK = "ok"
+	// VerdictViolation: the engine produced a counterexample (a violating
+	// interleaving, a history beyond tolerance, or a flagged monitor
+	// window).
+	VerdictViolation = "violation"
+)
+
+// ScenarioInfo echoes the resolved scenario a report describes, with
+// engine-relevant fields only.
+type ScenarioInfo struct {
+	Name        string `json:"name,omitempty"`
+	Impl        string `json:"impl"`
+	Workload    string `json:"workload"`
+	Scheduler   string `json:"scheduler,omitempty"`
+	Chooser     string `json:"chooser,omitempty"`
+	Policy      string `json:"policy"`
+	Analysis    string `json:"analysis,omitempty"`
+	Procs       int    `json:"procs"`
+	Ops         int    `json:"ops"`
+	Seed        int64  `json:"seed"`
+	Tolerance   int    `json:"tolerance"`
+	Depth       int    `json:"depth,omitempty"`
+	VerifyDepth int    `json:"verify_depth,omitempty"`
+	MaxSteps    int    `json:"max_steps,omitempty"`
+	Workers     int    `json:"workers,omitempty"`
+}
+
+// Checks reports the after-the-fact decision procedures an engine ran on
+// its recorded history.
+type Checks struct {
+	// Linearizable / WeaklyConsistent are the per-history verdicts, when
+	// computed.
+	Linearizable     *bool `json:"linearizable,omitempty"`
+	WeaklyConsistent *bool `json:"weakly_consistent,omitempty"`
+	// MinT is the least t making the history t-linearizable; nil when the
+	// history is not t-linearizable for any t or the check did not run.
+	MinT *int `json:"min_t,omitempty"`
+	// ReplayIdentical reports the Live engine's byte-identical replay
+	// verification (reproducibility from seed + commit order).
+	ReplayIdentical *bool `json:"replay_identical,omitempty"`
+}
+
+// TrendSample is one (prefix events, MinT) measurement.
+type TrendSample struct {
+	Events int `json:"events"`
+	MinT   int `json:"min_t"`
+}
+
+// TrendInfo is the MinT-trend classification over growing prefixes (Sim)
+// or monitor windows (Live).
+type TrendInfo struct {
+	Trend     string  `json:"trend"`
+	FinalMinT int     `json:"final_min_t"`
+	Slope     float64 `json:"slope"`
+	// Windows counts the measurements taken; it stays meaningful when an
+	// archiver strips the sample list.
+	Windows int           `json:"windows"`
+	Samples []TrendSample `json:"samples,omitempty"`
+}
+
+// ExploreInfo aggregates exhaustive-exploration counters.
+type ExploreInfo struct {
+	Nodes     int  `json:"nodes"`
+	Leaves    int  `json:"leaves"`
+	Truncated bool `json:"truncated"`
+	Deduped   int  `json:"deduped,omitempty"`
+}
+
+// ValencyInfo is the AnalysisValency summary.
+type ValencyInfo struct {
+	RootValence         []int64 `json:"root_valence"`
+	Truncated           bool    `json:"truncated"`
+	Multivalent         int     `json:"multivalent"`
+	Univalent           int     `json:"univalent"`
+	Criticals           int     `json:"criticals"`
+	AgreementViolations int     `json:"agreement_violations"`
+}
+
+// StableInfo is the AnalysisStable summary.
+type StableInfo struct {
+	Depth         int `json:"depth"`
+	T             int `json:"t"`
+	NodesSearched int `json:"nodes_searched"`
+	VerifyNodes   int `json:"verify_nodes"`
+	VerifyLeaves  int `json:"verify_leaves"`
+}
+
+// ShrunkInfo describes a ddmin-minimized, simulator-confirmed live
+// witness.
+type ShrunkInfo struct {
+	Ops         int     `json:"ops"`
+	Trials      int     `json:"trials"`
+	SimDiverged bool    `json:"sim_diverged"`
+	Proc        int     `json:"proc,omitempty"`
+	Op          string  `json:"op,omitempty"`
+	Got         int64   `json:"got,omitempty"`
+	Want        []int64 `json:"want,omitempty"`
+}
+
+// WitnessInfo carries a counterexample: the violating history (rendered in
+// the compact text serialization) plus engine-specific context.
+type WitnessInfo struct {
+	// History is the violating history, text-serialized.
+	History string `json:"history,omitempty"`
+	// WindowStart/WindowEnd locate a Live monitor window in the merged
+	// history ([start, end) event indexes).
+	WindowStart int `json:"window_start,omitempty"`
+	WindowEnd   int `json:"window_end,omitempty"`
+	// MinT is the measured MinT of the violating history/window (-1: not
+	// t-linearizable for any t).
+	MinT int `json:"min_t"`
+	// Shrunk describes the minimized witness, when shrinking ran.
+	Shrunk *ShrunkInfo `json:"shrunk,omitempty"`
+}
+
+// PerfInfo carries the measured execution characteristics. Wall-clock
+// fields are inherently run-dependent; Canonical zeroes them for golden
+// comparisons.
+type PerfInfo struct {
+	// Steps is the number of atomic steps (Sim).
+	Steps int `json:"steps,omitempty"`
+	// TimedOut reports a Sim run cut off by MaxSteps.
+	TimedOut bool `json:"timed_out,omitempty"`
+	// Ops counts completed operations, Events recorded history events.
+	Ops    int `json:"ops"`
+	Events int `json:"events"`
+	// NS is wall-clock run time in nanoseconds (Live).
+	NS int64 `json:"ns,omitempty"`
+	// ThroughputOpsS is completed operations per second (Live).
+	ThroughputOpsS float64 `json:"throughput_ops_s,omitempty"`
+	// P50NS/P95NS/P99NS are latency percentiles in nanoseconds (Live).
+	P50NS int64 `json:"p50_ns,omitempty"`
+	P95NS int64 `json:"p95_ns,omitempty"`
+	P99NS int64 `json:"p99_ns,omitempty"`
+	// Gomaxprocs records the scheduler parallelism the run had available.
+	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+}
+
+// FuzzInfo summarizes a Live fuzz campaign.
+type FuzzInfo struct {
+	Runs     int   `json:"runs"`
+	TotalOps int   `json:"total_ops"`
+	Found    bool  `json:"found"`
+	Seed     int64 `json:"seed,omitempty"`
+}
+
+// Report is the unified outcome every engine returns. Its JSON encoding is
+// stable (schema-tagged and golden-tested); nil sections are omitted, so a
+// report only carries the sections its engine produces.
+type Report struct {
+	Schema   string       `json:"schema"`
+	Engine   string       `json:"engine"`
+	Scenario ScenarioInfo `json:"scenario"`
+	Verdict  string       `json:"verdict"`
+	// Detail is a one-line human-readable summary of the verdict.
+	Detail  string       `json:"detail,omitempty"`
+	Checks  *Checks      `json:"checks,omitempty"`
+	Trend   *TrendInfo   `json:"trend,omitempty"`
+	Explore *ExploreInfo `json:"explore,omitempty"`
+	Valency *ValencyInfo `json:"valency,omitempty"`
+	Stable  *StableInfo  `json:"stable,omitempty"`
+	Witness *WitnessInfo `json:"witness,omitempty"`
+	Perf    *PerfInfo    `json:"perf,omitempty"`
+	Fuzz    *FuzzInfo    `json:"fuzz,omitempty"`
+
+	// history is the recorded history of the engines that keep one (Sim,
+	// Live). Unexported: it never enters the JSON encoding.
+	history *history.History
+}
+
+// History returns the engine's recorded history (Sim: the run's history;
+// Live: the merged history), or nil for engines that do not keep one.
+func (r *Report) History() *history.History { return r.history }
+
+// OK reports whether the verdict is VerdictOK.
+func (r *Report) OK() bool { return r.Verdict == VerdictOK }
+
+// Canonical returns a deep copy with every wall-clock-dependent field
+// zeroed (run time, throughput, latency percentiles, GOMAXPROCS), so that
+// reports of deterministic scenarios compare byte-for-byte across runs and
+// machines — the form the golden tests pin. Every section pointer is
+// copied, so mutating the canonical report never touches the original.
+func (r *Report) Canonical() *Report {
+	cp := *r
+	cp.Checks = copyPtr(r.Checks)
+	cp.Explore = copyPtr(r.Explore)
+	cp.Valency = copyPtr(r.Valency)
+	if cp.Valency != nil {
+		cp.Valency.RootValence = append([]int64(nil), r.Valency.RootValence...)
+	}
+	cp.Stable = copyPtr(r.Stable)
+	cp.Fuzz = copyPtr(r.Fuzz)
+	if r.Trend != nil {
+		trend := *r.Trend
+		trend.Samples = append([]TrendSample(nil), r.Trend.Samples...)
+		cp.Trend = &trend
+	}
+	if r.Witness != nil {
+		wit := *r.Witness
+		wit.Shrunk = copyPtr(r.Witness.Shrunk)
+		if wit.Shrunk != nil {
+			wit.Shrunk.Want = append([]int64(nil), wit.Shrunk.Want...)
+		}
+		cp.Witness = &wit
+	}
+	if r.Perf != nil {
+		perf := *r.Perf
+		perf.NS = 0
+		perf.ThroughputOpsS = 0
+		perf.P50NS, perf.P95NS, perf.P99NS = 0, 0, 0
+		perf.Gomaxprocs = 0
+		cp.Perf = &perf
+	}
+	return &cp
+}
+
+// copyPtr shallow-copies a section pointer (nil-safe).
+func copyPtr[T any](p *T) *T {
+	if p == nil {
+		return nil
+	}
+	cp := *p
+	return &cp
+}
+
+// EncodeJSON writes the report's stable JSON encoding (indented, trailing
+// newline).
+func (r *Report) EncodeJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Render writes the human-readable form of the report.
+func (r *Report) Render(w io.Writer) error {
+	sc := r.Scenario
+	fmt.Fprintf(w, "engine=%s impl=%s workload=%s procs=%d ops=%d seed=%d\n",
+		r.Engine, sc.Impl, sc.Workload, sc.Procs, sc.Ops, sc.Seed)
+	if r.Detail != "" {
+		fmt.Fprintf(w, "verdict: %s (%s)\n", r.Verdict, r.Detail)
+	} else {
+		fmt.Fprintf(w, "verdict: %s\n", r.Verdict)
+	}
+	if c := r.Checks; c != nil {
+		fmt.Fprintf(w, "checks:")
+		if c.Linearizable != nil {
+			fmt.Fprintf(w, " linearizable=%v", *c.Linearizable)
+		}
+		if c.WeaklyConsistent != nil {
+			fmt.Fprintf(w, " weakly-consistent=%v", *c.WeaklyConsistent)
+		}
+		if c.MinT != nil {
+			fmt.Fprintf(w, " MinT=%d", *c.MinT)
+		}
+		if c.ReplayIdentical != nil {
+			fmt.Fprintf(w, " replay-identical=%v", *c.ReplayIdentical)
+		}
+		fmt.Fprintln(w)
+	}
+	if t := r.Trend; t != nil {
+		fmt.Fprintf(w, "trend: %s final-MinT=%d slope=%.4f windows=%d\n",
+			t.Trend, t.FinalMinT, t.Slope, t.Windows)
+	}
+	if e := r.Explore; e != nil {
+		fmt.Fprintf(w, "explored: nodes=%d leaves=%d truncated=%v", e.Nodes, e.Leaves, e.Truncated)
+		if e.Deduped > 0 {
+			fmt.Fprintf(w, " deduped=%d", e.Deduped)
+		}
+		fmt.Fprintln(w)
+	}
+	if v := r.Valency; v != nil {
+		fmt.Fprintf(w, "valency: root=%v multivalent=%d univalent=%d critical=%d agreement-violations=%d truncated=%v\n",
+			v.RootValence, v.Multivalent, v.Univalent, v.Criticals, v.AgreementViolations, v.Truncated)
+	}
+	if s := r.Stable; s != nil {
+		fmt.Fprintf(w, "stable: depth=%d t=%d searched=%d verify-nodes=%d verify-leaves=%d\n",
+			s.Depth, s.T, s.NodesSearched, s.VerifyNodes, s.VerifyLeaves)
+	}
+	if p := r.Perf; p != nil {
+		if r.Engine == "sim" {
+			fmt.Fprintf(w, "run: steps=%d timedout=%v ops=%d events=%d\n",
+				p.Steps, p.TimedOut, p.Ops, p.Events)
+		} else {
+			fmt.Fprintf(w, "run: ops=%d events=%d", p.Ops, p.Events)
+			if p.NS > 0 {
+				fmt.Fprintf(w, " ns=%d throughput=%.0f/s p50=%dns p95=%dns p99=%dns",
+					p.NS, p.ThroughputOpsS, p.P50NS, p.P95NS, p.P99NS)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if f := r.Fuzz; f != nil {
+		fmt.Fprintf(w, "fuzz: runs=%d total-ops=%d found=%v", f.Runs, f.TotalOps, f.Found)
+		if f.Found {
+			fmt.Fprintf(w, " seed=%d", f.Seed)
+		}
+		fmt.Fprintln(w)
+	}
+	if wi := r.Witness; wi != nil {
+		if wi.Shrunk != nil {
+			fmt.Fprintf(w, "shrunk to %d ops in %d trials; sim replay diverged=%v\n",
+				wi.Shrunk.Ops, wi.Shrunk.Trials, wi.Shrunk.SimDiverged)
+			if wi.Shrunk.SimDiverged {
+				fmt.Fprintf(w, "sim: p%d %s got %d, model permits %v\n",
+					wi.Shrunk.Proc, wi.Shrunk.Op, wi.Shrunk.Got, wi.Shrunk.Want)
+			}
+		}
+		if wi.History != "" {
+			fmt.Fprintln(w, "witness history:")
+			fmt.Fprint(w, wi.History)
+		}
+	}
+	return nil
+}
+
+// trendInfo converts a checker verdict, including its samples.
+func trendInfo(v check.Verdict) *TrendInfo {
+	t := &TrendInfo{
+		Trend:     v.Trend.String(),
+		FinalMinT: v.FinalMinT,
+		Slope:     v.Slope,
+	}
+	for _, s := range v.Samples {
+		t.Samples = append(t.Samples, TrendSample{Events: s.Events, MinT: s.MinT})
+	}
+	t.Windows = len(t.Samples)
+	return t
+}
+
+func boolPtr(b bool) *bool { return &b }
+func intPtr(v int) *int    { return &v }

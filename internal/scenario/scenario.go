@@ -1,0 +1,293 @@
+// Package scenario is the declarative entry point of the toolkit: one
+// Scenario value — object/implementation, workload, scheduler, checker
+// options, tolerance, budget, workers, seed — runs unchanged on every
+// execution engine, and every engine answers with the same unified Report.
+//
+// The three engines cover the three regimes the repository implements:
+//
+//   - Explore: bounded exhaustive model checking of every interleaving
+//     (and every weakly consistent response choice), with valency analysis
+//     and stable-configuration search (packages explore/sim);
+//   - Sim: one deterministic seeded simulation run under a named scheduler
+//     and base-object adversary, checked after the fact (package sim);
+//   - Live: real goroutine clients hammering a genuinely shared object
+//     with online windowed monitoring, fuzzing and shrink-to-simulator
+//     replay (package live).
+//
+// Implementations, workloads, schedulers, choosers, policies and engines
+// are all resolved by registry name, so adding one registry entry lights up
+// every engine and the elin CLI at once; direct values (ImplValue,
+// LiveValue) are accepted for programmatic use.
+package scenario
+
+import (
+	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/live"
+	"github.com/elin-go/elin/internal/machine"
+	"github.com/elin-go/elin/internal/registry"
+	"github.com/elin-go/elin/internal/sim"
+)
+
+// Analysis names the exhaustive-exploration analyses of the Explore
+// engine.
+const (
+	// AnalysisLin certifies linearizability of every bounded interleaving.
+	AnalysisLin = "lin"
+	// AnalysisWeak certifies weak consistency of every bounded
+	// interleaving.
+	AnalysisWeak = "weak"
+	// AnalysisValency runs the Proposition 15 valency analysis.
+	AnalysisValency = "valency"
+	// AnalysisStable searches for a Proposition 18 stable configuration.
+	AnalysisStable = "stable"
+)
+
+// Budget bounds a scenario's execution per engine regime. The zero value
+// picks sensible defaults everywhere.
+type Budget struct {
+	// Depth is the exploration horizon in atomic steps (Explore; default
+	// 16).
+	Depth int `json:"depth,omitempty"`
+	// VerifyDepth is the stability-verification horizon of the stable
+	// search (Explore with AnalysisStable; default 14).
+	VerifyDepth int `json:"verify_depth,omitempty"`
+	// MaxSteps bounds a simulation run (Sim; 0 = the sim default, 1<<16).
+	MaxSteps int `json:"max_steps,omitempty"`
+}
+
+// Scenario is one declarative description of an execution to check. The
+// zero value of every field is meaningful: an empty scenario explores the
+// default implementation under the default workload.
+type Scenario struct {
+	// Name optionally labels the scenario in reports.
+	Name string
+
+	// Impl names the object under test in the registry ("cas-counter",
+	// "warmup-counter:8", ...). The Live engine additionally accepts the
+	// live-native objects ("atomic-fi", "junk-fi:40", ...); registry
+	// implementation names run live through the mutex-serialized
+	// step-machine adapter. Default "cas-counter".
+	Impl string
+	// ImplValue overrides Impl with a direct implementation value for the
+	// Explore and Sim engines.
+	ImplValue machine.Impl
+	// LiveValue overrides Impl with a direct object value for the Live
+	// engine.
+	LiveValue live.Object
+
+	// Workload names the operation mix: "default", "uniform:OP", "rw:P".
+	Workload string
+	// Procs is the number of processes (Explore, Sim) or client goroutines
+	// (Live). Default 2.
+	Procs int
+	// Ops is the number of operations per process/client. Default 2.
+	Ops int
+
+	// Scheduler names the Sim scheduler ("rr", "random", "solo:P",
+	// "burst:N"). The Explore engine quantifies over all schedules and the
+	// Live engine schedules for real, so both ignore it.
+	Scheduler string
+	// Chooser names the Sim base-object response adversary ("true",
+	// "stale", "mix:P"). Explore quantifies over all choices; Live draws
+	// choices from the seed.
+	Chooser string
+	// Policy names the stabilization policy of eventually linearizable
+	// bases ("immediate", "never", "window:K"). Default "immediate".
+	Policy string
+
+	// Analysis selects the Explore engine's analysis (AnalysisLin,
+	// AnalysisWeak, AnalysisValency, AnalysisStable). Default AnalysisLin.
+	// The other engines ignore it.
+	Analysis string
+
+	// Tolerance is the t-linearizability tolerance of the verdict: Sim
+	// reports a violation when the recorded history's MinT exceeds it, Live
+	// when a monitor window's MinT does. 0 demands linearizability;
+	// negative means observe-only (trend watching, never a violation).
+	// Explore's analyses have their own verdicts and ignore it.
+	Tolerance int
+	// Budget bounds the execution.
+	Budget Budget
+	// Check tunes the decision procedures everywhere.
+	Check check.Options
+	// Workers is the exploration worker count (Explore; 0 = GOMAXPROCS).
+	Workers int
+	// Seed pins all randomness (Sim scheduling/choosing, Live per-client
+	// streams and response choices).
+	Seed int64
+
+	// Dedup merges equivalent configurations during AnalysisValency.
+	Dedup bool
+	// CheckDeterminism re-steps every exploration probe on a second clone
+	// (Explore; catches nondeterministic implementations).
+	CheckDeterminism bool
+
+	// Rate switches the Live engine to open-loop mode: each client issues
+	// operations at Rate ops/second. 0 means closed loop.
+	Rate float64
+	// Stride is the online monitor's window stride in events (Live) and
+	// the MinT-trend stride (Sim). 0 picks automatically.
+	Stride int
+	// LatencySample records one latency sample every N operations per
+	// client (Live; default 1).
+	LatencySample int
+	// NoMonitor disables online monitoring (Live; pure throughput).
+	NoMonitor bool
+	// NoCheck skips the after-the-fact decision procedures and MinT trend
+	// of the Sim engine: the run executes and records only (history
+	// export, raw timing). The verdict is always ok.
+	NoCheck bool
+	// FuzzRuns, when positive, turns the Live engine into a fuzz campaign
+	// over FuzzRuns consecutive seeds.
+	FuzzRuns int
+	// NoShrink reports a Live violation as-is instead of ddmin-shrinking
+	// and sim-confirming it.
+	NoShrink bool
+	// NoVerify skips the byte-identical replay verification of a clean
+	// Live run.
+	NoVerify bool
+}
+
+// withDefaults returns s with the documented defaults filled in.
+func (s Scenario) withDefaults() Scenario {
+	if s.Impl == "" && s.ImplValue == nil && s.LiveValue == nil {
+		s.Impl = "cas-counter"
+	}
+	if s.Procs <= 0 {
+		s.Procs = 2
+	}
+	if s.Ops <= 0 {
+		s.Ops = 2
+	}
+	if s.Analysis == "" {
+		s.Analysis = AnalysisLin
+	}
+	if s.Budget.Depth <= 0 {
+		s.Budget.Depth = 16
+	}
+	if s.Budget.VerifyDepth <= 0 {
+		s.Budget.VerifyDepth = 14
+	}
+	return s
+}
+
+// resolveImpl resolves the step-machine implementation of the Explore and
+// Sim engines.
+func (s Scenario) resolveImpl() (machine.Impl, error) {
+	if s.ImplValue != nil {
+		return s.ImplValue, nil
+	}
+	return registry.Impl(s.Impl)
+}
+
+// resolvePolicy resolves the stabilization policy.
+func (s Scenario) resolvePolicy() (base.Policy, error) {
+	return registry.Policy(s.Policy)
+}
+
+// implName names the object under test for reports.
+func (s Scenario) implName() string {
+	switch {
+	case s.ImplValue != nil:
+		return s.ImplValue.Name()
+	case s.LiveValue != nil:
+		return s.LiveValue.Name()
+	default:
+		return s.Impl
+	}
+}
+
+// Engine executes scenarios in one regime. Implementations are stateless
+// values; the same Scenario may be handed to every engine.
+type Engine interface {
+	// Name is the engine's registry name ("explore", "sim", "live").
+	Name() string
+	// Run executes the scenario and reports.
+	Run(s Scenario) (*Report, error)
+}
+
+// Engines returns every engine, in registry-name order.
+func Engines() []Engine { return []Engine{Explore{}, Live{}, Sim{}} }
+
+// EngineByName resolves an engine by registry name ("" defaults to "sim").
+func EngineByName(name string) (Engine, error) {
+	canon, err := registry.Engine(name)
+	if err != nil {
+		return nil, err
+	}
+	switch canon {
+	case "explore":
+		return Explore{}, nil
+	case "live":
+		return Live{}, nil
+	default:
+		return Sim{}, nil
+	}
+}
+
+// Run resolves the named engine and executes s on it — the one-call form
+// the CLI uses.
+func Run(engine string, s Scenario) (*Report, error) {
+	e, err := EngineByName(engine)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(s)
+}
+
+// buildSystem constructs the simulation root for the Explore engine.
+func buildSystem(s Scenario) (*sim.System, machine.Impl, error) {
+	impl, err := s.resolveImpl()
+	if err != nil {
+		return nil, nil, err
+	}
+	workload, err := registry.WorkloadByName(s.Workload, impl, s.Procs, s.Ops)
+	if err != nil {
+		return nil, nil, err
+	}
+	policy, err := s.resolvePolicy()
+	if err != nil {
+		return nil, nil, err
+	}
+	root, err := sim.NewSystem(impl, workload, base.SamePolicy(policy), s.Check, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	return root, impl, nil
+}
+
+// info echoes the resolved scenario into a report.
+func (s Scenario) info(engine string) ScenarioInfo {
+	inf := ScenarioInfo{
+		Name:      s.Name,
+		Impl:      s.implName(),
+		Workload:  orDefault(s.Workload, "default"),
+		Policy:    orDefault(s.Policy, "immediate"),
+		Procs:     s.Procs,
+		Ops:       s.Ops,
+		Seed:      s.Seed,
+		Tolerance: s.Tolerance,
+	}
+	switch engine {
+	case "explore":
+		inf.Analysis = s.Analysis
+		inf.Depth = s.Budget.Depth
+		if s.Analysis == AnalysisStable {
+			inf.VerifyDepth = s.Budget.VerifyDepth
+		}
+		inf.Workers = s.Workers
+	case "sim":
+		inf.Scheduler = orDefault(s.Scheduler, "rr")
+		inf.Chooser = orDefault(s.Chooser, "true")
+		inf.MaxSteps = s.Budget.MaxSteps
+	}
+	return inf
+}
+
+func orDefault(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}

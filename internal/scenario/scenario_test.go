@@ -1,0 +1,231 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestOneScenarioEveryEngine is the tentpole contract: one Scenario value,
+// unchanged, runs on all three engines and the verdicts agree where the
+// regimes overlap.
+func TestOneScenarioEveryEngine(t *testing.T) {
+	// A linearizable counter: every engine must say ok.
+	correct := Scenario{
+		Impl:     "cas-counter",
+		Workload: "uniform:inc",
+		Procs:    2,
+		Ops:      2,
+		Seed:     3,
+		Budget:   Budget{Depth: 22},
+	}
+	for _, e := range Engines() {
+		rep, err := e.Run(correct)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s verdict = %s (%s), want ok", e.Name(), rep.Verdict, rep.Detail)
+		}
+		if rep.Engine != e.Name() {
+			t.Errorf("report engine = %q, want %q", rep.Engine, e.Name())
+		}
+		if rep.Scenario.Impl != "cas-counter" || rep.Scenario.Workload != "uniform:inc" {
+			t.Errorf("%s scenario echo = %+v", e.Name(), rep.Scenario)
+		}
+	}
+
+	// A broken counter whose second completed operation answers out of
+	// left field: every engine must produce a counterexample, whatever the
+	// schedule.
+	broken := Scenario{
+		Impl:      "junk-counter",
+		Workload:  "uniform:inc",
+		Procs:     2,
+		Ops:       2,
+		Seed:      5,
+		Tolerance: 0,
+		Budget:    Budget{Depth: 16},
+	}
+	for _, e := range Engines() {
+		rep, err := e.Run(broken)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if rep.Verdict != VerdictViolation {
+			t.Errorf("%s verdict = %s (%s), want violation", e.Name(), rep.Verdict, rep.Detail)
+		}
+		if rep.Witness == nil || rep.Witness.History == "" {
+			t.Errorf("%s violation carries no witness history", e.Name())
+		}
+	}
+
+	// An eventually linearizable counter mid-stabilization: the strict
+	// verdict is a violation on the deterministic engines, and observe-only
+	// tolerance turns it back into a pass.
+	eventual := Scenario{
+		Impl:      "warmup-counter:2",
+		Workload:  "uniform:inc",
+		Procs:     2,
+		Ops:       2,
+		Seed:      5,
+		Chooser:   "stale",
+		Policy:    "window:2",
+		Tolerance: 0,
+		Budget:    Budget{Depth: 16},
+	}
+	for _, name := range []string{"explore", "sim"} {
+		rep, err := Run(name, eventual)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Verdict != VerdictViolation {
+			t.Errorf("%s verdict = %s (%s), want violation", name, rep.Verdict, rep.Detail)
+		}
+	}
+	observe := eventual
+	observe.Tolerance = -1
+	for _, name := range []string{"sim", "live"} {
+		rep, err := Run(name, observe)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s observe-only verdict = %s (%s), want ok", name, rep.Verdict, rep.Detail)
+		}
+	}
+}
+
+// TestEngineByName pins the engine registry.
+func TestEngineByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":        "sim",
+		"sim":     "sim",
+		"explore": "explore",
+		"live":    "live",
+	} {
+		e, err := EngineByName(name)
+		if err != nil {
+			t.Fatalf("EngineByName(%q): %v", name, err)
+		}
+		if e.Name() != want {
+			t.Errorf("EngineByName(%q) = %s, want %s", name, e.Name(), want)
+		}
+	}
+	if _, err := EngineByName("nosuch"); err == nil || !strings.Contains(err.Error(), "explore") {
+		t.Errorf("unknown engine error does not list names: %v", err)
+	}
+}
+
+// TestScenarioErrors pins that resolution errors surface with the
+// available names.
+func TestScenarioErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		eng  string
+	}{
+		{"unknown impl", Scenario{Impl: "nosuch"}, "explore"},
+		{"unknown impl sim", Scenario{Impl: "nosuch"}, "sim"},
+		{"unknown impl live", Scenario{Impl: "nosuch"}, "live"},
+		{"unknown workload", Scenario{Workload: "nosuch"}, "sim"},
+		{"unknown scheduler", Scenario{Scheduler: "nosuch"}, "sim"},
+		{"unknown chooser", Scenario{Chooser: "nosuch"}, "sim"},
+		{"unknown policy", Scenario{Policy: "nosuch"}, "explore"},
+		{"unknown analysis", Scenario{Analysis: "nosuch"}, "explore"},
+	}
+	for _, tc := range cases {
+		if _, err := Run(tc.eng, tc.s); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+// TestExploreAnalyses exercises the non-default analyses end to end.
+func TestExploreAnalyses(t *testing.T) {
+	// Registers cannot solve consensus: the valency analysis must find
+	// agreement violations (the Proposition 15 case analysis).
+	valency := Scenario{
+		Impl:     "reg-consensus",
+		Procs:    2,
+		Ops:      1,
+		Analysis: AnalysisValency,
+		Budget:   Budget{Depth: 18},
+	}
+	rep, err := Run("explore", valency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != VerdictViolation || rep.Valency == nil || rep.Valency.AgreementViolations == 0 {
+		t.Fatalf("reg-consensus valency report: verdict=%s valency=%+v", rep.Verdict, rep.Valency)
+	}
+	if len(rep.Valency.RootValence) < 2 {
+		t.Errorf("reg-consensus root should be multivalent, got %v", rep.Valency.RootValence)
+	}
+
+	// A real consensus base solves it: no violations, critical pivots
+	// exist.
+	strong := valency
+	strong.Impl = "base-consensus"
+	rep, err = Run("explore", strong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Valency == nil || rep.Valency.AgreementViolations != 0 {
+		t.Fatalf("base-consensus valency report: verdict=%s valency=%+v", rep.Verdict, rep.Valency)
+	}
+
+	stable := Scenario{
+		Impl:     "warmup-counter:2",
+		Procs:    2,
+		Ops:      3,
+		Policy:   "never",
+		Analysis: AnalysisStable,
+		Budget:   Budget{Depth: 8, VerifyDepth: 14},
+	}
+	rep, err = Run("explore", stable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() || rep.Stable == nil {
+		t.Fatalf("stable report: verdict=%s stable=%+v", rep.Verdict, rep.Stable)
+	}
+
+	weak := Scenario{
+		Impl:     "junk-counter",
+		Procs:    2,
+		Ops:      1,
+		Policy:   "never",
+		Analysis: AnalysisWeak,
+		Budget:   Budget{Depth: 10},
+	}
+	rep, err = Run("explore", weak)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != VerdictViolation {
+		t.Fatalf("junk-counter weak verdict = %s, want violation", rep.Verdict)
+	}
+}
+
+// TestLiveFuzzScenario drives the fuzz path through the Scenario API: the
+// junk counter must be caught, shrunk and sim-refuted.
+func TestLiveFuzzScenario(t *testing.T) {
+	s := Scenario{
+		Impl:     "junk-fi:20",
+		Procs:    2,
+		Ops:      400,
+		Seed:     1,
+		Stride:   64,
+		FuzzRuns: 3,
+	}
+	rep, err := Run("live", s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != VerdictViolation || rep.Fuzz == nil || !rep.Fuzz.Found {
+		t.Fatalf("junk fuzz: verdict=%s fuzz=%+v", rep.Verdict, rep.Fuzz)
+	}
+	if rep.Witness == nil || rep.Witness.Shrunk == nil || !rep.Witness.Shrunk.SimDiverged {
+		t.Fatalf("junk fuzz witness not sim-refuted: %+v", rep.Witness)
+	}
+}
