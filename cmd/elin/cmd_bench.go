@@ -13,26 +13,6 @@ import (
 	"github.com/elin-go/elin/internal/scenario"
 )
 
-// timing is one experiment's machine-readable result — the BENCH_*.json
-// trajectory format, unchanged across the CLI merge so archived
-// performance history stays comparable.
-type timing struct {
-	// ID is the experiment identifier, e.g. "E8".
-	ID string `json:"id"`
-	// Artifact names the paper artifact the experiment reproduces.
-	Artifact string `json:"artifact"`
-	// Rows is the number of table rows the experiment produced.
-	Rows int `json:"rows"`
-	// NS is the wall-clock run time in nanoseconds.
-	NS int64 `json:"ns"`
-	// Workers is the exploration worker setting the run used (0 =
-	// GOMAXPROCS).
-	Workers int `json:"workers"`
-	// GOMAXPROCS records the scheduler parallelism the run had available,
-	// so timings stay attributable across machines.
-	GOMAXPROCS int `json:"gomaxprocs"`
-}
-
 // runBench is the experiment-suite subcommand (the retired elbench): one
 // experiment per paper artifact, each regenerating its EXPERIMENTS.md
 // table.
@@ -69,8 +49,11 @@ func runBench(args []string, out io.Writer) error {
 		}
 	}
 
+	// Timings use the shared scenario.Timing record — the BENCH_*.json
+	// trajectory format, one encoder with campaign per-cell perf records so
+	// the two cannot drift.
 	cfg := exp.Config{Workers: *workers}
-	var timings []timing
+	var timings []scenario.Timing
 	for _, e := range chosen {
 		start := time.Now()
 		table, err := e.Run(cfg)
@@ -78,7 +61,7 @@ func runBench(args []string, out io.Writer) error {
 			return fmt.Errorf("%s: %w", e.ID, err)
 		}
 		if *jsonOut {
-			timings = append(timings, timing{
+			timings = append(timings, scenario.Timing{
 				ID:         table.ID,
 				Artifact:   table.Artifact,
 				Rows:       len(table.Rows),

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"github.com/elin-go/elin/internal/campaign"
 	"github.com/elin-go/elin/internal/exp"
 	"github.com/elin-go/elin/internal/registry"
 )
@@ -12,7 +13,7 @@ import (
 // runList prints the registry contents: everything nameable in a scenario.
 func runList(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elin list", flag.ContinueOnError)
-	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | types | experiments")
+	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | types | experiments | axes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -29,6 +30,7 @@ func runList(args []string, out io.Writer) error {
 		{"policies", registry.PolicyNames()},
 		{"types", registry.TypeNames()},
 		{"experiments", experimentIDs()},
+		{"axes", campaign.AxisNames()},
 	}
 	found := false
 	for _, s := range sections {

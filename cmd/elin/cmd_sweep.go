@@ -1,0 +1,100 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/elin-go/elin/internal/campaign"
+)
+
+// runSweep is the campaign subcommand: expand a declarative sweep spec
+// into a scenario grid, execute it on one shared worker pool, and emit
+// the schema-tagged campaign report — optionally diffed and gated
+// against a baseline report. This is the CI regression gate: the exit
+// status is non-zero on any verdict flip against the baseline, on any
+// perf regression beyond -perf-threshold (when both reports carry
+// timings), and on any error cell.
+func runSweep(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elin sweep", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "sweep spec file (schema elin/sweep/v1; see .github/sweeps/)")
+	baselinePath := fs.String("baseline", "", "baseline campaign report to diff and gate against")
+	jsonOut := fs.Bool("json", false, "emit the campaign report as JSON (schema elin/campaign/v1)")
+	canonical := fs.Bool("canonical", false, "emit the canonical (wall-clock-free) report JSON — the form baselines are committed in; implies -json")
+	workers := fs.Int("workers", 0, "concurrent cells on the shared pool (0 = GOMAXPROCS)")
+	perfThreshold := fs.Float64("perf-threshold", 0.20, "gate on cells slowing down by more than this fraction (needs timings on both sides; canonical baselines carry none)")
+	quiet := fs.Bool("quiet", false, "suppress the streamed per-cell progress lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("sweep: -spec is required (committed grids live under .github/sweeps/)")
+	}
+	sp, err := campaign.LoadSpec(*specPath)
+	if err != nil {
+		return err
+	}
+
+	opts := campaign.RunOptions{Workers: *workers}
+	if !*jsonOut && !*canonical && !*quiet {
+		// Stream cells as they finish; completion order is nondeterministic,
+		// so these lines are progress, not a stable format — the summary and
+		// the JSON report are.
+		opts.OnCell = func(done, total int, c campaign.Cell) {
+			var ms int64
+			if c.Timing != nil {
+				ms = time.Duration(c.Timing.NS).Milliseconds()
+			}
+			fmt.Fprintf(out, "[%d/%d] %-9s %s (%dms)\n", done, total, c.Verdict, c.ID, ms)
+		}
+	}
+	camp, err := campaign.Run(sp, opts)
+	if err != nil {
+		return err
+	}
+
+	var gateErr error
+	if *baselinePath != "" {
+		base, err := campaign.Load(*baselinePath)
+		if err != nil {
+			return err
+		}
+		camp.Diff = campaign.Compare(base, camp, *perfThreshold)
+		gateErr = camp.Diff.Gate()
+	}
+
+	switch {
+	case *canonical:
+		if err := camp.Canonical().EncodeJSON(out); err != nil {
+			return err
+		}
+	case *jsonOut:
+		if err := camp.EncodeJSON(out); err != nil {
+			return err
+		}
+	default:
+		if err := camp.RenderSummary(out); err != nil {
+			return err
+		}
+		if camp.Diff != nil {
+			if err := camp.Diff.Render(out); err != nil {
+				return err
+			}
+		}
+	}
+
+	if gateErr != nil {
+		return gateErr
+	}
+	if camp.Totals.Error > 0 {
+		return fmt.Errorf("sweep: %d cell(s) errored (their error fields name the broken coordinates)", camp.Totals.Error)
+	}
+	if camp.Diff == nil {
+		return nil
+	}
+	if !*jsonOut && !*canonical {
+		fmt.Fprintf(out, "gate: ok (no verdict flips, no perf regressions)\n")
+	}
+	return nil
+}

@@ -1,0 +1,257 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/elin-go/elin/internal/campaign"
+)
+
+// smokeSpecPath is the committed CI smoke grid, exercised directly so the
+// repository's own gate cannot rot.
+const (
+	smokeSpecPath     = "../../.github/sweeps/smoke.json"
+	smokeBaselinePath = "../../.github/sweeps/smoke.baseline.json"
+)
+
+// TestSweepSmokeGridMatchesBaseline is the acceptance contract of the CI
+// gate: the committed smoke grid runs ≥ 48 cells spanning all three
+// engines in one process, and its canonical report is byte-identical to
+// the committed baseline — i.e. an unchanged tree passes its own gate,
+// and the baseline file is provably fresh.
+func TestSweepSmokeGridMatchesBaseline(t *testing.T) {
+	out := runOut(t, "sweep", "-spec", smokeSpecPath, "-canonical")
+	want, err := os.ReadFile(smokeBaselinePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(out), want) {
+		t.Errorf("canonical smoke report drifted from the committed baseline; regenerate with\n  elin sweep -spec .github/sweeps/smoke.json -canonical > .github/sweeps/smoke.baseline.json")
+	}
+
+	var camp struct {
+		Schema string `json:"schema"`
+		Totals struct {
+			Cells int `json:"cells"`
+			Error int `json:"error"`
+		} `json:"totals"`
+		Rollups map[string][]struct {
+			Value string `json:"value"`
+			Cells int    `json:"cells"`
+		} `json:"rollups"`
+	}
+	if err := json.Unmarshal([]byte(out), &camp); err != nil {
+		t.Fatal(err)
+	}
+	if camp.Schema != "elin/campaign/v1" {
+		t.Errorf("schema = %q", camp.Schema)
+	}
+	if camp.Totals.Cells < 48 || camp.Totals.Error != 0 {
+		t.Errorf("smoke grid totals: %+v (want >= 48 cells, 0 errors)", camp.Totals)
+	}
+	engines := map[string]bool{}
+	for _, row := range camp.Rollups["engine"] {
+		if row.Cells > 0 {
+			engines[row.Value] = true
+		}
+	}
+	for _, e := range []string{"explore", "sim", "live"} {
+		if !engines[e] {
+			t.Errorf("smoke grid has no %s cells (engines: %v)", e, engines)
+		}
+	}
+}
+
+// TestNightlySpecExpands keeps the committed nightly grid loadable: it
+// validates and expands (without executing) so a typo in the spec or a
+// dead exclusion fails `go test`, not the 3am workflow.
+func TestNightlySpecExpands(t *testing.T) {
+	sp, err := campaign.LoadSpec("../../.github/sweeps/nightly.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 500 {
+		t.Errorf("nightly grid has only %d cells", len(points))
+	}
+	engines := map[string]int{}
+	for _, p := range points {
+		engines[p.Engine]++
+	}
+	for _, e := range []string{"explore", "sim", "live"} {
+		if engines[e] == 0 {
+			t.Errorf("nightly grid has no %s cells (%v)", e, engines)
+		}
+	}
+}
+
+// TestSweepBaselineGate drives the gate through the CLI: an identical
+// rerun exits zero, and a seeded verdict flip (a junk-fi cell whose
+// baseline record says ok) exits non-zero with the cell identity.
+func TestSweepBaselineGate(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(`{
+  "schema": "elin/sweep/v1",
+  "name": "gate",
+  "axes": {
+    "engine": ["sim", "live"],
+    "impl": ["cas-counter", "junk-fi:100000"],
+    "procs": [2],
+    "ops": [100],
+    "seed": [1]
+  },
+  "exclude": [{"engine": "sim", "impl": "junk-fi:100000"}],
+  "stride": 64
+}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "base.json")
+	canon := runOut(t, "sweep", "-spec", spec, "-canonical")
+	if err := os.WriteFile(baseline, []byte(canon), 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// Identical rerun: gate passes.
+	out := runOut(t, "sweep", "-spec", spec, "-baseline", baseline, "-quiet")
+	if !strings.Contains(out, "same=3 flips=0 new=0 missing=0") || !strings.Contains(out, "gate: ok") {
+		t.Errorf("clean gate output:\n%s", out)
+	}
+
+	// Inject the flip on the junk-fi cell: the baseline remembers it as a
+	// violation (as if the bug had once fired), so today's ok run flips
+	// against it.
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(canon), &doc); err != nil {
+		t.Fatal(err)
+	}
+	var flippedID string
+	for _, raw := range doc["cells"].([]any) {
+		cell := raw.(map[string]any)
+		if strings.Contains(cell["id"].(string), "junk-fi") {
+			cell["verdict"] = "violation"
+			flippedID = cell["id"].(string)
+		}
+	}
+	if flippedID == "" {
+		t.Fatal("no junk-fi cell in baseline")
+	}
+	flipped, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(baseline, flipped, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	err = run([]string{"sweep", "-spec", spec, "-baseline", baseline, "-quiet"}, &buf)
+	if err == nil {
+		t.Fatalf("flip passed the gate:\n%s", buf.String())
+	}
+	for _, want := range []string{"verdict flip", flippedID, "violation -> ok", "rerun: elin stress -impl junk-fi"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("gate error %q misses %q", err, want)
+		}
+	}
+}
+
+func TestSweepJSONIncludesDiff(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(`{
+  "schema": "elin/sweep/v1",
+  "name": "j",
+  "axes": {"engine": ["sim"], "impl": ["cas-counter"], "procs": [2], "ops": [1]}
+}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	baseline := filepath.Join(dir, "base.json")
+	if err := os.WriteFile(baseline, []byte(runOut(t, "sweep", "-spec", spec, "-canonical")), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out := runOut(t, "sweep", "-spec", spec, "-baseline", baseline, "-json")
+	var camp struct {
+		Schema string `json:"schema"`
+		Diff   *struct {
+			Baseline string `json:"baseline"`
+			Same     int    `json:"same"`
+		} `json:"diff"`
+		Cells []struct {
+			Timing *struct {
+				NS int64 `json:"ns"`
+			} `json:"timing"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(out), &camp); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if camp.Schema != "elin/campaign/v1" || camp.Diff == nil || camp.Diff.Same != 1 || camp.Diff.Baseline != "j" {
+		t.Errorf("campaign JSON: %+v", camp)
+	}
+	// The full (non-canonical) report carries per-cell timing records.
+	if len(camp.Cells) != 1 || camp.Cells[0].Timing == nil || camp.Cells[0].Timing.NS <= 0 {
+		t.Errorf("full report cells: %+v", camp.Cells)
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	dir := t.TempDir()
+	badWorkload := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(badWorkload, []byte(`{
+  "schema": "elin/sweep/v1", "name": "b",
+  "axes": {"workload": ["nosuch"]}
+}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"sweep"}, "-spec is required"},
+		{[]string{"sweep", "-spec", filepath.Join(dir, "nosuch.json")}, "read spec"},
+		{[]string{"sweep", "-spec", badWorkload}, "unknown workload"},
+		// A sweep spec handed to -baseline is caught by the schema tag.
+		{[]string{"sweep", "-spec", smokeSpecPath, "-baseline", smokeSpecPath}, "sweep spec"},
+	}
+	for _, tc := range cases {
+		var buf bytes.Buffer
+		err := run(tc.args, &buf)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%v: error %v, want mention of %q", tc.args, err, tc.want)
+		}
+	}
+}
+
+func TestSweepStreamsProgress(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(`{
+  "schema": "elin/sweep/v1", "name": "s",
+  "axes": {"engine": ["sim"], "impl": ["cas-counter", "sloppy-counter"], "procs": [2], "ops": [1]}
+}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	out := runOut(t, "sweep", "-spec", spec)
+	if !strings.Contains(out, "[1/2]") || !strings.Contains(out, "[2/2]") {
+		t.Errorf("no streamed cell lines:\n%s", out)
+	}
+	if !strings.Contains(out, "campaign s: cells=2") {
+		t.Errorf("no summary line:\n%s", out)
+	}
+}
+
+func TestListAxes(t *testing.T) {
+	out := runOut(t, "list", "-section", "axes")
+	for _, axis := range []string{"engine", "impl", "workload", "policy", "procs", "ops", "tolerance", "seed"} {
+		if !strings.Contains(out, axis) {
+			t.Errorf("axes listing misses %q:\n%s", axis, out)
+		}
+	}
+}

@@ -5,6 +5,7 @@
 //	elin sim      one seeded simulation run, checked after the fact
 //	elin check    check a recorded history against the paper's conditions
 //	elin stress   live goroutine stress run or fuzz campaign
+//	elin sweep    declarative scenario grid with baseline diffing (the CI gate)
 //	elin bench    regenerate the experiment tables / machine-readable timings
 //	elin list     registry contents (implementations, engines, workloads, ...)
 //
@@ -20,6 +21,7 @@
 //	elin sim -impl cas-counter -emit-json | elin check -json -obj cas-counter=fetchinc -mode lin
 //	elin stress -impl atomic-fi -procs 8 -ops 100000
 //	elin stress -impl junk-fi:40 -procs 2 -ops 2000 -fuzz 4
+//	elin sweep -spec .github/sweeps/smoke.json -baseline .github/sweeps/smoke.baseline.json
 //	elin bench -run E8,E11 -json
 package main
 
@@ -56,6 +58,8 @@ func run(args []string, out io.Writer) error {
 		return runCheck(rest, out)
 	case "stress":
 		return runStress(rest, out)
+	case "sweep":
+		return runSweep(rest, out)
 	case "bench":
 		return runBench(rest, out)
 	case "list":
@@ -77,6 +81,7 @@ commands:
   sim       one seeded simulation run, checked after the fact
   check     check a recorded history file (or stdin)
   stress    live goroutine stress run or fuzz campaign
+  sweep     declarative scenario grid: expand, execute, diff against a baseline
   bench     experiment tables / machine-readable timings
   list      registry contents
   help      this text

@@ -33,6 +33,7 @@ package elin
 
 import (
 	"github.com/elin-go/elin/internal/base"
+	"github.com/elin-go/elin/internal/campaign"
 	"github.com/elin-go/elin/internal/check"
 	"github.com/elin-go/elin/internal/explore"
 	"github.com/elin-go/elin/internal/history"
@@ -79,6 +80,46 @@ var (
 	Engines = scenario.Engines
 	// EngineByName resolves a scenario engine by registry name.
 	EngineByName = scenario.EngineByName
+)
+
+// Campaign layer — declarative sweep grids over scenarios. One Sweep
+// names axes (engine, impl, workload, policy, procs, ops, tolerance,
+// seed) with exclusion predicates; RunSweep expands the grid and executes
+// every cell on one shared bounded pool into a Campaign report (schema
+// elin/campaign/v1) whose canonical form is byte-stable; CompareCampaigns
+// classifies a campaign against a baseline (same/flip/new/missing plus
+// perf-regressed) and its Gate is the CI regression check `elin sweep
+// -baseline` exits non-zero on.
+type (
+	// Sweep is one declarative scenario-grid specification (schema
+	// elin/sweep/v1).
+	Sweep = campaign.Spec
+	// SweepAxes are the sweep dimensions.
+	SweepAxes = campaign.Axes
+	// SweepMatch is an exclusion predicate over grid coordinates.
+	SweepMatch = campaign.Match
+	// Campaign is the aggregated outcome of one sweep: per-cell verdicts
+	// and Reports, rollups by axis, timing percentiles.
+	Campaign = campaign.Campaign
+	// CampaignCell is one executed grid point.
+	CampaignCell = campaign.Cell
+	// CampaignDiff classifies a campaign against a baseline.
+	CampaignDiff = campaign.Diff
+	// Timing is the shared machine-readable timing record (BENCH_*.json
+	// trajectories and campaign cells alike).
+	Timing = scenario.Timing
+)
+
+var (
+	// RunSweep expands and executes a sweep on a shared worker pool.
+	RunSweep = campaign.Run
+	// LoadSweep reads and validates a sweep spec file.
+	LoadSweep = campaign.LoadSpec
+	// LoadCampaign reads a campaign report file (e.g. a committed
+	// baseline).
+	LoadCampaign = campaign.Load
+	// CompareCampaigns diffs a campaign against a baseline campaign.
+	CompareCampaigns = campaign.Compare
 )
 
 // Specification layer.

@@ -1,0 +1,249 @@
+package campaign
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/elin-go/elin/internal/scenario"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden campaign file")
+
+// goldenSpec is a small deterministic grid spanning all three engines:
+// the canonical campaign encoding is pinned byte-for-byte. Any drift here
+// is a Campaign schema change: bump Schema and regenerate with
+// `go test ./internal/campaign -run Golden -update`.
+func goldenSpec() *Spec {
+	return &Spec{
+		Schema: SpecSchema,
+		Name:   "golden",
+		Axes: Axes{
+			Engine:   []string{"explore", "sim", "live"},
+			Impl:     []string{"cas-counter", "warmup-counter:2"},
+			Workload: []string{"uniform:inc"},
+			Procs:    []int{2},
+			Ops:      []int{1, 2},
+			Seed:     []int64{1},
+		},
+		Exclude: []Match{{Engine: "live", Impl: "warmup-counter:2"}},
+		Chooser: "stale",
+		Budget:  &scenario.Budget{Depth: 12},
+	}
+}
+
+func TestGoldenCampaign(t *testing.T) {
+	camp, err := Run(goldenSpec(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := camp.Canonical().EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "campaign.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("campaign drift:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRunDeterminism is the baseline-gate contract: the canonical report
+// is byte-identical across reruns and worker counts, so an unchanged tree
+// always passes its own baseline.
+func TestRunDeterminism(t *testing.T) {
+	encode := func(workers int) []byte {
+		camp, err := Run(goldenSpec(), RunOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := camp.Canonical().EncodeJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	one := encode(1)
+	for _, workers := range []int{2, 8} {
+		if got := encode(workers); !bytes.Equal(one, got) {
+			t.Fatalf("canonical report differs between 1 and %d workers", workers)
+		}
+	}
+}
+
+func TestRunStreamsAndAggregates(t *testing.T) {
+	var streamed atomic.Int32
+	camp, err := Run(goldenSpec(), RunOptions{
+		Workers: 4,
+		OnCell: func(done, total int, c Cell) {
+			streamed.Add(1)
+			if total != 10 || done < 1 || done > total {
+				t.Errorf("stream callback done=%d total=%d", done, total)
+			}
+			if c.ID == "" || c.Verdict == "" {
+				t.Errorf("streamed cell incomplete: %+v", c)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 engines x 2 impls x 2 ops minus 2 excluded live cells.
+	if camp.Totals.Cells != 10 || int(streamed.Load()) != 10 {
+		t.Fatalf("cells=%d streamed=%d, want 10", camp.Totals.Cells, streamed.Load())
+	}
+	if camp.Totals.OK+camp.Totals.Violation != 10 || camp.Totals.Error != 0 {
+		t.Fatalf("totals: %+v", camp.Totals)
+	}
+	// Cells are sorted by identity.
+	for i := 1; i < len(camp.Cells); i++ {
+		if camp.Cells[i-1].ID >= camp.Cells[i].ID {
+			t.Fatalf("cells not sorted: %q >= %q", camp.Cells[i-1].ID, camp.Cells[i].ID)
+		}
+	}
+	// Every cell carries a report and the shared timing record.
+	for _, c := range camp.Cells {
+		if c.Report == nil || c.Report.Schema != "elin/report/v1" {
+			t.Errorf("cell %s has no report", c.ID)
+		}
+		if c.Timing == nil || c.Timing.ID != c.ID || c.Timing.GOMAXPROCS <= 0 || c.Timing.Workers != 1 {
+			t.Errorf("cell %s timing: %+v", c.ID, c.Timing)
+		}
+	}
+	// Rollups: the engine axis accounts for every cell.
+	var engineCells int
+	for _, row := range camp.Rollups["engine"] {
+		engineCells += row.Cells
+		if row.OK+row.Violation+row.Error != row.Cells {
+			t.Errorf("rollup row inconsistent: %+v", row)
+		}
+	}
+	if engineCells != 10 {
+		t.Errorf("engine rollup covers %d cells", engineCells)
+	}
+	if camp.Rollups["engine"][1].Value != "live" || camp.Rollups["engine"][1].Cells != 2 {
+		t.Errorf("engine rollup: %+v", camp.Rollups["engine"])
+	}
+	if camp.Timing == nil || camp.Timing.WallNS <= 0 || camp.Timing.MaxNS < camp.Timing.P50NS || camp.Timing.Workers != 4 {
+		t.Errorf("timing summary: %+v", camp.Timing)
+	}
+}
+
+// TestRunErrorCells pins that unresolvable coordinates become error cells
+// with the registry's actionable message — the grid completes and the
+// report names the broken coordinate.
+func TestRunErrorCells(t *testing.T) {
+	sp := &Spec{
+		Schema: SpecSchema,
+		Name:   "err",
+		Axes: Axes{
+			Engine: []string{"sim"},
+			Impl:   []string{"cas-counter", "atomic-fi"}, // atomic-fi is live-only
+			Procs:  []int{2},
+			Ops:    []int{1},
+		},
+	}
+	camp, err := Run(sp, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Totals.Error != 1 || camp.Totals.OK != 1 {
+		t.Fatalf("totals: %+v", camp.Totals)
+	}
+	var found bool
+	for _, c := range camp.Cells {
+		if c.Verdict == VerdictError {
+			found = true
+			if !strings.Contains(c.Error, "unknown implementation") || c.Report != nil {
+				t.Errorf("error cell: %+v", c)
+			}
+			if c.Timing == nil {
+				t.Errorf("error cell %s has no timing", c.ID)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no error cell")
+	}
+	// The human summary names the broken coordinate and its rerun command:
+	// the sweep exits non-zero on error cells, so the log must say why.
+	var b strings.Builder
+	if err := camp.RenderSummary(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"unknown implementation", "impl=atomic-fi", "rerun: elin sim -impl atomic-fi"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary misses %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCanonicalStripsRunDependentFields(t *testing.T) {
+	camp, err := Run(goldenSpec(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := camp.Canonical()
+	if canon.Timing != nil || canon.Diff != nil {
+		t.Errorf("canonical keeps timing/diff: %+v %+v", canon.Timing, canon.Diff)
+	}
+	for _, c := range canon.Cells {
+		if c.Timing != nil {
+			t.Errorf("canonical cell %s keeps timing", c.ID)
+		}
+		if c.Report != nil && c.Report.Perf != nil && c.Report.Perf.NS != 0 {
+			t.Errorf("canonical cell %s keeps wall clock", c.ID)
+		}
+	}
+	// The original is untouched.
+	if camp.Timing == nil || camp.Cells[0].Timing == nil {
+		t.Error("Canonical mutated the original campaign")
+	}
+}
+
+func TestLoadCampaign(t *testing.T) {
+	camp, err := Run(goldenSpec(), RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "c.json")
+	var buf bytes.Buffer
+	if err := camp.Canonical().EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Name != "golden" || len(loaded.Cells) != len(camp.Cells) {
+		t.Errorf("loaded campaign: name=%q cells=%d", loaded.Name, len(loaded.Cells))
+	}
+	// A sweep spec is not a campaign report: the error must say so.
+	specPath := filepath.Join(t.TempDir(), "spec.json")
+	if err := os.WriteFile(specPath, []byte(`{"schema": "elin/sweep/v1", "name": "x"}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(specPath); err == nil || !strings.Contains(err.Error(), "sweep spec") {
+		t.Errorf("spec-as-baseline error: %v", err)
+	}
+}

@@ -1,0 +1,250 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/elin-go/elin/internal/scenario"
+)
+
+// Cell diff classes.
+const (
+	// ClassSame: the cell exists in both campaigns with the same verdict.
+	ClassSame = "same"
+	// ClassFlip: the cell exists in both campaigns with different
+	// verdicts — the regression the gate exists to catch.
+	ClassFlip = "flip"
+	// ClassNew: the cell exists only in the current campaign (the grid
+	// grew).
+	ClassNew = "new"
+	// ClassMissing: the cell exists only in the baseline (the grid
+	// shrank).
+	ClassMissing = "missing"
+	// ClassPerf: the cell kept its verdict but slowed beyond the
+	// threshold.
+	ClassPerf = "perf-regressed"
+)
+
+// CellDiff is one classified cell.
+type CellDiff struct {
+	ID    string `json:"id"`
+	Class string `json:"class"`
+	// Old/New are the baseline and current verdicts (flips; one side for
+	// new/missing cells).
+	Old string `json:"old,omitempty"`
+	New string `json:"new,omitempty"`
+	// Detail is the current cell's verdict detail.
+	Detail string `json:"detail,omitempty"`
+	// OldNS/NewNS/Factor quantify a perf regression (both campaigns must
+	// carry timing records; canonical baselines carry none).
+	OldNS  int64   `json:"old_ns,omitempty"`
+	NewNS  int64   `json:"new_ns,omitempty"`
+	Factor float64 `json:"factor,omitempty"`
+	// Repro is the single-cell CLI rerun command.
+	Repro string `json:"repro,omitempty"`
+}
+
+// Diff is the classification of every cell of a current campaign against
+// a baseline campaign.
+type Diff struct {
+	// Baseline names the baseline campaign.
+	Baseline string `json:"baseline"`
+	// PerfThreshold is the slowdown fraction beyond which a same-verdict
+	// cell counts as perf-regressed (0 disables perf classification).
+	PerfThreshold float64 `json:"perf_threshold,omitempty"`
+	// Same counts identically-verdicted cells.
+	Same int `json:"same"`
+	// Flips/New/Missing/Perf list the non-same cells, sorted by identity.
+	Flips   []CellDiff `json:"flips,omitempty"`
+	New     []CellDiff `json:"new,omitempty"`
+	Missing []CellDiff `json:"missing,omitempty"`
+	Perf    []CellDiff `json:"perf_regressed,omitempty"`
+}
+
+// Compare classifies every cell of current against baseline. Identity is
+// the cell ID; verdict changes are flips, grid growth is new, grid
+// shrinkage is missing. Cells with equal verdicts whose wall clock grew
+// beyond threshold (a fraction: 0.20 = 20% slower) are additionally
+// classified perf-regressed when both sides carry timing records —
+// canonical baselines carry none, so committed baselines gate verdicts
+// only and perf gating stays opt-in via archived full reports.
+func Compare(baseline, current *Campaign, threshold float64) *Diff {
+	d := &Diff{Baseline: baseline.Name, PerfThreshold: threshold}
+	base := make(map[string]*Cell, len(baseline.Cells))
+	for i := range baseline.Cells {
+		base[baseline.Cells[i].ID] = &baseline.Cells[i]
+	}
+	seen := make(map[string]bool, len(current.Cells))
+	for i := range current.Cells {
+		cur := &current.Cells[i]
+		seen[cur.ID] = true
+		old, ok := base[cur.ID]
+		if !ok {
+			d.New = append(d.New, CellDiff{
+				ID: cur.ID, Class: ClassNew, New: cur.Verdict, Detail: cur.Detail, Repro: cur.repro(current.Spec),
+			})
+			continue
+		}
+		if old.Verdict != cur.Verdict {
+			detail := cur.Detail
+			if cur.Verdict == VerdictError {
+				detail = cur.Error
+			}
+			d.Flips = append(d.Flips, CellDiff{
+				ID: cur.ID, Class: ClassFlip, Old: old.Verdict, New: cur.Verdict,
+				Detail: detail, Repro: cur.repro(current.Spec),
+			})
+			continue
+		}
+		d.Same++
+		if threshold > 0 && old.Timing != nil && cur.Timing != nil && old.Timing.NS > 0 && cur.Timing.NS > 0 {
+			factor := float64(cur.Timing.NS) / float64(old.Timing.NS)
+			if factor > 1+threshold {
+				d.Perf = append(d.Perf, CellDiff{
+					ID: cur.ID, Class: ClassPerf, OldNS: old.Timing.NS, NewNS: cur.Timing.NS,
+					Factor: factor, Repro: cur.repro(current.Spec),
+				})
+			}
+		}
+	}
+	for id, old := range base {
+		if !seen[id] {
+			d.Missing = append(d.Missing, CellDiff{ID: id, Class: ClassMissing, Old: old.Verdict})
+		}
+	}
+	for _, list := range [][]CellDiff{d.Flips, d.New, d.Missing, d.Perf} {
+		sort.Slice(list, func(i, j int) bool { return list[i].ID < list[j].ID })
+	}
+	return d
+}
+
+// Gate returns a non-nil error when the diff must fail CI: any verdict
+// flip, or any perf regression beyond the threshold. The error names the
+// first offending cells and their rerun commands, so the failure is
+// actionable from the log alone.
+func (d *Diff) Gate() error {
+	if len(d.Flips) == 0 && len(d.Perf) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign gate failed vs baseline %q: %d verdict flip(s), %d perf regression(s) beyond %.0f%%",
+		d.Baseline, len(d.Flips), len(d.Perf), d.PerfThreshold*100)
+	for _, f := range clip(d.Flips, 5) {
+		fmt.Fprintf(&b, "\n  flip %s: %s -> %s", f.ID, f.Old, f.New)
+		if f.Detail != "" {
+			fmt.Fprintf(&b, " (%s)", f.Detail)
+		}
+		if f.Repro != "" {
+			fmt.Fprintf(&b, "\n    rerun: %s", f.Repro)
+		}
+	}
+	for _, p := range clip(d.Perf, 5) {
+		fmt.Fprintf(&b, "\n  perf %s: %.2fx slower (%v -> %v, threshold %.2fx)",
+			p.ID, p.Factor,
+			time.Duration(p.OldNS).Round(time.Microsecond),
+			time.Duration(p.NewNS).Round(time.Microsecond),
+			1+d.PerfThreshold)
+		if p.Repro != "" {
+			fmt.Fprintf(&b, "\n    rerun: %s", p.Repro)
+		}
+	}
+	if len(d.Flips) > 5 || len(d.Perf) > 5 {
+		fmt.Fprintf(&b, "\n  ... (full classification in the campaign report's diff section)")
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Render writes the human-readable diff summary.
+func (d *Diff) Render(w io.Writer) error {
+	fmt.Fprintf(w, "baseline %s: same=%d flips=%d new=%d missing=%d perf-regressed=%d\n",
+		d.Baseline, d.Same, len(d.Flips), len(d.New), len(d.Missing), len(d.Perf))
+	for _, f := range d.Flips {
+		fmt.Fprintf(w, "  flip %s: %s -> %s\n", f.ID, f.Old, f.New)
+	}
+	for _, n := range d.New {
+		fmt.Fprintf(w, "  new %s: %s\n", n.ID, n.New)
+	}
+	for _, m := range d.Missing {
+		fmt.Fprintf(w, "  missing %s: was %s\n", m.ID, m.Old)
+	}
+	for _, p := range d.Perf {
+		fmt.Fprintf(w, "  perf %s: %.2fx slower\n", p.ID, p.Factor)
+	}
+	return nil
+}
+
+func clip(list []CellDiff, n int) []CellDiff {
+	if len(list) > n {
+		return list[:n]
+	}
+	return list
+}
+
+// repro builds the cell's single-run CLI command from its report's
+// resolved scenario echo — or, for error cells that never produced a
+// report, from the grid coordinate and spec — plus the spec-level knobs
+// the echo does not carry (the monitor/trend stride), so rerunning it
+// reproduces the cell exactly.
+func (c *Cell) repro(sp *Spec) string {
+	var engine string
+	var inf scenario.ScenarioInfo
+	switch {
+	case c.Report != nil:
+		engine, inf = c.Report.Engine, c.Report.Scenario
+	case sp != nil && c.point != (Point{}):
+		engine = c.point.Engine
+		inf = sp.Scenario(c.point).Info(engine)
+	default:
+		// A baseline-loaded cell: the coordinate never made it off disk.
+		return ""
+	}
+	sub := engine
+	if sub == "live" {
+		sub = "stress"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "elin %s -impl %s -workload %s -policy %s -procs %d -ops %d -seed %d -tolerance %d",
+		sub, shellArg(inf.Impl), shellArg(inf.Workload), shellArg(inf.Policy),
+		inf.Procs, inf.Ops, inf.Seed, inf.Tolerance)
+	switch engine {
+	case "explore":
+		fmt.Fprintf(&b, " -mode %s -depth %d", inf.Analysis, inf.Depth)
+		if inf.VerifyDepth > 0 {
+			fmt.Fprintf(&b, " -verify-depth %d", inf.VerifyDepth)
+		}
+	case "sim":
+		fmt.Fprintf(&b, " -sched %s -chooser %s", shellArg(inf.Scheduler), shellArg(inf.Chooser))
+		if inf.MaxSteps > 0 {
+			fmt.Fprintf(&b, " -max-steps %d", inf.MaxSteps)
+		}
+		if sp != nil && sp.Stride > 0 {
+			fmt.Fprintf(&b, " -stride %d", sp.Stride)
+		}
+	case "live":
+		if sp != nil && sp.Stride > 0 {
+			fmt.Fprintf(&b, " -stride %d", sp.Stride)
+		}
+	}
+	return b.String()
+}
+
+// shellArg single-quotes an operand the shell would otherwise interpret
+// ("uniform:write(3)"), so the printed rerun command pastes cleanly.
+func shellArg(s string) string {
+	plain := strings.IndexFunc(s, func(r rune) bool {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return false
+		case r == ':' || r == '-' || r == '_' || r == '.' || r == ',':
+			return false
+		}
+		return true
+	}) < 0
+	if plain && s != "" {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", `'\''`) + "'"
+}

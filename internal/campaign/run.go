@@ -1,0 +1,112 @@
+package campaign
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/elin-go/elin/internal/scenario"
+)
+
+// RunOptions tunes sweep execution.
+type RunOptions struct {
+	// Workers is the shared pool size — how many cells execute
+	// concurrently (0 = GOMAXPROCS). One pool spans the whole grid: cells
+	// stream through it as workers free up, with no barrier between axis
+	// values.
+	Workers int
+	// OnCell, when set, streams each finished cell (done is the completed
+	// count so far, total the grid size). Calls are serialized; completion
+	// order is nondeterministic.
+	OnCell func(done, total int, c Cell)
+}
+
+// Run validates and expands the spec, executes every cell on one shared
+// bounded worker pool, and aggregates the campaign report. Cell outcomes
+// are deterministic functions of the cell scenario (concurrency only
+// reorders completion), and Cells are sorted by identity, so a
+// deterministic grid yields a byte-identical canonical report for any
+// worker count.
+func Run(sp *Spec, opts RunOptions) (*Campaign, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, fmt.Errorf("campaign: spec %q: %w", sp.Name, err)
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+
+	cells := make([]Cell, len(points))
+	next := make(chan int)
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		done   int
+		gomax  = runtime.GOMAXPROCS(0)
+		cellWk = sp.cellWorkers()
+	)
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				cells[i] = runCell(sp, points[i], cellWk, gomax)
+				mu.Lock()
+				done++
+				if opts.OnCell != nil {
+					opts.OnCell(done, len(points), cells[i])
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := range points {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(cells, func(i, j int) bool { return cells[i].ID < cells[j].ID })
+	camp := &Campaign{Schema: Schema, Name: sp.Name, Spec: sp, Cells: cells}
+	camp.aggregate()
+	camp.Timing = timingSummary(cells, wall, workers)
+	return camp, nil
+}
+
+// runCell executes one grid point. Scenario errors (unresolvable names,
+// impossible monitor configurations) become error cells, not run
+// failures: the grid completes and the report says exactly which
+// coordinates broke.
+func runCell(sp *Spec, p Point, cellWorkers, gomax int) Cell {
+	s := sp.Scenario(p)
+	cell := Cell{ID: s.CellID(p.Engine), point: p}
+	start := time.Now()
+	rep, err := scenario.Run(p.Engine, s)
+	elapsed := time.Since(start)
+	cell.Timing = &scenario.Timing{
+		ID:         cell.ID,
+		NS:         elapsed.Nanoseconds(),
+		Workers:    cellWorkers,
+		GOMAXPROCS: gomax,
+	}
+	if err != nil {
+		cell.Verdict = VerdictError
+		cell.Error = err.Error()
+		return cell
+	}
+	cell.Verdict = rep.Verdict
+	cell.Detail = rep.Detail
+	cell.Report = rep
+	return cell
+}

@@ -46,6 +46,32 @@ func TestUnknownNameErrorsListAvailable(t *testing.T) {
 
 func errOf(f func() error) error { return f() }
 
+// TestValidateWorkload pins the syntax-only workload resolution campaign
+// sweep specs rely on: it must accept exactly what WorkloadByName and
+// OpGenByName accept, without needing an implementation in hand.
+func TestValidateWorkload(t *testing.T) {
+	for _, ok := range []string{"", "default", "uniform:inc", "uniform:read", "uniform:write(3)", "rw", "rw:40"} {
+		if err := ValidateWorkload(ok); err != nil {
+			t.Errorf("ValidateWorkload(%q): %v", ok, err)
+		}
+	}
+	bad := []struct{ name, want string }{
+		{"nosuch", "uniform:OP"},
+		{"default:1", "no parameter"},
+		{"uniform", "needs an operation"},
+		{"uniform:", "needs an operation"},
+		{"uniform:write(x)", "bad workload operation"},
+		{"rw:999", "0..100"},
+		{"rw:x", "0..100"},
+	}
+	for _, tc := range bad {
+		err := ValidateWorkload(tc.name)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ValidateWorkload(%q) = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+}
+
 // TestParameterValidation pins the argument errors of parameterized names:
 // malformed arguments fail, and names that take no parameter reject stray
 // ones instead of silently ignoring them.

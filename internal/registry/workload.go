@@ -37,48 +37,75 @@ func parseWorkloadOp(s string) (spec.Op, error) {
 	return op, nil
 }
 
-// WorkloadByName builds an ops-per-process workload for the simulation and
-// exploration engines:
+// workloadSpec is a parsed workload name: the one syntax layer under
+// WorkloadByName, OpGenByName and ValidateWorkload, so the three cannot
+// drift when a workload kind is added.
+type workloadSpec struct {
+	kind string  // "default" | "uniform" | "rw"
+	op   spec.Op // uniform only
+	pct  int     // rw only: write percentage
+}
+
+// parseWorkload resolves a workload name's syntax (no implementation
+// needed):
 //
 //	default       per-process operations chosen by the implemented type
 //	              (propose(p+1) for consensus, testset, register r/w mix,
 //	              fetchinc otherwise)
 //	uniform:OP    every process repeats OP ("inc", "read", "write(3)", ...)
-//	rw:P          register read/write mix: process p writes p*ops+k+1 with
-//	              probability P% (seeded per process), reads otherwise
-func WorkloadByName(name string, impl machine.Impl, procs, ops int) ([][]spec.Op, error) {
+//	rw:P          register read/write mix with write probability P%
+func parseWorkload(name string) (workloadSpec, error) {
 	kind, arg, hasArg := strings.Cut(name, ":")
 	switch kind {
 	case "", "default":
 		if hasArg {
-			return nil, fmt.Errorf("registry: workload %q takes no parameter (got %q)", kind, arg)
+			return workloadSpec{}, fmt.Errorf("registry: workload %q takes no parameter (got %q)", kind, arg)
 		}
-		return Workload(impl, procs, ops), nil
+		return workloadSpec{kind: "default"}, nil
 	case "uniform":
 		if !hasArg || arg == "" {
-			return nil, fmt.Errorf("registry: workload uniform needs an operation (uniform:OP)")
+			return workloadSpec{}, fmt.Errorf("registry: workload uniform needs an operation (uniform:OP)")
 		}
 		op, err := parseWorkloadOp(arg)
 		if err != nil {
-			return nil, err
+			return workloadSpec{}, err
 		}
+		return workloadSpec{kind: "uniform", op: op}, nil
+	case "rw":
+		pct, err := workloadPct(arg, hasArg)
+		if err != nil {
+			return workloadSpec{}, err
+		}
+		return workloadSpec{kind: "rw", pct: pct}, nil
+	default:
+		return workloadSpec{}, fmt.Errorf("registry: unknown workload %q (known: %s)",
+			name, strings.Join(WorkloadNames(), ", "))
+	}
+}
+
+// WorkloadByName builds an ops-per-process workload for the simulation
+// and exploration engines (vocabulary: see parseWorkload). rw:P writes
+// p*ops+k+1, seeded per process.
+func WorkloadByName(name string, impl machine.Impl, procs, ops int) ([][]spec.Op, error) {
+	ws, err := parseWorkload(name)
+	if err != nil {
+		return nil, err
+	}
+	switch ws.kind {
+	case "uniform":
 		w := make([][]spec.Op, procs)
 		for p := range w {
 			for k := 0; k < ops; k++ {
-				w[p] = append(w[p], op)
+				w[p] = append(w[p], ws.op)
 			}
 		}
 		return w, nil
 	case "rw":
-		pct, err := workloadPct(arg, hasArg)
-		if err != nil {
-			return nil, err
-		}
 		w := make([][]spec.Op, procs)
 		for p := range w {
 			r := rand.New(rand.NewSource(int64(p) + 1))
 			for k := 0; k < ops; k++ {
-				if r.Intn(100) < pct {
+				if r.Intn(100) < ws.pct {
 					w[p] = append(w[p], spec.MakeOp1(spec.MethodWrite, int64(p*ops+k+1)))
 				} else {
 					w[p] = append(w[p], spec.MakeOp(spec.MethodRead))
@@ -87,9 +114,18 @@ func WorkloadByName(name string, impl machine.Impl, procs, ops int) ([][]spec.Op
 		}
 		return w, nil
 	default:
-		return nil, fmt.Errorf("registry: unknown workload %q (known: %s)",
-			name, strings.Join(WorkloadNames(), ", "))
+		return Workload(impl, procs, ops), nil
 	}
+}
+
+// ValidateWorkload checks that a workload name is well-formed without
+// resolving an implementation: the syntax-only resolution campaign sweep
+// specs use to reject a bad axis value before any cell runs. A name that
+// passes here builds on every engine through WorkloadByName/OpGenByName
+// (the per-implementation operation choice never fails).
+func ValidateWorkload(name string) error {
+	_, err := parseWorkload(name)
+	return err
 }
 
 // workloadPct parses the write percentage of an "rw:P" workload.
@@ -106,34 +142,21 @@ func workloadPct(arg string, hasArg bool) (int, error) {
 
 // OpGenByName builds the per-client operation generator the live engine
 // uses for a named workload against an object of the given specification.
-// The vocabulary matches WorkloadByName, so one scenario drives the same
-// operation mix on every engine.
+// The vocabulary matches WorkloadByName (one parser underneath), so one
+// scenario drives the same operation mix on every engine.
 func OpGenByName(name string, obj spec.Object) (live.OpGen, error) {
-	kind, arg, hasArg := strings.Cut(name, ":")
-	switch kind {
-	case "", "default":
-		if hasArg {
-			return nil, fmt.Errorf("registry: workload %q takes no parameter (got %q)", kind, arg)
-		}
-		return defaultOpGen(obj), nil
+	ws, err := parseWorkload(name)
+	if err != nil {
+		return nil, err
+	}
+	switch ws.kind {
 	case "uniform":
-		if !hasArg || arg == "" {
-			return nil, fmt.Errorf("registry: workload uniform needs an operation (uniform:OP)")
-		}
-		op, err := parseWorkloadOp(arg)
-		if err != nil {
-			return nil, err
-		}
+		op := ws.op
 		return func(int, int, *rand.Rand) spec.Op { return op }, nil
 	case "rw":
-		pct, err := workloadPct(arg, hasArg)
-		if err != nil {
-			return nil, err
-		}
-		return live.RegisterMixGen(float64(pct)/100, 16), nil
+		return live.RegisterMixGen(float64(ws.pct)/100, 16), nil
 	default:
-		return nil, fmt.Errorf("registry: unknown workload %q (known: %s)",
-			name, strings.Join(WorkloadNames(), ", "))
+		return defaultOpGen(obj), nil
 	}
 }
 

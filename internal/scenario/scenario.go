@@ -21,6 +21,9 @@
 package scenario
 
 import (
+	"fmt"
+	"strings"
+
 	"github.com/elin-go/elin/internal/base"
 	"github.com/elin-go/elin/internal/check"
 	"github.com/elin-go/elin/internal/live"
@@ -41,6 +44,21 @@ const (
 	AnalysisValency = "valency"
 	// AnalysisStable searches for a Proposition 18 stable configuration.
 	AnalysisStable = "stable"
+)
+
+// The documented scenario defaults, exported so grid expansion (package
+// campaign) resolves omitted axes to exactly what a bare scenario runs.
+const (
+	// DefaultImpl is the implementation an empty Impl resolves to.
+	DefaultImpl = "cas-counter"
+	// DefaultWorkload is the workload an empty Workload resolves to.
+	DefaultWorkload = "default"
+	// DefaultPolicy is the policy an empty Policy resolves to.
+	DefaultPolicy = "immediate"
+	// DefaultProcs/DefaultOps are the process and per-process operation
+	// counts when unset.
+	DefaultProcs = 2
+	DefaultOps   = 2
 )
 
 // Budget bounds a scenario's execution per engine regime. The zero value
@@ -152,13 +170,13 @@ type Scenario struct {
 // withDefaults returns s with the documented defaults filled in.
 func (s Scenario) withDefaults() Scenario {
 	if s.Impl == "" && s.ImplValue == nil && s.LiveValue == nil {
-		s.Impl = "cas-counter"
+		s.Impl = DefaultImpl
 	}
 	if s.Procs <= 0 {
-		s.Procs = 2
+		s.Procs = DefaultProcs
 	}
 	if s.Ops <= 0 {
-		s.Ops = 2
+		s.Ops = DefaultOps
 	}
 	if s.Analysis == "" {
 		s.Analysis = AnalysisLin
@@ -262,8 +280,8 @@ func (s Scenario) info(engine string) ScenarioInfo {
 	inf := ScenarioInfo{
 		Name:      s.Name,
 		Impl:      s.implName(),
-		Workload:  orDefault(s.Workload, "default"),
-		Policy:    orDefault(s.Policy, "immediate"),
+		Workload:  orDefault(s.Workload, DefaultWorkload),
+		Policy:    orDefault(s.Policy, DefaultPolicy),
 		Procs:     s.Procs,
 		Ops:       s.Ops,
 		Seed:      s.Seed,
@@ -283,6 +301,44 @@ func (s Scenario) info(engine string) ScenarioInfo {
 		inf.MaxSteps = s.Budget.MaxSteps
 	}
 	return inf
+}
+
+// Info returns the resolved scenario echo a report for the named engine
+// would carry, defaults filled in — the same projection executed cells
+// embed, available without running anything (campaign uses it to build
+// rerun commands for cells that never produced a report).
+func (s Scenario) Info(engine string) ScenarioInfo {
+	canon, err := registry.Engine(engine)
+	if err != nil {
+		canon = engine
+	}
+	return s.withDefaults().info(canon)
+}
+
+// CellID returns the canonical identity of the scenario as one cell of a
+// campaign grid on the named engine: the resolved grid coordinates
+// (engine, impl, workload, policy, procs, ops, tolerance, seed) plus the
+// engine-relevant resolved names (analysis for explore, scheduler and
+// chooser for sim). Defaults are filled in first, so Workload "" and
+// "default" — or Engine "" and "sim" — name the same cell. Two scenarios
+// with equal CellIDs on the same engine occupy the same grid point, which
+// is what campaign baseline diffing matches on across runs and commits.
+func (s Scenario) CellID(engine string) string {
+	canon, err := registry.Engine(engine)
+	if err != nil {
+		canon = engine // unknown engines keep their spelling; resolution rejects them later
+	}
+	inf := s.withDefaults().info(canon)
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine=%s impl=%s workload=%s policy=%s", canon, inf.Impl, inf.Workload, inf.Policy)
+	if inf.Analysis != "" {
+		fmt.Fprintf(&b, " analysis=%s", inf.Analysis)
+	}
+	if inf.Scheduler != "" {
+		fmt.Fprintf(&b, " sched=%s chooser=%s", inf.Scheduler, inf.Chooser)
+	}
+	fmt.Fprintf(&b, " procs=%d ops=%d tol=%d seed=%d", inf.Procs, inf.Ops, inf.Tolerance, inf.Seed)
+	return b.String()
 }
 
 func orDefault(v, def string) string {

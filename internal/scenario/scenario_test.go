@@ -95,6 +95,39 @@ func TestOneScenarioEveryEngine(t *testing.T) {
 	}
 }
 
+// TestCellID pins the canonical cell-identity vocabulary campaign grids
+// and baselines match on.
+func TestCellID(t *testing.T) {
+	// Defaults resolve: the zero scenario and the spelled-out default
+	// scenario name the same grid point.
+	zero := Scenario{}.CellID("")
+	spelled := Scenario{Impl: "cas-counter", Workload: "default", Policy: "immediate", Procs: 2, Ops: 2}.CellID("sim")
+	if zero != spelled {
+		t.Errorf("default identity split: %q vs %q", zero, spelled)
+	}
+	want := "engine=sim impl=cas-counter workload=default policy=immediate sched=rr chooser=true procs=2 ops=2 tol=0 seed=0"
+	if zero != want {
+		t.Errorf("sim cell id = %q, want %q", zero, want)
+	}
+
+	s := Scenario{Impl: "warmup-counter:2", Workload: "uniform:inc", Policy: "window:2",
+		Procs: 3, Ops: 4, Tolerance: -1, Seed: 9, Analysis: AnalysisValency}
+	if got, want := s.CellID("explore"),
+		"engine=explore impl=warmup-counter:2 workload=uniform:inc policy=window:2 analysis=valency procs=3 ops=4 tol=-1 seed=9"; got != want {
+		t.Errorf("explore cell id = %q, want %q", got, want)
+	}
+	// The live engine carries neither analysis nor scheduler coordinates.
+	if id := s.CellID("live"); strings.Contains(id, "analysis=") || strings.Contains(id, "sched=") {
+		t.Errorf("live cell id has foreign coordinates: %q", id)
+	}
+	// Identities separate every axis the grid sweeps.
+	other := s
+	other.Seed = 10
+	if s.CellID("live") == other.CellID("live") {
+		t.Error("seed does not separate cell identities")
+	}
+}
+
 // TestEngineByName pins the engine registry.
 func TestEngineByName(t *testing.T) {
 	for name, want := range map[string]string{

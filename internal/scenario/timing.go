@@ -1,0 +1,25 @@
+package scenario
+
+// Timing is the machine-readable timing record shared by every consumer
+// that archives wall-clock measurements: `elin bench -json` emits one per
+// experiment (the BENCH_*.json trajectory format) and campaign sweeps
+// attach one per cell. One encoder means the two formats cannot drift.
+type Timing struct {
+	// ID identifies the measured unit: an experiment id ("E8") or a
+	// campaign cell identity.
+	ID string `json:"id"`
+	// Artifact names the paper artifact an experiment reproduces (bench
+	// records only).
+	Artifact string `json:"artifact,omitempty"`
+	// Rows is the number of table rows an experiment produced (bench
+	// records only).
+	Rows int `json:"rows,omitempty"`
+	// NS is the wall-clock run time in nanoseconds.
+	NS int64 `json:"ns"`
+	// Workers is the exploration worker setting the run used (0 =
+	// GOMAXPROCS).
+	Workers int `json:"workers"`
+	// GOMAXPROCS records the scheduler parallelism the run had available,
+	// so timings stay attributable across machines.
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
