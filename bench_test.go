@@ -1,6 +1,8 @@
 package elin
 
-// One benchmark per experiment table of EXPERIMENTS.md (E1..E15), plus the
+// One benchmark per deterministic experiment table of EXPERIMENTS.md (E17
+// runs real goroutine concurrency, so its timings live in the elin stress
+// trajectory instead), plus the
 // design-choice ablations and micro-benchmarks of the decision procedures.
 // The experiment benchmarks time a full table regeneration; run
 // `go run ./cmd/elin bench` to see the tables themselves.
@@ -51,6 +53,7 @@ func BenchmarkE13Throughput(b *testing.B)     { benchExperiment(b, "E13") }
 func BenchmarkE14Checker(b *testing.B)        { benchExperiment(b, "E14") }
 func BenchmarkE15Progress(b *testing.B)       { benchExperiment(b, "E15") }
 func BenchmarkE16Hierarchy(b *testing.B)      { benchExperiment(b, "E16") }
+func BenchmarkE18Recovery(b *testing.B)       { benchExperiment(b, "E18") }
 
 // ----------------------------------------------------------------------------
 // Ablations (design choices called out in DESIGN.md).

@@ -5,6 +5,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
@@ -104,10 +106,24 @@ func stressTrajectory(ops int) ([]any, error) {
 		{Name: "STRESS-atomic-fi-c4", Impl: "atomic-fi", Procs: 4, Ops: ops, Seed: 1, Stride: 512, LatencySample: 8},
 		{Name: "STRESS-mutex-fi-c4", Impl: "mutex-fi", Procs: 4, Ops: ops, Seed: 1, Stride: 512, LatencySample: 8},
 		{Name: "STRESS-atomic-fi-c8-nomon", Impl: "atomic-fi", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8},
+		// The WAL-on rows price durability against the no-WAL row above:
+		// sync never = the framing + write() cost alone, interval:4096 = the
+		// amortized-fsync production setting. (always would fsync per commit
+		// — measurable with elin stress -wal-sync always, too slow to archive.)
+		{Name: "STRESS-atomic-fi-c8-nomon-wal-never", Impl: "atomic-fi", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8, WALSync: "never"},
+		{Name: "STRESS-atomic-fi-c8-nomon-wal-i4096", Impl: "atomic-fi", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8, WALSync: "interval:4096"},
 	}
+	dir, err := os.MkdirTemp("", "elin-bench-wal-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
 	var out []any
 	for _, s := range configs {
 		s.NoVerify = true // trajectory records time the hot path, not the replay
+		if s.WALSync != "" {
+			s.WAL = filepath.Join(dir, s.Name+".wal")
+		}
 		rep, err := scenario.Run("live", s)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.Name, err)

@@ -13,7 +13,7 @@ import (
 // runList prints the registry contents: everything nameable in a scenario.
 func runList(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elin list", flag.ContinueOnError)
-	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | types | experiments | axes")
+	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | faults | types | experiments | axes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -28,6 +28,7 @@ func runList(args []string, out io.Writer) error {
 		{"schedulers", registry.SchedulerNames()},
 		{"choosers", registry.ChooserNames()},
 		{"policies", registry.PolicyNames()},
+		{"faults", registry.FaultNames()},
 		{"types", registry.TypeNames()},
 		{"experiments", experimentIDs()},
 		{"axes", campaign.AxisNames()},

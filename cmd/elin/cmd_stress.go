@@ -2,14 +2,18 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"io"
 
+	"github.com/elin-go/elin/internal/registry"
 	"github.com/elin-go/elin/internal/scenario"
 )
 
 // runStress is the live-runtime subcommand (the retired elstress): real
 // goroutine clients against a genuinely shared object, online windowed
-// monitoring, seeded fuzzing and shrink-to-simulator replay.
+// monitoring, seeded fuzzing and shrink-to-simulator replay — plus the
+// fault plane (-faults/-crash-at/-serial) and the durable commit log
+// (-wal/-wal-sync) a crashed run recovers from with 'elin recover'.
 func runStress(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elin stress", flag.ContinueOnError)
 	sf := addScenarioFlags(fs, "atomic-fi", 4, 10000, "window:400", 1)
@@ -20,6 +24,11 @@ func runStress(args []string, out io.Writer) error {
 	fuzz := fs.Int("fuzz", 0, "run a fuzz campaign over N consecutive seeds instead of one run")
 	noShrink := fs.Bool("noshrink", false, "skip ddmin shrinking of a violation window")
 	noVerify := fs.Bool("noverify", false, "skip the byte-identical replay verification")
+	faults := fs.String("faults", "", "fault injection: preset or grammar (see 'elin list'; e.g. stall:0@64+256,jitter:5)")
+	crashAt := fs.Uint64("crash-at", 0, "crash the run at commit K (shorthand for -faults crash:K)")
+	walPath := fs.String("wal", "", "write a durable commit log to this path (recover with 'elin recover')")
+	walSync := fs.String("wal-sync", "", "WAL durability: always | never | interval:N (default never)")
+	serial := fs.Bool("serial", false, "deterministic serial driver: byte-identical history and WAL across reruns")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -32,6 +41,22 @@ func runStress(args []string, out io.Writer) error {
 	s.FuzzRuns = *fuzz
 	s.NoShrink = *noShrink
 	s.NoVerify = *noVerify
+	s.Faults = *faults
+	s.WAL = *walPath
+	s.WALSync = *walSync
+	s.Serial = *serial
+	if *crashAt > 0 {
+		crash := fmt.Sprintf("crash:%d", *crashAt)
+		// Expand presets to grammar before combining; a duplicate crash
+		// directive (or an unparseable -faults value) errors downstream.
+		if sp, err := registry.Faults(s.Faults); err != nil {
+			s.Faults += "," + crash
+		} else if sp.Zero() {
+			s.Faults = crash
+		} else {
+			s.Faults = sp.String() + "," + crash
+		}
+	}
 
 	rep, err := scenario.Run("live", s)
 	if err != nil {

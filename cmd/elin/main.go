@@ -5,6 +5,7 @@
 //	elin sim      one seeded simulation run, checked after the fact
 //	elin check    check a recorded history against the paper's conditions
 //	elin stress   live goroutine stress run or fuzz campaign
+//	elin recover  recover a crashed run's commit log and continue it
 //	elin sweep    declarative scenario grid with baseline diffing (the CI gate)
 //	elin bench    regenerate the experiment tables / machine-readable timings
 //	elin list     registry contents (implementations, engines, workloads, ...)
@@ -21,6 +22,9 @@
 //	elin sim -impl cas-counter -emit-json | elin check -json -obj cas-counter=fetchinc -mode lin
 //	elin stress -impl atomic-fi -procs 8 -ops 100000
 //	elin stress -impl junk-fi:40 -procs 2 -ops 2000 -fuzz 4
+//	elin stress -impl el-fi -serial -wal run.wal -crash-at 6000 -ops 5000
+//	elin recover -wal run.wal -ops 2000
+//	elin recover -wal run.wal -corrupt trunc:7
 //	elin sweep -spec .github/sweeps/smoke.json -baseline .github/sweeps/smoke.baseline.json
 //	elin bench -run E8,E11 -json
 package main
@@ -58,6 +62,8 @@ func run(args []string, out io.Writer) error {
 		return runCheck(rest, out)
 	case "stress":
 		return runStress(rest, out)
+	case "recover":
+		return runRecover(rest, out)
 	case "sweep":
 		return runSweep(rest, out)
 	case "bench":
@@ -81,6 +87,7 @@ commands:
   sim       one seeded simulation run, checked after the fact
   check     check a recorded history file (or stdin)
   stress    live goroutine stress run or fuzz campaign
+  recover   recover a commit log, continue the run, verify the stitched history
   sweep     declarative scenario grid: expand, execute, diff against a baseline
   bench     experiment tables / machine-readable timings
   list      registry contents

@@ -351,17 +351,25 @@ func TestBenchJSONStressTrajectory(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &records); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
-	if len(records) != 4 { // E4 + three stress reports
+	if len(records) != 6 { // E4 + three no-WAL stress reports + two WAL-on rows
 		t.Fatalf("got %d records", len(records))
 	}
+	walRows := 0
 	for _, r := range records[1:] {
 		if r["schema"] != "elin/report/v1" || r["verdict"] != "ok" {
 			t.Errorf("stress record: %v", r)
 		}
 		sc := r["scenario"].(map[string]any)
-		if !strings.HasPrefix(sc["name"].(string), "STRESS-") {
-			t.Errorf("stress record name: %v", sc["name"])
+		name := sc["name"].(string)
+		if !strings.HasPrefix(name, "STRESS-") {
+			t.Errorf("stress record name: %v", name)
 		}
+		if strings.Contains(name, "-wal-") {
+			walRows++
+		}
+	}
+	if walRows != 2 {
+		t.Errorf("WAL-on trajectory rows = %d, want 2 (sync never + interval:4096)", walRows)
 	}
 }
 

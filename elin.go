@@ -36,12 +36,14 @@ import (
 	"github.com/elin-go/elin/internal/campaign"
 	"github.com/elin-go/elin/internal/check"
 	"github.com/elin-go/elin/internal/explore"
+	"github.com/elin-go/elin/internal/faults"
 	"github.com/elin-go/elin/internal/history"
 	"github.com/elin-go/elin/internal/live"
 	"github.com/elin-go/elin/internal/machine"
 	"github.com/elin-go/elin/internal/scenario"
 	"github.com/elin-go/elin/internal/sim"
 	"github.com/elin-go/elin/internal/spec"
+	"github.com/elin-go/elin/internal/wal"
 )
 
 // Scenario layer — the declarative entry point. One Scenario value runs
@@ -357,4 +359,54 @@ var (
 	// SimReplay re-executes a recorded history commit-order inside the
 	// deterministic simulator.
 	SimReplay = sim.Replay
+)
+
+// Fault plane and durable commit log: seeded deterministic fault injection
+// into the live runtime (stalls, crash-at-commit, scheduling jitter, log
+// corruption), a CRC-framed write-ahead commit log, and crash recovery
+// that replays the log, verifies commit determinism, and stitches the
+// recovered history into a continuation run.
+type (
+	// FaultSpec is a parsed fault-injection spec; all draws are pure
+	// functions of (seed, ticket), so injections replay identically.
+	FaultSpec = faults.Spec
+	// FaultStall freezes one client for a window of commit tickets.
+	FaultStall = faults.Stall
+	// FaultCorrupt describes commit-log corruption (bit flip, truncation).
+	FaultCorrupt = faults.Corrupt
+	// CommitSink receives each merged history event with its commit ticket
+	// as it is appended — the storage seam of the live runtime.
+	CommitSink = live.CommitSink
+	// WAL is the durable commit log (implements CommitSink).
+	WAL = wal.Log
+	// WALHeader is the self-describing run metadata a commit log opens
+	// with; recovery rebuilds the run from it.
+	WALHeader = wal.Header
+	// WALRecovered is what Recover salvages from a commit log: header,
+	// events, commit tickets, and whether the tail was torn.
+	WALRecovered = wal.Recovered
+	// WALSyncPolicy governs fsync frequency (always, never, every N).
+	WALSyncPolicy = wal.SyncPolicy
+	// ResumeResult is a run rebuilt from its commit log, ready to continue.
+	ResumeResult = live.ResumeResult
+)
+
+var (
+	// ParseFaults parses the fault grammar
+	// ("stall:C@T+D,crash:K,jitter:N,flip").
+	ParseFaults = faults.Parse
+	// CreateWAL opens a new commit log with a header frame.
+	CreateWAL = wal.Create
+	// RecoverWAL reads a commit log back, truncating any torn tail at the
+	// first bad frame.
+	RecoverWAL = wal.Recover
+	// ParseSyncPolicy parses "always", "never" or "interval:N".
+	ParseSyncPolicy = wal.ParseSyncPolicy
+	// LiveResume replays a recovered commit log against a fresh template,
+	// verifying every recorded response, and returns the rebuilt state.
+	LiveResume = live.Resume
+	// RecoverScenario runs the full crash-recovery pipeline: recover the
+	// log, resume the object, continue with fresh clients, and verify the
+	// stitched history still t-stabilizes.
+	RecoverScenario = scenario.Recover
 )

@@ -150,7 +150,7 @@ func Load(path string) (*Campaign, error) {
 }
 
 // axisNames are the rollup axes, in presentation order.
-var axisNames = []string{"engine", "impl", "workload", "policy", "procs", "ops", "tolerance", "seed"}
+var axisNames = []string{"engine", "impl", "workload", "policy", "faults", "procs", "ops", "tolerance", "seed"}
 
 // AxisNames lists the sweepable axes of a spec — the vocabulary `elin
 // list` prints.
@@ -163,6 +163,7 @@ func (p Point) coordinates() map[string]string {
 		"impl":      p.Impl,
 		"workload":  p.Workload,
 		"policy":    p.Policy,
+		"faults":    resolvedFaults(p.Faults),
 		"procs":     strconv.Itoa(p.Procs),
 		"ops":       strconv.Itoa(p.Ops),
 		"tolerance": strconv.Itoa(p.Tolerance),

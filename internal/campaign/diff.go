@@ -224,6 +224,12 @@ func (c *Cell) repro(sp *Spec) string {
 			fmt.Fprintf(&b, " -stride %d", sp.Stride)
 		}
 	case "live":
+		if inf.Faults != "" {
+			fmt.Fprintf(&b, " -faults %s", shellArg(inf.Faults))
+		}
+		if inf.Serial {
+			fmt.Fprint(&b, " -serial")
+		}
 		if sp != nil && sp.Stride > 0 {
 			fmt.Fprintf(&b, " -stride %d", sp.Stride)
 		}

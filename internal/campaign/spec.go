@@ -32,10 +32,16 @@ const SpecSchema = "elin/sweep/v1"
 // (engine "sim", impl "cas-counter", workload "default", policy
 // "immediate", procs 2, ops 2, tolerance 0, seed 0).
 type Axes struct {
-	Engine    []string `json:"engine,omitempty"`
-	Impl      []string `json:"impl,omitempty"`
-	Workload  []string `json:"workload,omitempty"`
-	Policy    []string `json:"policy,omitempty"`
+	Engine   []string `json:"engine,omitempty"`
+	Impl     []string `json:"impl,omitempty"`
+	Workload []string `json:"workload,omitempty"`
+	Policy   []string `json:"policy,omitempty"`
+	// Faults sweeps fault-injection specs over live cells (presets or the
+	// faults grammar; default "none"). Explore and sim engines reject
+	// faulted scenarios, so grids mixing engines with a faults axis must
+	// exclude the faulted non-live cells explicitly — the expansion never
+	// drops them silently.
+	Faults    []string `json:"faults,omitempty"`
 	Procs     []int    `json:"procs,omitempty"`
 	Ops       []int    `json:"ops,omitempty"`
 	Tolerance []int    `json:"tolerance,omitempty"`
@@ -52,6 +58,7 @@ type Match struct {
 	Impl      string `json:"impl,omitempty"`
 	Workload  string `json:"workload,omitempty"`
 	Policy    string `json:"policy,omitempty"`
+	Faults    string `json:"faults,omitempty"`
 	Procs     *int   `json:"procs,omitempty"`
 	Ops       *int   `json:"ops,omitempty"`
 	Tolerance *int   `json:"tolerance,omitempty"`
@@ -62,7 +69,7 @@ type Match struct {
 // every cell, always a spec mistake.
 func (m Match) zero() bool {
 	return m.Engine == "" && m.Impl == "" && m.Workload == "" && m.Policy == "" &&
-		m.Procs == nil && m.Ops == nil && m.Tolerance == nil && m.Seed == nil
+		m.Faults == "" && m.Procs == nil && m.Ops == nil && m.Tolerance == nil && m.Seed == nil
 }
 
 // matches reports whether the point satisfies every set field.
@@ -72,6 +79,7 @@ func (m Match) matches(p Point) bool {
 		m.Impl != "" && m.Impl != p.Impl,
 		m.Workload != "" && m.Workload != p.Workload,
 		m.Policy != "" && m.Policy != p.Policy,
+		m.Faults != "" && resolvedFaults(m.Faults) != resolvedFaults(p.Faults),
 		m.Procs != nil && *m.Procs != p.Procs,
 		m.Ops != nil && *m.Ops != p.Ops,
 		m.Tolerance != nil && *m.Tolerance != p.Tolerance,
@@ -87,6 +95,7 @@ type Point struct {
 	Impl      string
 	Workload  string
 	Policy    string
+	Faults    string
 	Procs     int
 	Ops       int
 	Tolerance int
@@ -182,6 +191,11 @@ func (sp *Spec) Validate() error {
 			return err
 		}
 	}
+	for _, f := range sp.Axes.Faults {
+		if err := registry.ValidateFaults(f); err != nil {
+			return err
+		}
+	}
 	for _, n := range sp.Axes.Procs {
 		if n <= 0 {
 			return fmt.Errorf("procs axis value %d (want >= 1)", n)
@@ -246,6 +260,9 @@ func uniqueAxes(a Axes) error {
 	if err := dup("policy", a.Policy, func(v string) string { return resolved(v, scenario.DefaultPolicy) }); err != nil {
 		return err
 	}
+	if err := dup("faults", a.Faults, resolvedFaults); err != nil {
+		return err
+	}
 	ints := func(axis string, vals []int) error {
 		seen := map[int]bool{}
 		for _, v := range vals {
@@ -276,9 +293,9 @@ func uniqueAxes(a Axes) error {
 }
 
 // Expand resolves the cartesian product of the axes minus the exclusions,
-// in deterministic axis order (engine, impl, workload, policy, procs,
-// ops, tolerance, seed). It errors when nothing survives — an all-excluded
-// grid is always a spec mistake.
+// in deterministic axis order (engine, impl, workload, policy, faults,
+// procs, ops, tolerance, seed). It errors when nothing survives — an
+// all-excluded grid is always a spec mistake.
 func (sp *Spec) Expand() ([]Point, error) {
 	engines := sp.Axes.Engine
 	if len(engines) == 0 {
@@ -287,6 +304,7 @@ func (sp *Spec) Expand() ([]Point, error) {
 	impls := orList(sp.Axes.Impl, scenario.DefaultImpl)
 	workloads := orList(sp.Axes.Workload, scenario.DefaultWorkload)
 	policies := orList(sp.Axes.Policy, scenario.DefaultPolicy)
+	faultSpecs := orList(sp.Axes.Faults, "none")
 	procs := orInts(sp.Axes.Procs, scenario.DefaultProcs)
 	ops := orInts(sp.Axes.Ops, scenario.DefaultOps)
 	tols := sp.Axes.Tolerance
@@ -308,19 +326,22 @@ func (sp *Spec) Expand() ([]Point, error) {
 		for _, impl := range impls {
 			for _, w := range workloads {
 				for _, pol := range policies {
-					for _, n := range procs {
-						for _, k := range ops {
-							for _, t := range tols {
-								for _, s := range seeds {
-									p := Point{
-										Engine: canon, Impl: resolved(impl, scenario.DefaultImpl), Workload: resolved(w, scenario.DefaultWorkload),
-										Policy: resolved(pol, scenario.DefaultPolicy),
-										Procs:  n, Ops: k, Tolerance: t, Seed: s,
+					for _, f := range faultSpecs {
+						for _, n := range procs {
+							for _, k := range ops {
+								for _, t := range tols {
+									for _, s := range seeds {
+										p := Point{
+											Engine: canon, Impl: resolved(impl, scenario.DefaultImpl), Workload: resolved(w, scenario.DefaultWorkload),
+											Policy: resolved(pol, scenario.DefaultPolicy),
+											Faults: faultsOrEmpty(resolvedFaults(f)),
+											Procs:  n, Ops: k, Tolerance: t, Seed: s,
+										}
+										if sp.excluded(p, hits) {
+											continue
+										}
+										points = append(points, p)
 									}
-									if sp.excluded(p, hits) {
-										continue
-									}
-									points = append(points, p)
 								}
 							}
 						}
@@ -362,6 +383,7 @@ func (sp *Spec) Scenario(p Point) scenario.Scenario {
 		Impl:      p.Impl,
 		Workload:  p.Workload,
 		Policy:    p.Policy,
+		Faults:    p.Faults,
 		Procs:     p.Procs,
 		Ops:       p.Ops,
 		Tolerance: p.Tolerance,
@@ -407,6 +429,28 @@ func orInts(vals []int, def int) []int {
 func resolved(v, def string) string {
 	if v == "" {
 		return def
+	}
+	return v
+}
+
+// resolvedFaults canonicalizes a faults axis value: "", "none", presets
+// and reordered grammar spellings of one spec all resolve to the same
+// coordinate name ("none" when nothing is injected). Unresolvable values
+// keep their spelling; Validate has already rejected them.
+func resolvedFaults(v string) string {
+	sp, err := registry.Faults(v)
+	if err != nil {
+		return v
+	}
+	return sp.String()
+}
+
+// faultsOrEmpty maps the "none" coordinate to the zero value, so
+// unfaulted points — and the scenarios and repro commands built from
+// them — are byte-identical with and without a faults axis in the spec.
+func faultsOrEmpty(v string) string {
+	if v == "none" {
+		return ""
 	}
 	return v
 }

@@ -231,3 +231,71 @@ func TestCellIDMatchesScenario(t *testing.T) {
 		}
 	}
 }
+
+// TestFaultsAxis pins the faults sweep dimension: validation, expansion
+// with "none" mapping to the zero coordinate, canonicalized matching in
+// exclusion predicates, and the scenario handoff.
+func TestFaultsAxis(t *testing.T) {
+	sp := &Spec{
+		Schema: SpecSchema,
+		Name:   "f",
+		Axes: Axes{
+			Engine: []string{"live"},
+			Impl:   []string{"atomic-fi"},
+			Faults: []string{"none", "jitter-light", "stall:0@4+2"},
+		},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("faulted spec rejected: %v", err)
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("expansion: %d cells, want 3", len(points))
+	}
+	// "none" is the zero coordinate; presets canonicalize to grammar.
+	if points[0].Faults != "" || points[1].Faults != "jitter:3" || points[2].Faults != "stall:0@4+2" {
+		t.Errorf("faults coordinates = %q, %q, %q", points[0].Faults, points[1].Faults, points[2].Faults)
+	}
+	if s := sp.Scenario(points[1]); s.Faults != "jitter:3" {
+		t.Errorf("scenario faults = %q", s.Faults)
+	}
+	if s := sp.Scenario(points[0]); s.Faults != "" {
+		t.Errorf("unfaulted scenario faults = %q (must stay zero for baseline compatibility)", s.Faults)
+	}
+
+	// Predicates match canonicalized: excluding the preset by its preset
+	// name drops the canonical cell; "none" matches the unfaulted cell.
+	sp.Exclude = []Match{{Faults: "jitter-light"}}
+	points, err = sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("preset exclude left %d cells", len(points))
+	}
+	sp.Exclude = []Match{{Faults: "none"}}
+	points, err = sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Faults == "" {
+			t.Errorf("faults=none exclude left the unfaulted cell: %+v", p)
+		}
+	}
+
+	// Repeated values — even across spellings — are rejected.
+	sp.Exclude = nil
+	sp.Axes.Faults = []string{"jitter-light", "jitter:3"}
+	if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "repeats") {
+		t.Errorf("duplicate faults axis accepted: %v", err)
+	}
+	// Unknown values are rejected with the vocabulary.
+	sp.Axes.Faults = []string{"explode:9"}
+	if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "chaos") {
+		t.Errorf("unknown faults axis value accepted: %v", err)
+	}
+}

@@ -249,3 +249,52 @@ func TestClassifyEdgeCases(t *testing.T) {
 		t.Errorf("growth slope = %v, want > 0", slope)
 	}
 }
+
+// TestIncrementalCrashCutGap is the crash-recovery rebasing case: a run
+// crashes at commit K with one operation still in flight (its invocation
+// never gets a response — the proc died with it), and the continuation
+// resumes the commit order with fresh proc ids. Windows straddling the cut
+// must rebase cleanly — the permanently-pending invocation is carried
+// forward, completed pre-crash ops fold into the initial state, and no
+// false violation is reported at any stride.
+func TestIncrementalCrashCutGap(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	h := history.New()
+	resp := int64(0)
+	// Pre-crash: procs 0 and 1 complete 40 ops between them...
+	for i := 0; i < 40; i++ {
+		mustDo(t, h.Call(i%2, "C", spec.MakeOp(spec.MethodFetchInc), resp))
+		resp++
+	}
+	// ...then proc 1 invokes and the process dies: the op stays pending for
+	// the rest of the history (its ticket was lost with the crash).
+	mustDo(t, h.Invoke(1, "C", spec.MakeOp(spec.MethodFetchInc)))
+	// Post-crash continuation: fresh procs 2 and 3 resume the commit order
+	// exactly where the log ended (the lost in-flight op never committed).
+	for i := 0; i < 40; i++ {
+		mustDo(t, h.Call(2+i%2, "C", spec.MakeOp(spec.MethodFetchInc), resp))
+		resp++
+	}
+	// Strides chosen to place window cuts before, at, and after the crash
+	// gap (the pending invocation is event 80).
+	for _, stride := range []int{7, 16, 80, 81, 1000} {
+		m := NewIncremental(obj, IncrementalConfig{Stride: stride})
+		if v := feedAll(t, m, h); v != nil {
+			t.Fatalf("stride %d: crash-cut history flagged: %v", stride, v)
+		}
+		for _, s := range m.Samples() {
+			if s.MinT != 0 {
+				t.Fatalf("stride %d: window MinT = %d at %d events (false degradation across the cut)",
+					stride, s.MinT, s.Events)
+			}
+		}
+	}
+	// Fine stride gives enough windows for a trend verdict across the cut.
+	m := NewIncremental(obj, IncrementalConfig{Stride: 16})
+	if v := feedAll(t, m, h); v != nil {
+		t.Fatal(v)
+	}
+	if v := m.Verdict(); v.Trend != TrendStabilized {
+		t.Fatalf("trend across crash cut = %s, want stabilized", v.Trend)
+	}
+}

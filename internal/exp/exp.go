@@ -134,6 +134,7 @@ func All() []Experiment {
 		{"E15", E15Progress},
 		{"E16", E16Hierarchy},
 		{"E17", E17Stress},
+		{"E18", E18Recovery},
 	}
 }
 

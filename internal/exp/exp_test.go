@@ -331,3 +331,31 @@ func TestE17StressShape(t *testing.T) {
 		t.Errorf("E17 junk not sim-diverged: %v", junk)
 	}
 }
+
+func TestE18RecoveryShape(t *testing.T) {
+	tab := runExp(t, "E18")
+	if len(tab.Rows) != 4 {
+		t.Fatalf("E18 rows = %d, want 4", len(tab.Rows))
+	}
+	// Every row stitches to ok with a stabilized trend — the serial driver
+	// makes each cell deterministic, so the counts are exact.
+	for i := range tab.Rows {
+		if cell(t, tab, i, 7) != "stabilized" || cell(t, tab, i, 8) != "ok" {
+			t.Errorf("E18 row %d not stabilized/ok: %v", i, tab.Rows[i])
+		}
+	}
+	// Crash rows recover exactly the injected cut; recovered commits keep
+	// their tickets (resumed-seq == recovered).
+	for i := 0; i < 3; i++ {
+		if cell(t, tab, i, 3) != "false" || cell(t, tab, i, 2) != cell(t, tab, i, 4) {
+			t.Errorf("E18 crash row %d: %v", i, tab.Rows[i])
+		}
+	}
+	if cell(t, tab, 0, 2) != "120" || cell(t, tab, 2, 2) != "300" {
+		t.Errorf("E18 recovered commits drifted: %v / %v", tab.Rows[0], tab.Rows[2])
+	}
+	// The torn row loses exactly the one commit the truncated frame held.
+	if cell(t, tab, 3, 3) != "true" || cell(t, tab, 3, 2) != "299" {
+		t.Errorf("E18 torn row: %v", tab.Rows[3])
+	}
+}

@@ -1,0 +1,247 @@
+package faults
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"stall:0@64+256",
+		"stall:0@64+256,stall:1@128+32",
+		"crash:5000",
+		"jitter:20",
+		"flip",
+		"flip:1234",
+		"trunc:17",
+		"stall:1@64+256,crash:5000,jitter:20,flip",
+	}
+	for _, text := range cases {
+		sp, err := Parse(text)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", text, err)
+		}
+		if got := sp.String(); got != text {
+			t.Errorf("Parse(%q).String() = %q", text, got)
+		}
+		// String output is canonical: reparsing it yields the same string.
+		again, err := Parse(sp.String())
+		if err != nil || again.String() != sp.String() {
+			t.Errorf("reparse %q: %v / %q", sp.String(), err, again.String())
+		}
+	}
+}
+
+func TestParseCanonicalOrder(t *testing.T) {
+	// Directives in any order render in canonical order: stalls (sorted by
+	// client, ticket), crash, jitter, corruption.
+	sp, err := Parse("flip:3,stall:2@8+4,crash:100,stall:0@16+2,jitter:5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "stall:0@16+2,stall:2@8+4,crash:100,jitter:5,flip:3"
+	if got := sp.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	for _, text := range []string{"", "none", "  none  "} {
+		sp, err := Parse(text)
+		if err != nil || sp != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", text, sp, err)
+		}
+	}
+	if !(*Spec)(nil).Zero() || !new(Spec).Zero() {
+		t.Error("nil/empty spec not Zero")
+	}
+	if got := (*Spec)(nil).String(); got != "none" {
+		t.Errorf("nil String() = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"stall",             // missing parameter
+		"stall:0@0+4",       // trigger ticket must be >= 1
+		"stall:0@4+0",       // duration must be >= 1
+		"stall:-1@4+4",      // client index must be >= 0
+		"stall:0@4",         // missing duration
+		"crash:0",           // K >= 1
+		"crash",             // missing parameter
+		"crash:1,crash:2",   // duplicate
+		"jitter:0",          // N >= 1
+		"jitter:2,jitter:3", // duplicate
+		"flip:-2",           // explicit offset must be >= 0
+		"trunc:0",           // N >= 1
+		"flip,trunc:4",      // one corruption directive only
+		"none,crash:5",      // none does not combine
+		"explode:9",         // unknown directive
+	}
+	for _, text := range bad {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q): want error", text)
+		}
+	}
+}
+
+func TestStallTarget(t *testing.T) {
+	sp := &Spec{Stalls: []Stall{
+		{Client: 1, Ticket: 10, Ops: 5},
+		{Client: 1, Ticket: 12, Ops: 20},
+		{Client: 2, Ticket: 100, Ops: 1},
+	}}
+	cases := []struct {
+		client int
+		now    uint64
+		want   uint64
+	}{
+		{1, 9, 0},   // before the window
+		{1, 10, 15}, // first stall active
+		{1, 12, 32}, // overlapping stalls: the longer target wins
+		{1, 14, 32}, // second stall still active after the first ends
+		{1, 32, 0},  // both windows passed
+		{2, 100, 101},
+		{2, 101, 0},
+		{0, 10, 0}, // unaffected client
+	}
+	for _, c := range cases {
+		if got := sp.StallTarget(c.client, c.now); got != c.want {
+			t.Errorf("StallTarget(%d, %d) = %d, want %d", c.client, c.now, got, c.want)
+		}
+	}
+	if (*Spec)(nil).StallTarget(0, 5) != 0 {
+		t.Error("nil spec stalls")
+	}
+}
+
+func TestJitterDeterministicAndBounded(t *testing.T) {
+	sp := &Spec{JitterMax: 20}
+	seen := map[int]bool{}
+	for c := 0; c < 4; c++ {
+		for i := 0; i < 200; i++ {
+			j := sp.Jitter(42, c, i)
+			if j < 0 || j > 20 {
+				t.Fatalf("Jitter(42,%d,%d) = %d out of [0,20]", c, i, j)
+			}
+			if j != sp.Jitter(42, c, i) {
+				t.Fatalf("Jitter(42,%d,%d) not deterministic", c, i)
+			}
+			seen[j] = true
+		}
+	}
+	if len(seen) < 15 {
+		t.Errorf("jitter draws cover only %d of 21 values", len(seen))
+	}
+	if sp.Jitter(42, 0, 0) == sp.Jitter(43, 0, 0) &&
+		sp.Jitter(42, 0, 1) == sp.Jitter(43, 0, 1) &&
+		sp.Jitter(42, 1, 0) == sp.Jitter(43, 1, 0) {
+		t.Error("jitter appears seed-independent")
+	}
+	if (&Spec{}).Jitter(42, 0, 0) != 0 || (*Spec)(nil).Jitter(42, 0, 0) != 0 {
+		t.Error("disabled jitter must draw 0")
+	}
+}
+
+func corpus(t *testing.T, n int) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "log.wal")
+	data := make([]byte, n)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCorruptFileTrunc(t *testing.T) {
+	path := corpus(t, 100)
+	sp := &Spec{Corrupt: &Corrupt{Kind: KindTrunc, Arg: 30}}
+	if err := sp.CorruptFile(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if len(data) != 70 {
+		t.Fatalf("trunc left %d bytes, want 70", len(data))
+	}
+	// Truncating past the start clamps to empty.
+	sp.Corrupt.Arg = 1000
+	if err := sp.CorruptFile(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if len(data) != 0 {
+		t.Fatalf("over-trunc left %d bytes", len(data))
+	}
+}
+
+func TestCorruptFileFlip(t *testing.T) {
+	path := corpus(t, 100)
+	orig, _ := os.ReadFile(path)
+
+	// Explicit offset.
+	sp := &Spec{Corrupt: &Corrupt{Kind: KindFlip, Arg: 50}}
+	if err := sp.CorruptFile(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	diff := 0
+	for i := range data {
+		if data[i] != orig[i] {
+			diff++
+			if i != 50 {
+				t.Errorf("flip landed at %d, want 50", i)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flip changed %d bytes, want 1", diff)
+	}
+
+	// Seed-derived offset: deterministic per seed and never in the magic.
+	for seed := int64(0); seed < 32; seed++ {
+		p1, p2 := corpus(t, 100), corpus(t, 100)
+		sp := &Spec{Corrupt: &Corrupt{Kind: KindFlip, Arg: -1}}
+		if err := sp.CorruptFile(p1, seed); err != nil {
+			t.Fatal(err)
+		}
+		if err := sp.CorruptFile(p2, seed); err != nil {
+			t.Fatal(err)
+		}
+		d1, _ := os.ReadFile(p1)
+		d2, _ := os.ReadFile(p2)
+		if string(d1) != string(d2) {
+			t.Fatalf("seed %d: flip not deterministic", seed)
+		}
+		for i := 0; i < 8; i++ {
+			if d1[i] != orig[i] {
+				t.Fatalf("seed %d: flip hit magic byte %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestCorruptFileNoop(t *testing.T) {
+	path := corpus(t, 16)
+	if err := (*Spec)(nil).CorruptFile(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := (&Spec{JitterMax: 3}).CorruptFile(path, 1); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if len(data) != 16 {
+		t.Fatal("no-corruption spec touched the file")
+	}
+}
+
+func TestGrammarEchoInErrors(t *testing.T) {
+	_, err := Parse("explode:9")
+	if err == nil || !strings.Contains(err.Error(), "stall:C@T+D") {
+		t.Errorf("unknown-directive error should echo the grammar, got %v", err)
+	}
+}

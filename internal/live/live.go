@@ -137,12 +137,24 @@ func (s *Serialized) Name() string { return s.name }
 // Spec implements Object.
 func (s *Serialized) Spec() spec.Object { return s.sp }
 
-// Fresh implements Object.
-func (s *Serialized) Fresh() Object {
+// TryFresh implements TryFresher: a pristine instance, with construction
+// failures (possible when recovery rebuilds objects under injected faults)
+// returned as errors instead of panics.
+func (s *Serialized) TryFresh() (Object, error) {
 	cp, err := newSerialized(s.name, s.sp, s.eventual, s.policy, s.seed, s.opts)
 	if err != nil {
-		// Construction succeeded once with identical parameters.
-		panic(fmt.Sprintf("live: Serialized.Fresh: %v", err))
+		return nil, fmt.Errorf("live: Serialized.TryFresh: %w", err)
+	}
+	return cp, nil
+}
+
+// Fresh implements Object. Construction succeeded once with identical
+// parameters, so a failure here is a programming error; error-aware
+// callers use TryFresh.
+func (s *Serialized) Fresh() Object {
+	cp, err := s.TryFresh()
+	if err != nil {
+		panic(err.Error())
 	}
 	return cp
 }

@@ -153,7 +153,7 @@ func TestMergerOrdersByKey(t *testing.T) {
 	s0.push(rec{pos: 3, resp: 2, op: op})      // commit c @3
 	s0.finish()
 	s1.finish()
-	m := newMerger("C", []*shard{s0, s1})
+	m := newMerger("C", 0, []*shard{s0, s1})
 	h := newHist(t)
 	if _, err := m.drain(h, nil); err != nil {
 		t.Fatal(err)
@@ -186,7 +186,7 @@ func TestMergerWatermarkStalls(t *testing.T) {
 	s0.finish()
 	// s1 has published nothing and is not done: nothing may merge (its
 	// first invocation could be stamped 0 and belong before everything).
-	m := newMerger("C", []*shard{s0, s1})
+	m := newMerger("C", 0, []*shard{s0, s1})
 	h := newHist(t)
 	n, err := m.drain(h, nil)
 	if err != nil {

@@ -71,8 +71,12 @@ func (s *shard) finish() { s.done.Store(true) }
 // a record that has not been published yet.
 type merger struct {
 	objName string
-	shards  []*shard
-	cursor  []int
+	// procBase offsets recorded proc ids: shard i's events are appended as
+	// proc procBase+i, so a continuation run's fresh clients never collide
+	// with the proc ids of a recovered history prefix.
+	procBase int
+	shards   []*shard
+	cursor   []int
 	// lastPos/lastInv track each shard's last consumed key (the watermark
 	// for drained shards). The initial (0,-1) watermark is below every real
 	// key, so nothing is merged until every client has published its first
@@ -85,15 +89,16 @@ type merger struct {
 	doneBuf []bool
 }
 
-func newMerger(objName string, shards []*shard) *merger {
+func newMerger(objName string, procBase int, shards []*shard) *merger {
 	m := &merger{
-		objName: objName,
-		shards:  shards,
-		cursor:  make([]int, len(shards)),
-		lastPos: make([]uint64, len(shards)),
-		lastInv: make([]int, len(shards)),
-		nBuf:    make([]int, len(shards)),
-		doneBuf: make([]bool, len(shards)),
+		objName:  objName,
+		procBase: procBase,
+		shards:   shards,
+		cursor:   make([]int, len(shards)),
+		lastPos:  make([]uint64, len(shards)),
+		lastInv:  make([]int, len(shards)),
+		nBuf:     make([]int, len(shards)),
+		doneBuf:  make([]bool, len(shards)),
 	}
 	for i := range m.lastInv {
 		m.lastInv[i] = -1 // (0,-1): below the smallest possible key
@@ -113,11 +118,13 @@ func keyLess(p1 uint64, k1, c1 int, p2 uint64, k2, c2 int) bool {
 }
 
 // drain merges every safely-ordered published record into h, invoking feed
-// (if non-nil) on each appended event. It returns the number of events
-// appended; call it repeatedly until the run completes. Shard progress is
-// snapshotted once per call (one atomic load per shard), which is sound —
-// records published mid-drain are merged by the next call.
-func (m *merger) drain(h *history.History, feed func(history.Event) error) (int, error) {
+// (if non-nil) on each appended event with its merge position (commit
+// ticket for responses, sequencer stamp for invocations — what a commit
+// sink persists). It returns the number of events appended; call it
+// repeatedly until the run completes. Shard progress is snapshotted once
+// per call (one atomic load per shard), which is sound — records published
+// mid-drain are merged by the next call.
+func (m *merger) drain(h *history.History, feed func(history.Event, uint64) error) (int, error) {
 	n, done := m.nBuf, m.doneBuf
 	for i, sh := range m.shards {
 		// done before n: a shard observed done has pushed everything, so
@@ -166,16 +173,16 @@ func (m *merger) drain(h *history.History, feed func(history.Event) error) (int,
 		m.lastPos[best], m.lastInv[best] = bp, bk
 		var err error
 		if r.invoke {
-			err = h.Invoke(best, m.objName, r.op)
+			err = h.Invoke(m.procBase+best, m.objName, r.op)
 		} else {
-			err = h.Respond(best, r.resp)
+			err = h.Respond(m.procBase+best, r.resp)
 		}
 		if err != nil {
 			return moved, fmt.Errorf("live: merge: %w", err)
 		}
 		if feed != nil {
 			e := h.Event(h.Len() - 1)
-			if err := feed(e); err != nil {
+			if err := feed(e, r.pos); err != nil {
 				return moved, err
 			}
 		}

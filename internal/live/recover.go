@@ -1,0 +1,90 @@
+package live
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+	"github.com/elin-go/elin/internal/wal"
+)
+
+// ResumeResult is a run rebuilt from its commit log: the object at its
+// recovered state, the ticket to continue from, and the recovered history
+// prefix a continuation run extends.
+type ResumeResult struct {
+	// Object is a fresh instance of the template replayed to the log's last
+	// commit. Pass it (plus NextSeq/History/ProcBase) to Run to continue.
+	Object Object
+	// NextSeq is the last committed ticket — Config.StartSeq for the
+	// continuation, so ticket numbering spans the crash without a gap.
+	NextSeq uint64
+	// History is the recovered merged history, including invocations that
+	// never committed (in-flight at the crash; they stay pending forever,
+	// which the t-lin checkers tolerate by construction).
+	History *history.History
+	// Committed counts the completed operations replayed into Object;
+	// Pending counts the in-flight invocations lost to the crash.
+	Committed int
+	Pending   int
+}
+
+// Resume replays a recovered commit log against a fresh instance of
+// template, rebuilding the object state and the merged history up to the
+// log's last durable commit. The template must be constructed with the
+// log header's parameters — same registry object, same Seed (response
+// choices of eventually linearizable objects are pure functions of the
+// original seed and the ticket), and a client count covering both the
+// crashed run's procs and any continuation clients.
+//
+// Every replayed response is checked against the recorded one: a mismatch
+// means the log and the object disagree on the commit-determinism contract
+// (wrong template parameters, or an object whose responses are not a
+// function of its commit order) and aborts the resume.
+func Resume(template Object, rec *wal.Recovered) (*ResumeResult, error) {
+	fresh, err := tryFresh(template)
+	if err != nil {
+		return nil, fmt.Errorf("live: resume: %w", err)
+	}
+	var seq atomic.Uint64
+	h := history.New()
+	h.Reserve(len(rec.Events))
+	pending := make(map[int]spec.Op)
+	committed := 0
+	for i, e := range rec.Events {
+		if e.Kind == history.KindInvoke {
+			if _, dup := pending[e.Proc]; dup {
+				return nil, fmt.Errorf("live: resume event %d: client %d invoked twice without a response", i, e.Proc)
+			}
+			pending[e.Proc] = e.Op
+			if err := h.Invoke(e.Proc, e.Obj, e.Op); err != nil {
+				return nil, fmt.Errorf("live: resume event %d: %w", i, err)
+			}
+			continue
+		}
+		op, ok := pending[e.Proc]
+		if !ok {
+			return nil, fmt.Errorf("live: resume event %d: response without invocation (client %d)", i, e.Proc)
+		}
+		delete(pending, e.Proc)
+		resp, ticket, err := fresh.Apply(e.Proc, op, &seq)
+		if err != nil {
+			return nil, fmt.Errorf("live: resume event %d: %w", i, err)
+		}
+		if resp != e.Resp || ticket != rec.Pos[i] {
+			return nil, fmt.Errorf("live: resume event %d: log says client %d %s -> %d at ticket %d, replay derives %d at ticket %d (wrong template, or object is not commit-deterministic)",
+				i, e.Proc, op, e.Resp, rec.Pos[i], resp, ticket)
+		}
+		if err := h.Respond(e.Proc, resp); err != nil {
+			return nil, fmt.Errorf("live: resume event %d: %w", i, err)
+		}
+		committed++
+	}
+	return &ResumeResult{
+		Object:    fresh,
+		NextSeq:   seq.Load(),
+		History:   h,
+		Committed: committed,
+		Pending:   len(pending),
+	}, nil
+}

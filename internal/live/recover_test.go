@@ -1,0 +1,374 @@
+package live
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/faults"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+	"github.com/elin-go/elin/internal/wal"
+)
+
+var _ CommitSink = (*wal.Log)(nil)
+
+func mustFaults(t *testing.T, text string) *faults.Spec {
+	t.Helper()
+	sp, err := faults.Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sp
+}
+
+// crashRecoverContinue runs the full pipeline once: serial run with a WAL
+// sink crashing at commit 60, recovery from the log, resume, and a serial
+// continuation with two fresh clients. It returns the stitched history and
+// the WAL bytes of the crashed run.
+func crashRecoverContinue(t *testing.T) (*history.History, []byte) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.wal")
+	hdr := wal.Header{Object: "atomic-fi", ObjName: "C", Procs: 2, Ops: 50, Seed: 7}
+	log, err := wal.Create(path, hdr, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Object:  NewAtomicFetchInc("C", 0),
+		Clients: 2,
+		Ops:     50,
+		Seed:    7,
+		Serial:  true,
+		Sink:    log,
+		Faults:  mustFaults(t, "crash:60"),
+		Monitor: check.IncrementalConfig{Stride: 32},
+	})
+	if err != nil {
+		t.Fatalf("crashed run: %v", err)
+	}
+	if !res.Crashed || res.CrashTicket != 60 {
+		t.Fatalf("Crashed=%v CrashTicket=%d, want crash at 60", res.Crashed, res.CrashTicket)
+	}
+	walBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec, err := wal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Torn {
+		t.Fatalf("clean crash cut reported torn at %d", rec.TornAt)
+	}
+	if got := rec.LastCommit(); got != 60 {
+		t.Fatalf("LastCommit = %d, want 60", got)
+	}
+	rr, err := Resume(NewAtomicFetchInc("C", 0), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.NextSeq != 60 || rr.Committed != 60 {
+		t.Fatalf("NextSeq=%d Committed=%d, want 60/60", rr.NextSeq, rr.Committed)
+	}
+
+	res2, err := Run(Config{
+		Object:   rr.Object,
+		Clients:  2,
+		Ops:      30,
+		Seed:     8,
+		Serial:   true,
+		StartSeq: rr.NextSeq,
+		ProcBase: hdr.Procs,
+		History:  rr.History,
+		Monitor:  check.IncrementalConfig{Stride: 32},
+	})
+	if err != nil {
+		t.Fatalf("continuation: %v", err)
+	}
+	if res2.Crashed || res2.Stopped {
+		t.Fatalf("continuation crashed/stopped: %+v", res2)
+	}
+	if res2.Ops != 60 {
+		t.Fatalf("continuation Ops = %d, want 60", res2.Ops)
+	}
+	return res2.History, walBytes
+}
+
+func TestCrashRecoverContinueSerialByteIdentical(t *testing.T) {
+	h1, w1 := crashRecoverContinue(t)
+	h2, w2 := crashRecoverContinue(t)
+	if string(w1) != string(w2) {
+		t.Fatal("WAL bytes differ across identical serial reruns")
+	}
+	f1 := h1.AppendFingerprint(nil)
+	f2 := h2.AppendFingerprint(nil)
+	if string(f1) != string(f2) {
+		t.Fatal("stitched histories differ across identical serial reruns")
+	}
+
+	// The stitched pre+post-crash history still t-stabilizes: every window
+	// of a correct counter is 0-linearizable and the trend classifies as
+	// stabilized.
+	obj := NewAtomicFetchInc("C", 0)
+	mon := check.NewIncremental(obj.Spec(), check.IncrementalConfig{Stride: 32})
+	for i := 0; i < h1.Len(); i++ {
+		v, err := mon.Feed(h1.Event(i))
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if v != nil {
+			t.Fatalf("stitched history violation: %v", v)
+		}
+	}
+	if v, err := mon.Finish(); err != nil || v != nil {
+		t.Fatalf("finish: %v / %v", err, v)
+	}
+	verdict := mon.Verdict()
+	if verdict.Trend != check.TrendStabilized {
+		t.Fatalf("stitched trend = %v (MinT %d), want stabilized", verdict.Trend, verdict.FinalMinT)
+	}
+}
+
+func TestCrashRecoverGoroutine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	log, err := wal.Create(path, wal.Header{Object: "atomic-fi", ObjName: "C", Procs: 4, Seed: 3}, wal.SyncPolicy(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Object:  NewAtomicFetchInc("C", 0),
+		Clients: 4,
+		Ops:     500,
+		Seed:    3,
+		Sink:    log,
+		Faults:  mustFaults(t, "crash:700"),
+		Monitor: check.IncrementalConfig{Stride: 128},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Crashed {
+		t.Fatal("run did not crash")
+	}
+	rec, err := wal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rec.LastCommit(); got != res.CrashTicket {
+		t.Fatalf("LastCommit = %d, CrashTicket = %d", got, res.CrashTicket)
+	}
+	rr, err := Resume(NewAtomicFetchInc("C", 0), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uint64(rr.Committed) != res.CrashTicket {
+		t.Fatalf("Committed = %d, want %d", rr.Committed, res.CrashTicket)
+	}
+}
+
+func TestCorruptTailRecoverLongestPrefix(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.wal")
+	log, err := wal.Create(path, wal.Header{Object: "atomic-fi", ObjName: "C", Procs: 2, Seed: 5}, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{
+		Object:    NewAtomicFetchInc("C", 0),
+		Clients:   2,
+		Ops:       40,
+		Seed:      5,
+		Serial:    true,
+		Sink:      log,
+		NoMonitor: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	clean, err := wal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the tail: recovery lands on the longest valid prefix and the
+	// prefix still verifies (replay reproduces it byte for byte).
+	if err := mustFaults(t, "trunc:7").CorruptFile(path, 5); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := wal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.Torn {
+		t.Fatal("truncated tail not reported torn")
+	}
+	if len(rec.Events) >= len(clean.Events) || len(rec.Events) == 0 {
+		t.Fatalf("recovered %d events of %d", len(rec.Events), len(clean.Events))
+	}
+	rr, err := Resume(NewAtomicFetchInc("C", 0), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := Verify(NewAtomicFetchInc("C", 0), rr.History)
+	if err != nil || !ok {
+		t.Fatalf("recovered prefix failed verification: ok=%v err=%v", ok, err)
+	}
+
+	// Same with a mid-file bit flip (seed-derived offset).
+	path2 := filepath.Join(t.TempDir(), "run2.wal")
+	log2, err := wal.Create(path2, wal.Header{Object: "atomic-fi", ObjName: "C", Procs: 2, Seed: 5}, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{
+		Object: NewAtomicFetchInc("C", 0), Clients: 2, Ops: 40, Seed: 5,
+		Serial: true, Sink: log2, NoMonitor: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := mustFaults(t, "flip").CorruptFile(path2, 5); err != nil {
+		t.Fatal(err)
+	}
+	rec2, err := wal.Recover(path2)
+	if err != nil {
+		// A flip inside the header frame is unrecoverable by design.
+		t.Logf("flip hit the header region: %v", err)
+		return
+	}
+	if len(rec2.Events) > len(clean.Events) {
+		t.Fatalf("flip recovery produced %d events of %d", len(rec2.Events), len(clean.Events))
+	}
+	if _, err := Resume(NewAtomicFetchInc("C", 0), rec2); err != nil {
+		t.Fatalf("resume after flip recovery: %v", err)
+	}
+}
+
+func TestStallJitterSerialDeterministic(t *testing.T) {
+	run := func() *history.History {
+		res, err := Run(Config{
+			Object:  NewAtomicFetchInc("C", 0),
+			Clients: 3,
+			Ops:     40,
+			Seed:    11,
+			Serial:  true,
+			Faults:  mustFaults(t, "stall:0@10+25,jitter:5"),
+			Monitor: check.IncrementalConfig{Stride: 64},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ops != 120 {
+			t.Fatalf("Ops = %d, want 120 (stall must not drop operations)", res.Ops)
+		}
+		return res.History
+	}
+	a, b := run(), run()
+	if string(a.AppendFingerprint(nil)) != string(b.AppendFingerprint(nil)) {
+		t.Fatal("faulted serial runs differ across reruns")
+	}
+}
+
+func TestAllStalledEscapeSerial(t *testing.T) {
+	// Every client stalled on a window nobody can move the ticket past:
+	// the driver must force progress deterministically, not livelock.
+	res, err := Run(Config{
+		Object:    NewAtomicFetchInc("C", 0),
+		Clients:   2,
+		Ops:       5,
+		Seed:      1,
+		Serial:    true,
+		Faults:    mustFaults(t, "stall:0@1+1000,stall:1@1+1000"),
+		NoMonitor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 10 {
+		t.Fatalf("Ops = %d, want 10", res.Ops)
+	}
+}
+
+func TestStallGoroutineCompletes(t *testing.T) {
+	res, err := Run(Config{
+		Object:    NewAtomicFetchInc("C", 0),
+		Clients:   2,
+		Ops:       200,
+		Seed:      2,
+		Faults:    mustFaults(t, "stall:0@20+50,stall:1@30+400"),
+		NoMonitor: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 400 {
+		t.Fatalf("Ops = %d, want 400", res.Ops)
+	}
+}
+
+// failingObject errors on every Apply — exercises client-error context.
+type failingObject struct{ AtomicFetchInc }
+
+func (f *failingObject) Apply(proc int, op spec.Op, seq *atomic.Uint64) (int64, uint64, error) {
+	return 0, 0, fmt.Errorf("synthetic fault")
+}
+
+func (f *failingObject) Fresh() Object { return f }
+
+func TestClientErrorContext(t *testing.T) {
+	_, err := Run(Config{
+		Object:    &failingObject{},
+		Clients:   2,
+		Ops:       3,
+		Seed:      1,
+		Serial:    true,
+		NoMonitor: true,
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !strings.Contains(err.Error(), "client 0 op 0 (ticket") {
+		t.Fatalf("error lacks client/op/ticket context: %v", err)
+	}
+}
+
+func TestJoinClientErrors(t *testing.T) {
+	err := joinClientErrors([]clientError{
+		{client: 2, err: fmt.Errorf("live: client 2 op 7 (ticket 31): boom")},
+		{client: 0, err: fmt.Errorf("live: client 0 op 3 (ticket 12): bang")},
+	})
+	if err == nil {
+		t.Fatal("want joined error")
+	}
+	msg := err.Error()
+	i0 := strings.Index(msg, "client 0")
+	i2 := strings.Index(msg, "client 2")
+	if i0 < 0 || i2 < 0 {
+		t.Fatalf("joined error drops a victim: %q", msg)
+	}
+	if i0 > i2 {
+		t.Fatalf("victims not sorted by client id: %q", msg)
+	}
+}
+
+func TestTryFresh(t *testing.T) {
+	s, err := NewSerialized("C", spec.NewObject(spec.FetchInc{}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := s.TryFresh()
+	if err != nil || cp == nil {
+		t.Fatalf("TryFresh: %v", err)
+	}
+	if cp == Object(s) {
+		t.Fatal("TryFresh returned the same instance")
+	}
+	// tryFresh falls back to Fresh for plain objects.
+	o, err := tryFresh(NewAtomicFetchInc("C", 0))
+	if err != nil || o == nil {
+		t.Fatalf("tryFresh fallback: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/faults"
 	"github.com/elin-go/elin/internal/history"
 	"github.com/elin-go/elin/internal/spec"
 )
@@ -71,14 +73,14 @@ type Config struct {
 	Ops int
 	// Gen generates each client's operations (default FetchIncGen).
 	Gen OpGen
-	// Seed pins the per-client RNG streams and the response choices of
-	// eventually linearizable objects.
+	// Seed pins the per-client RNG streams, the response choices of
+	// eventually linearizable objects, and every fault-plane draw.
 	Seed int64
 	// Rate, when positive, switches to open-loop mode: each client issues
 	// operations at Rate ops/second (scheduled at fixed intervals, with
 	// latency measured from the scheduled start, so queueing delay counts).
 	// Zero means closed loop: each client issues its next operation as soon
-	// as the previous one returns.
+	// as the previous one returns. Ignored under Serial.
 	Rate float64
 	// Monitor tunes the online windowed monitor.
 	Monitor check.IncrementalConfig
@@ -89,6 +91,34 @@ type Config struct {
 	// operations per client (default 1: every operation; raise it on
 	// multi-million-op runs to keep the timestamping off the hot path).
 	LatencySample int
+	// Faults is the injected fault plane (nil: a perfect machine). Every
+	// fault decision is a pure function of (Seed, commit ticket, client,
+	// op index) — see package faults.
+	Faults *faults.Spec
+	// Sink, when non-nil, receives every merged event with its merge
+	// position — the durable commit-log backend (wal.Log implements it).
+	// Run owns the sink and closes it before returning.
+	Sink CommitSink
+	// StartSeq initializes the commit sequencer. Continuation runs resume
+	// ticket numbering from a recovered log's last commit (Resume.NextSeq);
+	// fresh runs leave it zero.
+	StartSeq uint64
+	// ProcBase offsets client proc ids: client c records as proc
+	// ProcBase+c. Continuation runs set it to the crashed run's client
+	// count so the stitched history never reuses a proc id that may still
+	// have an operation pending from before the crash.
+	ProcBase int
+	// History, when non-nil, is a recovered history prefix the run extends
+	// in place: the monitor is primed with its events before any client
+	// starts, so window accounting spans the crash cut. The prefix is not
+	// re-appended to Sink (it is already durable in the log it came from).
+	History *history.History
+	// Serial switches to the deterministic driver: clients run round-robin
+	// on the calling goroutine, so for a fixed seed the merged history (and
+	// any WAL written through Sink) is byte-identical across reruns — the
+	// mode crash-recovery acceptance pins down. Fault semantics carry over
+	// deterministically; see runSerial.
+	Serial bool
 }
 
 func (c *Config) fill() error {
@@ -114,7 +144,9 @@ func (c *Config) fill() error {
 type Result struct {
 	// History is the merged history (ordered by commit ticket, invocations
 	// by sequencer stamp). On a violation stop it covers the run up to and
-	// including the offending window.
+	// including the offending window; on an injected crash, up to and
+	// including the crash commit. A continuation run's History includes the
+	// recovered prefix it was seeded with.
 	History *history.History
 	// Ops counts completed operations; ClientOps breaks them down per
 	// client.
@@ -136,20 +168,179 @@ type Result struct {
 	// Stopped reports that the monitor stopped the run early at a
 	// violation (client errors surface as Run's error instead).
 	Stopped bool
+	// Crashed reports that the injected crash-at-commit fault killed the
+	// run; CrashTicket is the commit ticket it died at. In-flight
+	// operations are lost — only History up to the crash commit and
+	// whatever Sink persisted survive.
+	Crashed     bool
+	CrashTicket uint64
+}
+
+// runEnv is the driver-independent state of one run: the commit sequencer,
+// the (possibly pre-seeded) history, the online monitor, the commit sink
+// and the crash bookkeeping. Both drivers funnel every merged event through
+// feed, which is where persistence, the injected crash and the monitor
+// observe the run in one place.
+type runEnv struct {
+	cfg       *Config
+	seq       atomic.Uint64
+	stop      atomic.Bool
+	h         *history.History
+	mon       *check.Incremental
+	violation *check.WindowViolation
+	crashed   bool
+	crashTick uint64
+	sinkOpen  bool
+}
+
+func newRunEnv(cfg *Config) (*runEnv, error) {
+	env := &runEnv{cfg: cfg, sinkOpen: cfg.Sink != nil}
+	env.seq.Store(cfg.StartSeq)
+	if !cfg.NoMonitor {
+		env.mon = check.NewIncremental(cfg.Object.Spec(), cfg.Monitor)
+	}
+	h := cfg.History
+	if h == nil {
+		h = history.New()
+	}
+	h.Reserve(h.Len() + 2*cfg.Clients*cfg.Ops)
+	env.h = h
+	// Prime the monitor with the recovered prefix so window accounting and
+	// commit-order state span the crash cut. A violation here means the
+	// recovered log itself fails to t-stabilize — surfaced before any new
+	// client runs.
+	if env.mon != nil {
+		for i := 0; i < h.Len(); i++ {
+			v, err := env.mon.Feed(h.Event(i))
+			if err != nil {
+				return nil, fmt.Errorf("live: priming monitor with recovered history: %w", err)
+			}
+			if v != nil {
+				return nil, fmt.Errorf("live: recovered history violates %d-linearizability in window [%d,%d)",
+					v.MaxT, v.Start, v.End)
+			}
+		}
+	}
+	return env, nil
+}
+
+// feed observes one merged event at its merge position: persist first (a
+// commit is durable before anything else sees it), then the injected crash
+// (the crash commit IS durable — what a real machine loses is everything
+// after its last synced frame, injected separately via WAL corruption),
+// then the online monitor.
+func (env *runEnv) feed(e history.Event, pos uint64) error {
+	if env.sinkOpen {
+		if err := env.cfg.Sink.Append(e, pos); err != nil {
+			return err
+		}
+	}
+	if f := env.cfg.Faults; f != nil && f.CrashAtCommit > 0 &&
+		e.Kind == history.KindRespond && pos >= f.CrashAtCommit {
+		env.crashed, env.crashTick = true, pos
+		env.stop.Store(true)
+		return errCrash
+	}
+	if env.mon != nil {
+		v, err := env.mon.Feed(e)
+		if err != nil {
+			return err
+		}
+		if v != nil {
+			env.violation = v
+			env.stop.Store(true)
+			return errStopMerge
+		}
+	}
+	return nil
+}
+
+func (env *runEnv) closeSink() error {
+	if !env.sinkOpen {
+		return nil
+	}
+	env.sinkOpen = false
+	return env.cfg.Sink.Close()
+}
+
+// finish runs the monitor's final window (skipped after a crash — the
+// partial window died with the process) and assembles the Result.
+func (env *runEnv) finish(clientOps []int, elapsed time.Duration, lats [][]int64) (*Result, error) {
+	if env.mon != nil && env.violation == nil && !env.crashed {
+		v, err := env.mon.Finish()
+		if err != nil {
+			return nil, err
+		}
+		env.violation = v
+	}
+	if err := env.closeSink(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		History:     env.h,
+		ClientOps:   clientOps,
+		Elapsed:     elapsed,
+		Violation:   env.violation,
+		Stopped:     env.violation != nil,
+		Crashed:     env.crashed,
+		CrashTicket: env.crashTick,
+	}
+	for _, n := range clientOps {
+		res.Ops += n
+	}
+	if elapsed > 0 {
+		res.Throughput = float64(res.Ops) / elapsed.Seconds()
+	}
+	if env.mon != nil {
+		res.Verdict = env.mon.Verdict()
+	}
+	res.LatP50, res.LatP95, res.LatP99, res.LatMax = percentiles(lats)
+	return res, nil
+}
+
+// clientError carries the victim's id so aggregated diagnostics name it.
+type clientError struct {
+	client int
+	err    error
+}
+
+// joinClientErrors aggregates every client's failure (sorted by client id)
+// instead of first-error-wins, so a multi-client incident names all
+// victims.
+func joinClientErrors(cerrs []clientError) error {
+	if len(cerrs) == 0 {
+		return nil
+	}
+	sort.SliceStable(cerrs, func(i, j int) bool { return cerrs[i].client < cerrs[j].client })
+	errs := make([]error, len(cerrs))
+	for i, ce := range cerrs {
+		errs[i] = ce.err
+	}
+	return errors.Join(errs...)
 }
 
 // Run executes one live stress run: Clients goroutines apply Ops operations
 // each to the shared Object, per-client shards record invocation stamps and
 // commit tickets, and the merging loop feeds the growing history to the
-// online monitor. A monitor violation stops the clients and returns with
-// the offending window; see Shrink for what to do with it.
+// commit sink and the online monitor. A monitor violation stops the clients
+// and returns with the offending window (see Shrink for what to do with
+// it); an injected crash stops the run with Result.Crashed set — recover
+// the WAL with wal.Recover + Resume to continue.
 func Run(cfg Config) (*Result, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
 	}
-	var seq atomic.Uint64
-	var stop atomic.Bool
-	var firstErr atomic.Value // error
+	env, err := newRunEnv(&cfg)
+	if err != nil {
+		if cfg.Sink != nil {
+			cfg.Sink.Close()
+		}
+		return nil, err
+	}
+	if cfg.Serial {
+		return runSerial(&cfg, env)
+	}
+	defer env.closeSink()
 
 	shards := make([]*shard, cfg.Clients)
 	lats := make([][]int64, cfg.Clients)
@@ -159,14 +350,23 @@ func Run(cfg Config) (*Result, error) {
 		lats[c] = make([]int64, 0, cfg.Ops/cfg.LatencySample+1)
 	}
 
-	fail := func(err error) {
+	var errMu sync.Mutex
+	var cerrs []clientError
+	fail := func(client int, err error) {
 		if err == nil {
 			return
 		}
-		if firstErr.CompareAndSwap(nil, err) {
-			stop.Store(true)
-		}
+		errMu.Lock()
+		cerrs = append(cerrs, clientError{client, err})
+		errMu.Unlock()
+		env.stop.Store(true)
 	}
+	// active/stalled let a stalled client detect that nobody is left to
+	// move the commit ticket past its window: when every still-running
+	// client is stalled (or it is the last one), waiting would deadlock, so
+	// the stall expires.
+	var active, stalled atomic.Int64
+	active.Store(int64(cfg.Clients))
 
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -174,16 +374,34 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			defer active.Add(-1)
 			defer shards[c].finish()
 			r := rand.New(rand.NewSource(cfg.Seed ^ int64(c+1)*0x5DEECE66D))
 			sh := shards[c]
+			proc := cfg.ProcBase + c
 			var interval time.Duration
 			if cfg.Rate > 0 {
 				interval = time.Duration(float64(time.Second) / cfg.Rate)
 			}
 			for i := 0; i < cfg.Ops; i++ {
-				if stop.Load() {
+				if env.stop.Load() {
 					return
+				}
+				if f := cfg.Faults; f != nil {
+					if j := f.Jitter(cfg.Seed, c, i); j > 0 {
+						time.Sleep(time.Duration(j) * time.Microsecond)
+					}
+					if target := f.StallTarget(c, env.seq.Load()); target > 0 {
+						stalled.Add(1)
+						for env.seq.Load() < target && !env.stop.Load() &&
+							stalled.Load() < active.Load() {
+							time.Sleep(10 * time.Microsecond)
+						}
+						stalled.Add(-1)
+						if env.stop.Load() {
+							return
+						}
+					}
 				}
 				op := cfg.Gen(c, i, r)
 				// Timestamps stay off the hot path: closed-loop ops take one
@@ -199,17 +417,17 @@ func Run(cfg Config) (*Result, error) {
 				} else if sample {
 					t0 = time.Now()
 				}
-				if !sh.push(rec{pos: seq.Load(), invoke: true, op: op}) {
-					fail(fmt.Errorf("live: client %d shard overflow", c))
+				if !sh.push(rec{pos: env.seq.Load(), invoke: true, op: op}) {
+					fail(c, fmt.Errorf("live: client %d shard overflow", c))
 					return
 				}
-				resp, ticket, err := cfg.Object.Apply(c, op, &seq)
+				resp, ticket, err := cfg.Object.Apply(proc, op, &env.seq)
 				if err != nil {
-					fail(fmt.Errorf("live: client %d op %d: %w", c, i, err))
+					fail(c, fmt.Errorf("live: client %d op %d (ticket %d): %w", c, i, env.seq.Load(), err))
 					return
 				}
 				if !sh.push(rec{pos: ticket, resp: resp, op: op}) {
-					fail(fmt.Errorf("live: client %d shard overflow", c))
+					fail(c, fmt.Errorf("live: client %d shard overflow", c))
 					return
 				}
 				clientOps[c]++
@@ -227,40 +445,15 @@ func Run(cfg Config) (*Result, error) {
 	}()
 
 	// Merge-and-monitor loop (runs on this goroutine).
-	var mon *check.Incremental
-	if !cfg.NoMonitor {
-		mon = check.NewIncremental(cfg.Object.Spec(), cfg.Monitor)
-	}
-	h := history.New()
-	h.Reserve(2 * cfg.Clients * cfg.Ops)
-	m := newMerger(cfg.Object.Name(), shards)
-	var violation *check.WindowViolation
-	feed := func(e history.Event) error {
-		if mon == nil {
-			return nil
-		}
-		v, err := mon.Feed(e)
-		if err != nil {
-			return err
-		}
-		if v != nil {
-			violation = v
-			stop.Store(true)
-			return errStopMerge
-		}
-		return nil
-	}
+	m := newMerger(cfg.Object.Name(), cfg.ProcBase, shards)
 	done := false
 	for {
-		if _, err := m.drain(h, feed); err != nil && err != errStopMerge {
-			stop.Store(true)
+		if _, err := m.drain(env.h, env.feed); err != nil && err != errStopMerge && err != errCrash {
+			env.stop.Store(true)
 			<-clientsDone
 			return nil, err
 		}
-		if violation != nil {
-			break
-		}
-		if done {
+		if env.violation != nil || env.crashed || done {
 			break
 		}
 		select {
@@ -273,39 +466,141 @@ func Run(cfg Config) (*Result, error) {
 	}
 	<-clientsDone
 	elapsed := time.Since(start)
-	if err, _ := firstErr.Load().(error); err != nil {
+	if err := joinClientErrors(cerrs); err != nil {
 		return nil, err
 	}
-	if mon != nil && violation == nil {
-		v, err := mon.Finish()
-		if err != nil {
-			return nil, err
-		}
-		violation = v
-	}
-
-	res := &Result{
-		History:   h,
-		ClientOps: clientOps,
-		Elapsed:   elapsed,
-		Violation: violation,
-		Stopped:   violation != nil,
-	}
-	for _, n := range clientOps {
-		res.Ops += n
-	}
-	if elapsed > 0 {
-		res.Throughput = float64(res.Ops) / elapsed.Seconds()
-	}
-	if mon != nil {
-		res.Verdict = mon.Verdict()
-	}
-	res.LatP50, res.LatP95, res.LatP99, res.LatMax = percentiles(lats)
-	return res, nil
+	return env.finish(clientOps, elapsed, lats)
 }
 
-// errStopMerge aborts the merge loop when the monitor flags a violation.
-var errStopMerge = fmt.Errorf("live: stop merge")
+// runSerial drives the clients round-robin on the calling goroutine. With
+// no goroutine races left, a fixed seed determines the merged history —
+// and any WAL written through the sink — byte for byte across reruns,
+// which is the mode crash-recovery acceptance pins down. Fault semantics
+// carry over deterministically: jitter defers a client's turn by a pure
+// (seed, client, op) draw capped at 8 turns, a stalled client skips its
+// turns while the commit ticket is inside the window (the lowest-indexed
+// unfinished client is forced onward when everyone left is stalled), and
+// crash-at-K stops the run exactly at commit K. Rate is ignored —
+// open-loop pacing is meaningless without concurrency.
+func runSerial(cfg *Config, env *runEnv) (*Result, error) {
+	defer env.closeSink()
+
+	lats := make([][]int64, cfg.Clients)
+	clientOps := make([]int, cfg.Clients)
+	rngs := make([]*rand.Rand, cfg.Clients)
+	for c := range rngs {
+		rngs[c] = rand.New(rand.NewSource(cfg.Seed ^ int64(c+1)*0x5DEECE66D))
+		lats[c] = make([]int64, 0, cfg.Ops/cfg.LatencySample+1)
+	}
+	next := make([]int, cfg.Clients)   // per-client next op index
+	wait := make([]int, cfg.Clients)   // jitter turns left before the next op
+	armed := make([]bool, cfg.Clients) // jitter drawn for the pending op
+	objName := cfg.Object.Name()
+	start := time.Now()
+	remaining := cfg.Clients * cfg.Ops
+	forced := -1
+	var runErr error
+
+outer:
+	for remaining > 0 {
+		progress := false
+		for c := 0; c < cfg.Clients; c++ {
+			i := next[c]
+			if i >= cfg.Ops {
+				continue
+			}
+			if wait[c] > 0 {
+				wait[c]--
+				progress = true
+				continue
+			}
+			if f := cfg.Faults; f != nil {
+				if !armed[c] {
+					armed[c] = true
+					if j := f.Jitter(cfg.Seed, c, i); j > 0 {
+						wait[c] = min(j, 8)
+						progress = true
+						continue
+					}
+				}
+				if c != forced {
+					if target := f.StallTarget(c, env.seq.Load()); target > 0 {
+						continue
+					}
+				}
+			}
+			forced = -1
+			op := cfg.Gen(c, i, rngs[c])
+			sample := i%cfg.LatencySample == 0
+			var t0 time.Time
+			if sample {
+				t0 = time.Now()
+			}
+			proc := cfg.ProcBase + c
+			stamp := env.seq.Load()
+			if err := env.h.Invoke(proc, objName, op); err != nil {
+				runErr = fmt.Errorf("live: serial merge: %w", err)
+				break outer
+			}
+			if err := env.feed(env.h.Event(env.h.Len()-1), stamp); err != nil {
+				if err != errStopMerge && err != errCrash {
+					runErr = err
+				}
+				break outer
+			}
+			resp, ticket, err := cfg.Object.Apply(proc, op, &env.seq)
+			if err != nil {
+				runErr = fmt.Errorf("live: client %d op %d (ticket %d): %w", c, i, env.seq.Load(), err)
+				break outer
+			}
+			if err := env.h.Respond(proc, resp); err != nil {
+				runErr = fmt.Errorf("live: serial merge: %w", err)
+				break outer
+			}
+			if err := env.feed(env.h.Event(env.h.Len()-1), ticket); err != nil {
+				if err != errStopMerge && err != errCrash {
+					runErr = err
+				}
+				break outer
+			}
+			next[c] = i + 1
+			armed[c] = false
+			remaining--
+			clientOps[c]++
+			if sample {
+				lats[c] = append(lats[c], int64(time.Since(t0)))
+			}
+			progress = true
+		}
+		if !progress {
+			// Every unfinished client is stalled; expire the earliest stall
+			// deterministically (mirrors the goroutine driver's all-stalled
+			// escape) so the run cannot livelock.
+			forced = -1
+			for c := range next {
+				if next[c] < cfg.Ops {
+					forced = c
+					break
+				}
+			}
+			if forced < 0 {
+				break
+			}
+		}
+	}
+	elapsed := time.Since(start)
+	if runErr != nil {
+		return nil, runErr
+	}
+	return env.finish(clientOps, elapsed, lats)
+}
+
+// errStopMerge aborts the merge loop when the monitor flags a violation;
+// errCrash aborts it at the injected crash commit.
+var (
+	errStopMerge = fmt.Errorf("live: stop merge")
+	errCrash     = fmt.Errorf("live: injected crash")
+)
 
 // percentiles merges the sampled latencies and returns p50/p95/p99/max.
 func percentiles(lats [][]int64) (p50, p95, p99, max time.Duration) {
@@ -331,9 +626,14 @@ func percentiles(lats [][]int64) (p50, p95, p99, max time.Duration) {
 // of the package: seed plus recorded commit order determine the run. A
 // mismatch means the object is not a deterministic function of its commit
 // order (state outside the linearization discipline), reported as an error
-// by Verify.
+// by Verify. Fault injection never breaks the contract: stalls and jitter
+// only reshape the commit order the history already records, and a crash
+// only truncates it.
 func Replay(obj Object, h *history.History) (*history.History, error) {
-	fresh := obj.Fresh()
+	fresh, err := tryFresh(obj)
+	if err != nil {
+		return nil, err
+	}
 	var seq atomic.Uint64
 	out := history.New()
 	out.Reserve(h.Len())

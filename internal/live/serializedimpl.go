@@ -84,12 +84,24 @@ func (s *SerializedImpl) Name() string { return s.impl.Name() }
 // Spec implements Object.
 func (s *SerializedImpl) Spec() spec.Object { return s.impl.Spec() }
 
-// Fresh implements Object.
-func (s *SerializedImpl) Fresh() Object {
+// TryFresh implements TryFresher: a pristine instance, with construction
+// failures (possible when recovery rebuilds objects under injected faults)
+// returned as errors instead of panics.
+func (s *SerializedImpl) TryFresh() (Object, error) {
 	cp, err := NewSerializedImpl(s.impl, s.clients, s.policies, s.seed, s.opts)
 	if err != nil {
-		// Construction succeeded once with identical parameters.
-		panic(fmt.Sprintf("live: SerializedImpl.Fresh: %v", err))
+		return nil, fmt.Errorf("live: SerializedImpl.TryFresh: %w", err)
+	}
+	return cp, nil
+}
+
+// Fresh implements Object. Construction succeeded once with identical
+// parameters, so a failure here is a programming error; error-aware
+// callers use TryFresh.
+func (s *SerializedImpl) Fresh() Object {
+	cp, err := s.TryFresh()
+	if err != nil {
+		panic(err.Error())
 	}
 	return cp
 }

@@ -1,0 +1,40 @@
+package live
+
+import "github.com/elin-go/elin/internal/history"
+
+// CommitSink receives the run's merged event stream as it is established —
+// the storage-agnostic seam between the live runtime's commit/sequencing
+// path and its persistence backend. The in-memory path is a nil sink (no
+// calls, zero hot-path cost); wal.Log implements the interface directly
+// and turns the stream into a durable commit log.
+//
+// Append observes one merged event with its merge position: the commit
+// ticket for responses, the sequencer stamp for invocations. Events arrive
+// in merge order (the canonical history order), from the single merging
+// goroutine — implementations need no locking against the runtime. Run
+// owns the sink it is given: it closes the sink before returning, both on
+// normal completion and at an injected crash (the crash cut flushes, so a
+// simulated crash loses in-flight operations, not buffered frames; torn
+// tails are injected separately via faults.Spec.CorruptFile).
+type CommitSink interface {
+	Append(e history.Event, pos uint64) error
+	Close() error
+}
+
+// TryFresher is the non-panicking variant of Object.Fresh: objects whose
+// construction can fail (the Serialized wrappers rebuild base objects)
+// implement it so that a failure during recovery surfaces as a verdict
+// instead of a crash. tryFresh is the runtime's accessor; plain objects
+// whose Fresh cannot fail need not implement it.
+type TryFresher interface {
+	TryFresh() (Object, error)
+}
+
+// tryFresh returns a pristine instance of obj, via TryFresh when the
+// object implements it and Fresh otherwise.
+func tryFresh(obj Object) (Object, error) {
+	if tf, ok := obj.(TryFresher); ok {
+		return tf.TryFresh()
+	}
+	return obj.Fresh(), nil
+}

@@ -17,6 +17,9 @@ func (Explore) Name() string { return "explore" }
 // Run implements Engine.
 func (Explore) Run(s Scenario) (*Report, error) {
 	s = s.withDefaults()
+	if err := s.rejectLiveOnly("explore"); err != nil {
+		return nil, err
+	}
 	if s.LiveValue != nil && s.ImplValue == nil && s.Impl == "" {
 		return nil, fmt.Errorf("scenario: the explore engine needs an implementation (Impl or ImplValue), not a live object")
 	}

@@ -9,6 +9,7 @@ import (
 	"github.com/elin-go/elin/internal/live"
 	"github.com/elin-go/elin/internal/registry"
 	"github.com/elin-go/elin/internal/spec"
+	"github.com/elin-go/elin/internal/wal"
 )
 
 // Live is the real-concurrency engine: Procs goroutine clients hammer one
@@ -81,6 +82,10 @@ func (Live) Run(s Scenario) (*Report, error) {
 			return nil, err
 		}
 	}
+	fspec, err := s.resolveFaults()
+	if err != nil {
+		return nil, err
+	}
 	cfg := live.Config{
 		Object:        obj,
 		Clients:       s.Procs,
@@ -91,11 +96,38 @@ func (Live) Run(s Scenario) (*Report, error) {
 		Monitor:       check.IncrementalConfig{Stride: stride, MaxT: s.Tolerance, Opts: s.Check},
 		NoMonitor:     s.NoMonitor,
 		LatencySample: s.LatencySample,
+		Faults:        fspec,
+		Serial:        s.Serial,
 	}
 	rep := &Report{Schema: Schema, Engine: "live", Scenario: s.info("live")}
 
 	if s.FuzzRuns > 0 {
+		if s.WAL != "" || !fspec.Zero() || s.Serial {
+			return nil, fmt.Errorf("scenario: fuzz campaigns do not compose with faults, WAL logging or the serial driver")
+		}
 		return runFuzz(rep, cfg, s)
+	}
+	if s.WAL != "" {
+		pol, err := wal.ParseSyncPolicy(s.WALSync)
+		if err != nil {
+			return nil, err
+		}
+		log, err := wal.Create(s.WAL, wal.Header{
+			Object:    s.implName(),
+			ObjName:   obj.Name(),
+			Procs:     s.Procs,
+			Ops:       s.Ops,
+			Workload:  orDefault(s.Workload, DefaultWorkload),
+			Policy:    orDefault(s.Policy, DefaultPolicy),
+			Seed:      s.Seed,
+			Tolerance: s.Tolerance,
+		}, pol)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Sink = log // Run owns the sink and closes it on every path
+	} else if s.WALSync != "" {
+		return nil, fmt.Errorf("scenario: WALSync %q set without a WAL path", s.WALSync)
 	}
 
 	res, err := live.Run(cfg)
@@ -127,10 +159,18 @@ func (Live) Run(s Scenario) (*Report, error) {
 		return rep, nil
 	}
 	rep.Verdict = VerdictOK
-	if s.NoMonitor {
+	switch {
+	case res.Crashed:
+		rep.Detail = fmt.Sprintf("crashed at commit %d (injected fault); %d ops merged before the cut", res.CrashTicket, res.Ops)
+	case s.NoMonitor:
 		rep.Detail = "run completed (monitoring disabled)"
-	} else {
+	default:
 		rep.Detail = "no monitor window exceeded tolerance"
+	}
+	if res.Crashed {
+		// The history ends mid-flight: replay verification applies to the
+		// recovered continuation (scenario.Recover), not the cut.
+		return rep, nil
 	}
 	if !s.NoVerify {
 		same, err := live.Verify(obj, res.History)

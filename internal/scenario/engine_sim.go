@@ -22,6 +22,9 @@ func (Sim) Name() string { return "sim" }
 // Run implements Engine.
 func (Sim) Run(s Scenario) (*Report, error) {
 	s = s.withDefaults()
+	if err := s.rejectLiveOnly("sim"); err != nil {
+		return nil, err
+	}
 	impl, err := s.resolveImpl()
 	if err != nil {
 		return nil, err

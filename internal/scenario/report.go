@@ -43,6 +43,10 @@ type ScenarioInfo struct {
 	VerifyDepth int    `json:"verify_depth,omitempty"`
 	MaxSteps    int    `json:"max_steps,omitempty"`
 	Workers     int    `json:"workers,omitempty"`
+	// Faults is the canonical fault-injection spec of a Live run ("" when
+	// nothing is injected); Serial reports the deterministic serial driver.
+	Faults string `json:"faults,omitempty"`
+	Serial bool   `json:"serial,omitempty"`
 }
 
 // Checks reports the after-the-fact decision procedures an engine ran on
@@ -156,6 +160,30 @@ type PerfInfo struct {
 	Gomaxprocs int `json:"gomaxprocs,omitempty"`
 }
 
+// RecoveryInfo describes a crash-recovery pipeline: what a commit log
+// yielded, how the replay resumed, and how far the continuation ran.
+type RecoveryInfo struct {
+	// Frames counts the intact event frames decoded from the log; Torn
+	// reports a tail cut mid-frame (TornAt: the byte offset of the first
+	// bad frame — everything before it recovered).
+	Frames int   `json:"frames"`
+	Torn   bool  `json:"torn,omitempty"`
+	TornAt int64 `json:"torn_at,omitempty"`
+	// RecoveredEvents/RecoveredCommits describe the replayed prefix:
+	// history events recovered, completed operations replayed into the
+	// object. PendingOps counts invocations lost in flight at the crash.
+	RecoveredEvents  int `json:"recovered_events"`
+	RecoveredCommits int `json:"recovered_commits"`
+	PendingOps       int `json:"pending_ops,omitempty"`
+	// ResumedSeq is the commit ticket the continuation started from.
+	ResumedSeq uint64 `json:"resumed_seq"`
+	// ContinuedOps counts the continuation run's completed operations;
+	// StitchedEvents is the total stitched history length (recovered
+	// prefix plus continuation).
+	ContinuedOps   int `json:"continued_ops"`
+	StitchedEvents int `json:"stitched_events"`
+}
+
 // FuzzInfo summarizes a Live fuzz campaign.
 type FuzzInfo struct {
 	Runs     int   `json:"runs"`
@@ -182,6 +210,9 @@ type Report struct {
 	Witness *WitnessInfo `json:"witness,omitempty"`
 	Perf    *PerfInfo    `json:"perf,omitempty"`
 	Fuzz    *FuzzInfo    `json:"fuzz,omitempty"`
+	// Recovery is present on reports of the crash-recovery pipeline
+	// (scenario.Recover): log recovery, replay, continuation.
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 
 	// history is the recorded history of the engines that keep one (Sim,
 	// Live). Unexported: it never enters the JSON encoding.
@@ -210,6 +241,7 @@ func (r *Report) Canonical() *Report {
 	}
 	cp.Stable = copyPtr(r.Stable)
 	cp.Fuzz = copyPtr(r.Fuzz)
+	cp.Recovery = copyPtr(r.Recovery)
 	if r.Trend != nil {
 		trend := *r.Trend
 		trend.Samples = append([]TrendSample(nil), r.Trend.Samples...)
@@ -308,6 +340,18 @@ func (r *Report) Render(w io.Writer) error {
 			}
 			fmt.Fprintln(w)
 		}
+	}
+	if rc := r.Recovery; rc != nil {
+		fmt.Fprintf(w, "recovery: frames=%d", rc.Frames)
+		if rc.Torn {
+			fmt.Fprintf(w, " torn@%d", rc.TornAt)
+		}
+		fmt.Fprintf(w, " events=%d commits=%d", rc.RecoveredEvents, rc.RecoveredCommits)
+		if rc.PendingOps > 0 {
+			fmt.Fprintf(w, " pending=%d", rc.PendingOps)
+		}
+		fmt.Fprintf(w, " resumed-seq=%d continued-ops=%d stitched-events=%d\n",
+			rc.ResumedSeq, rc.ContinuedOps, rc.StitchedEvents)
 	}
 	if f := r.Fuzz; f != nil {
 		fmt.Fprintf(w, "fuzz: runs=%d total-ops=%d found=%v", f.Runs, f.TotalOps, f.Found)

@@ -26,6 +26,7 @@ import (
 
 	"github.com/elin-go/elin/internal/base"
 	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/faults"
 	"github.com/elin-go/elin/internal/live"
 	"github.com/elin-go/elin/internal/machine"
 	"github.com/elin-go/elin/internal/registry"
@@ -156,6 +157,26 @@ type Scenario struct {
 	// of the Sim engine: the run executes and records only (history
 	// export, raw timing). The verdict is always ok.
 	NoCheck bool
+	// Faults names a fault-injection spec for the Live engine: a registry
+	// preset ("chaos", "stall-one", ...) or the faults grammar directly
+	// ("stall:0@64+256,crash:5000,jitter:20,flip"). Empty or "none" injects
+	// nothing. The Explore and Sim engines reject faulted scenarios: their
+	// regimes already quantify over (or deterministically pick) schedules,
+	// so wall-clock fault injection is meaningless there.
+	Faults string
+	// WAL, when non-empty, is a filesystem path the Live engine writes a
+	// durable commit log to (package wal), one CRC-framed record per merged
+	// history event in commit order.
+	WAL string
+	// WALSync names the WAL durability policy: "always", "never" (default),
+	// or "interval:N" (fsync every N appends).
+	WALSync string
+	// Serial switches the Live engine to the deterministic serial driver:
+	// clients take round-robin turns on one goroutine, so the merged
+	// history — and any WAL written from it — is byte-identical across
+	// reruns of the same configuration. Faults retain their semantics
+	// (stalls skip turns, jitter defers them, crashes cut the run).
+	Serial bool
 	// FuzzRuns, when positive, turns the Live engine into a fuzz campaign
 	// over FuzzRuns consecutive seeds.
 	FuzzRuns int
@@ -299,8 +320,50 @@ func (s Scenario) info(engine string) ScenarioInfo {
 		inf.Scheduler = orDefault(s.Scheduler, "rr")
 		inf.Chooser = orDefault(s.Chooser, "true")
 		inf.MaxSteps = s.Budget.MaxSteps
+	case "live":
+		inf.Faults = s.faultsName()
+		inf.Serial = s.Serial
 	}
 	return inf
+}
+
+// resolveFaults resolves the fault spec: a registry preset name or the
+// faults grammar. nil means no injection.
+func (s Scenario) resolveFaults() (*faults.Spec, error) {
+	return registry.Faults(s.Faults)
+}
+
+// rejectLiveOnly errors when a scenario carries live-only features into
+// another engine. Explore quantifies over every schedule and Sim picks one
+// deterministically, so wall-clock fault injection, commit logging and the
+// serial driver have no meaning there — silently ignoring them would make
+// a faulted campaign axis lie about what its explore/sim cells ran.
+func (s Scenario) rejectLiveOnly(engine string) error {
+	switch {
+	case s.Faults != "" && s.Faults != "none":
+		return fmt.Errorf("scenario: faults %q are a live-engine feature; engine %q rejects them (exclude faulted cells from %s sweeps)", s.Faults, engine, engine)
+	case s.WAL != "" || s.WALSync != "":
+		return fmt.Errorf("scenario: WAL commit logging is a live-engine feature; engine %q rejects it", engine)
+	case s.Serial:
+		return fmt.Errorf("scenario: the serial driver is a live-engine feature; engine %q rejects it", engine)
+	}
+	return nil
+}
+
+// faultsName returns the canonical spelling of the fault spec for reports
+// and cell identities ("" when no faults are injected). Presets and
+// differently-ordered grammar spellings of the same spec canonicalize to
+// the same name, so they occupy the same campaign grid cell. Unresolvable
+// specs keep their raw spelling; execution rejects them with a real error.
+func (s Scenario) faultsName() string {
+	sp, err := s.resolveFaults()
+	if err != nil {
+		return s.Faults
+	}
+	if sp.Zero() {
+		return ""
+	}
+	return sp.String()
 }
 
 // Info returns the resolved scenario echo a report for the named engine
@@ -319,7 +382,8 @@ func (s Scenario) Info(engine string) ScenarioInfo {
 // campaign grid on the named engine: the resolved grid coordinates
 // (engine, impl, workload, policy, procs, ops, tolerance, seed) plus the
 // engine-relevant resolved names (analysis for explore, scheduler and
-// chooser for sim). Defaults are filled in first, so Workload "" and
+// chooser for sim, the canonical fault spec for live when one is
+// injected). Defaults are filled in first, so Workload "" and
 // "default" — or Engine "" and "sim" — name the same cell. Two scenarios
 // with equal CellIDs on the same engine occupy the same grid point, which
 // is what campaign baseline diffing matches on across runs and commits.
@@ -331,6 +395,9 @@ func (s Scenario) CellID(engine string) string {
 	inf := s.withDefaults().info(canon)
 	var b strings.Builder
 	fmt.Fprintf(&b, "engine=%s impl=%s workload=%s policy=%s", canon, inf.Impl, inf.Workload, inf.Policy)
+	if inf.Faults != "" {
+		fmt.Fprintf(&b, " faults=%s", inf.Faults)
+	}
 	if inf.Analysis != "" {
 		fmt.Fprintf(&b, " analysis=%s", inf.Analysis)
 	}

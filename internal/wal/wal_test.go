@@ -1,0 +1,279 @@
+package wal
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func testHeader() Header {
+	return Header{
+		Object: "atomic-fi", ObjName: "C", Procs: 2, Ops: 4,
+		Workload: "uniform:inc", Policy: "immediate", Seed: 42, Tolerance: 1,
+	}
+}
+
+func testEvents() ([]history.Event, []uint64) {
+	evs := []history.Event{
+		{Kind: history.KindInvoke, Proc: 0, Obj: "C", Op: spec.MakeOp("inc")},
+		{Kind: history.KindInvoke, Proc: 1, Obj: "C", Op: spec.MakeOp1("add", 7)},
+		{Kind: history.KindRespond, Proc: 0, Obj: "C", Resp: 1},
+		{Kind: history.KindRespond, Proc: 1, Obj: "C", Resp: -8},
+		{Kind: history.KindInvoke, Proc: 0, Obj: "C", Op: spec.MakeOp2("cas", 1, 2)},
+		{Kind: history.KindRespond, Proc: 0, Obj: "C", Resp: 0},
+	}
+	pos := []uint64{0, 0, 1, 2, 2, 3}
+	return evs, pos
+}
+
+func writeLog(t *testing.T, pol SyncPolicy) (string, []history.Event, []uint64) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.wal")
+	l, err := Create(path, testHeader(), pol)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	evs, pos := testEvents()
+	for i, e := range evs {
+		if err := l.Append(e, pos[i]); err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path, evs, pos
+}
+
+func TestRoundTrip(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncNever, SyncAlways, SyncPolicy(2)} {
+		path, evs, pos := writeLog(t, pol)
+		rec, err := Recover(path)
+		if err != nil {
+			t.Fatalf("pol %v: Recover: %v", pol, err)
+		}
+		if rec.Torn {
+			t.Fatalf("pol %v: clean log reported torn at %d", pol, rec.TornAt)
+		}
+		if rec.Header != testHeader() {
+			t.Fatalf("pol %v: header = %+v", pol, rec.Header)
+		}
+		if !reflect.DeepEqual(rec.Events, evs) || !reflect.DeepEqual(rec.Pos, pos) {
+			t.Fatalf("pol %v: events mismatch:\n got %+v %v\nwant %+v %v",
+				pol, rec.Events, rec.Pos, evs, pos)
+		}
+		if rec.Frames != len(evs) {
+			t.Fatalf("pol %v: Frames = %d, want %d", pol, rec.Frames, len(evs))
+		}
+		if got := rec.LastCommit(); got != 3 {
+			t.Fatalf("pol %v: LastCommit = %d, want 3", pol, got)
+		}
+	}
+}
+
+func TestTornTail(t *testing.T) {
+	path, evs, _ := writeLog(t, SyncNever)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cutting the file at every byte length must recover a prefix of the
+	// events, never an error (magic+header occupy the first frames; cuts
+	// inside those are the only error cases). A cut exactly on a frame
+	// boundary is indistinguishable from a clean shorter log, so Torn is
+	// only required for mid-frame cuts.
+	hdrEnd := headerEnd(t, data)
+	boundary := map[int]bool{len(data): true}
+	for off := hdrEnd; off < int64(len(data)); {
+		_, next, ok := readFrame(data, off)
+		if !ok {
+			t.Fatal("pristine log has a bad frame")
+		}
+		boundary[int(off)] = true
+		off = next
+	}
+	for cut := len(data) - 1; cut >= 0; cut-- {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(path)
+		if int64(cut) < hdrEnd {
+			if err == nil {
+				t.Fatalf("cut %d (inside magic/header): want error", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("cut %d: Recover: %v", cut, err)
+		}
+		if !boundary[cut] && !rec.Torn {
+			t.Fatalf("cut %d: mid-frame tail not reported torn", cut)
+		}
+		if boundary[cut] && rec.Torn {
+			t.Fatalf("cut %d: frame-boundary cut reported torn", cut)
+		}
+		if len(rec.Events) > len(evs) {
+			t.Fatalf("cut %d: recovered %d events from %d", cut, len(rec.Events), len(evs))
+		}
+		for i, e := range rec.Events {
+			if !reflect.DeepEqual(e, evs[i]) {
+				t.Fatalf("cut %d: event %d = %+v, want %+v", cut, i, e, evs[i])
+			}
+		}
+	}
+}
+
+// headerEnd returns the offset just past the header frame.
+func headerEnd(t *testing.T, data []byte) int64 {
+	t.Helper()
+	_, next, ok := readFrame(data, int64(len(magic)))
+	if !ok {
+		t.Fatal("header frame unreadable in pristine log")
+	}
+	return next
+}
+
+func TestCorruptMiddle(t *testing.T) {
+	path, evs, _ := writeLog(t, SyncNever)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrEnd := headerEnd(t, data)
+	// Flip one bit somewhere in the event region: recovery must stop at or
+	// before the damaged frame and return only intact prefix events.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		off := hdrEnd + rng.Int63n(int64(len(data))-hdrEnd)
+		bad := append([]byte(nil), data...)
+		bad[off] ^= 1 << uint(rng.Intn(8))
+		if err := os.WriteFile(path, bad, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rec, err := Recover(path)
+		if err != nil {
+			t.Fatalf("trial %d off %d: Recover: %v", trial, off, err)
+		}
+		if !rec.Torn {
+			t.Fatalf("trial %d off %d: bit flip not detected", trial, off)
+		}
+		for i, e := range rec.Events {
+			if !reflect.DeepEqual(e, evs[i]) {
+				t.Fatalf("trial %d: recovered event %d = %+v, want %+v", trial, i, e, evs[i])
+			}
+		}
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.wal")
+	if err := os.WriteFile(path, []byte("not a wal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Recover(path); err == nil {
+		t.Fatal("Recover accepted junk file")
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want SyncPolicy
+		err  bool
+	}{
+		{"always", SyncAlways, false},
+		{"never", SyncNever, false},
+		{"", SyncNever, false},
+		{"interval:1", SyncPolicy(1), false},
+		{"interval:4096", SyncPolicy(4096), false},
+		{"interval:0", 0, true},
+		{"interval:x", 0, true},
+		{"sometimes", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseSyncPolicy(c.in)
+		if (err != nil) != c.err || got != c.want {
+			t.Errorf("ParseSyncPolicy(%q) = %v, %v; want %v err=%v", c.in, got, err, c.want, c.err)
+		}
+	}
+	if SyncAlways.String() != "always" || SyncNever.String() != "never" ||
+		SyncPolicy(8).String() != "interval:8" {
+		t.Error("SyncPolicy.String round-trip broken")
+	}
+}
+
+// quickEvent is the testing/quick generator domain for one event: arbitrary
+// kind choice, proc, pos, method bytes, args, and response.
+type quickEvent struct {
+	Respond bool
+	Proc    uint16
+	Pos     uint64
+	Method  string
+	NArgs   uint8
+	Args    [2]int64
+	Resp    int64
+}
+
+func (q quickEvent) event() (history.Event, uint64) {
+	e := history.Event{Proc: int(q.Proc), Obj: "C"}
+	if q.Respond {
+		e.Kind = history.KindRespond
+		e.Resp = q.Resp
+	} else {
+		e.Kind = history.KindInvoke
+		e.Op.Method = q.Method
+		e.Op.NArgs = int(q.NArgs % 3)
+		for i := 0; i < e.Op.NArgs; i++ {
+			e.Op.Args[i] = q.Args[i]
+		}
+	}
+	return e, q.Pos
+}
+
+// TestQuickFrameRoundTrip is the satellite property test: encode/decode of
+// event payloads round-trips for arbitrary events, and flipping a bit at a
+// random offset of the encoding never round-trips silently to a different
+// event — it either fails to decode or (for the rare compensating flips
+// inside ignored padding, which this encoding doesn't have) decodes equal.
+func TestQuickFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	prop := func(q quickEvent, corruptAt uint16) bool {
+		e, pos := q.event()
+		b := AppendEventPayload(nil, e, pos)
+		got, gotPos, err := DecodeEventPayload(b)
+		if err != nil {
+			t.Logf("decode clean: %v", err)
+			return false
+		}
+		got.Obj = e.Obj // obj name travels in the header, not the payload
+		if !reflect.DeepEqual(got, e) || gotPos != pos {
+			t.Logf("round-trip mismatch: %+v/%d vs %+v/%d", got, gotPos, e, pos)
+			return false
+		}
+		// Corrupt one bit at a random offset; decode must not panic, and if
+		// it succeeds the result must differ from the original (the frame
+		// CRC is what catches these in the full log path — here we assert
+		// the payload decoder itself is safe on damaged input).
+		bad := append([]byte(nil), b...)
+		off := int(corruptAt) % len(bad)
+		bad[off] ^= 1 << uint(rng.Intn(8))
+		ce, cpos, cerr := DecodeEventPayload(bad)
+		if cerr == nil {
+			ce.Obj = e.Obj
+			if reflect.DeepEqual(ce, e) && cpos == pos {
+				t.Logf("bit flip at %d decoded identically", off)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
