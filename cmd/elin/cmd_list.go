@@ -13,7 +13,7 @@ import (
 // runList prints the registry contents: everything nameable in a scenario.
 func runList(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elin list", flag.ContinueOnError)
-	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | faults | types | experiments | axes")
+	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | faults | net-faults | types | experiments | axes")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -29,6 +29,7 @@ func runList(args []string, out io.Writer) error {
 		{"choosers", registry.ChooserNames()},
 		{"policies", registry.PolicyNames()},
 		{"faults", registry.FaultNames()},
+		{"net-faults", registry.NetFaultNames()},
 		{"types", registry.TypeNames()},
 		{"experiments", experimentIDs()},
 		{"axes", campaign.AxisNames()},

@@ -15,10 +15,14 @@ import (
 // against a fresh object, continue the run with fresh clients, and verify
 // the stitched history still t-stabilizes. Continuation parameters default
 // from the log header; the continuation seed defaults to the header seed
-// plus one so fresh clients draw fresh op streams.
+// plus one so fresh clients draw fresh op streams. -strict inverts the
+// torn-tail posture: instead of truncating and continuing, a torn log is a
+// non-zero exit naming the first bad byte — the mode for pipelines that
+// must not silently drop committed suffixes.
 func runRecover(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elin recover", flag.ContinueOnError)
 	walPath := fs.String("wal", "", "commit log to recover (required)")
+	strict := fs.Bool("strict", false, "refuse a torn log: exit non-zero naming the first bad byte instead of truncating")
 	corrupt := fs.String("corrupt", "", "corrupt the log in place before recovery: flip[:OFF] | trunc:N (destructive)")
 	procs := fs.Int("procs", 0, "continuation client goroutines (0 = the log header's procs)")
 	ops := fs.Int("ops", 0, "operations per continuation client (0 = the header's ops)")
@@ -54,6 +58,16 @@ func runRecover(args []string, out io.Writer) error {
 		if err == nil {
 			fmt.Fprintf(out, "corrupted %s (%s) — log of %s, %d procs x %d ops, seed %d\n",
 				*walPath, sp.Corrupt.String(), hdr.Object, hdr.Procs, hdr.Ops, hdr.Seed)
+		}
+	}
+	if *strict {
+		rec, err := wal.Recover(*walPath)
+		if err != nil {
+			return err
+		}
+		if rec.Torn {
+			return fmt.Errorf("recover: log %s is torn at byte %d (%d intact frames); rerun without -strict to truncate and continue",
+				*walPath, rec.TornAt, rec.Frames)
 		}
 	}
 	s := scenario.Scenario{

@@ -66,6 +66,40 @@ func TestSweepSmokeGridMatchesBaseline(t *testing.T) {
 	}
 }
 
+// TestSweepNetsmokeGridMatchesBaseline is the same contract for the
+// serve-engine network grid: real loopback TCP, the network fault plane
+// and wal-sync durability cells are all canonical-byte-stable, so the
+// committed baseline is provably fresh.
+func TestSweepNetsmokeGridMatchesBaseline(t *testing.T) {
+	out := runOut(t, "sweep", "-spec", "../../.github/sweeps/netsmoke.json", "-canonical")
+	want, err := os.ReadFile("../../.github/sweeps/netsmoke.baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal([]byte(out), want) {
+		t.Errorf("canonical netsmoke report drifted from the committed baseline; regenerate with\n  elin sweep -spec .github/sweeps/netsmoke.json -canonical > .github/sweeps/netsmoke.baseline.json")
+	}
+
+	var camp struct {
+		Totals struct {
+			Cells int `json:"cells"`
+			OK    int `json:"ok"`
+		} `json:"totals"`
+		Rollups map[string][]struct {
+			Value string `json:"value"`
+		} `json:"rollups"`
+	}
+	if err := json.Unmarshal([]byte(out), &camp); err != nil {
+		t.Fatal(err)
+	}
+	if camp.Totals.Cells != 12 || camp.Totals.OK != 12 {
+		t.Errorf("netsmoke totals: %+v (want 12 ok cells)", camp.Totals)
+	}
+	if nf, ws := len(camp.Rollups["net-faults"]), len(camp.Rollups["wal-sync"]); nf != 3 || ws != 2 {
+		t.Errorf("netsmoke rollups: %d net-faults rows, %d wal-sync rows (want 3, 2)", nf, ws)
+	}
+}
+
 // TestNightlySpecExpands keeps the committed nightly grid loadable: it
 // validates and expands (without executing) so a typo in the spec or a
 // dead exclusion fails `go test`, not the 3am workflow.

@@ -1,10 +1,12 @@
-// Command elin is the toolkit's multitool: one scenario vocabulary, five
-// subcommands, three execution engines, one report schema.
+// Command elin is the toolkit's multitool: one scenario vocabulary, ten
+// subcommands, four execution engines, one report schema.
 //
 //	elin explore  exhaustive bounded exploration (lin | weak | valency | stable)
 //	elin sim      one seeded simulation run, checked after the fact
 //	elin check    check a recorded history against the paper's conditions
 //	elin stress   live goroutine stress run or fuzz campaign
+//	elin serve    long-lived networked object server (framed TCP, fault plane)
+//	elin load     retrying client fleet against a server (-self = serve engine)
 //	elin recover  recover a crashed run's commit log and continue it
 //	elin sweep    declarative scenario grid with baseline diffing (the CI gate)
 //	elin bench    regenerate the experiment tables / machine-readable timings
@@ -23,6 +25,9 @@
 //	elin stress -impl atomic-fi -procs 8 -ops 100000
 //	elin stress -impl junk-fi:40 -procs 2 -ops 2000 -fuzz 4
 //	elin stress -impl el-fi -serial -wal run.wal -crash-at 6000 -ops 5000
+//	elin serve -impl atomic-fi -addr 127.0.0.1:7400 -net-faults flaky-net -wal run.wal
+//	elin load -addr 127.0.0.1:7400 -procs 4 -ops 20000
+//	elin load -self -impl atomic-fi -procs 4 -ops 20000 -net-faults partition:120+40
 //	elin recover -wal run.wal -ops 2000
 //	elin recover -wal run.wal -corrupt trunc:7
 //	elin sweep -spec .github/sweeps/smoke.json -baseline .github/sweeps/smoke.baseline.json
@@ -62,6 +67,10 @@ func run(args []string, out io.Writer) error {
 		return runCheck(rest, out)
 	case "stress":
 		return runStress(rest, out)
+	case "serve":
+		return runServe(rest, out)
+	case "load":
+		return runLoad(rest, out)
 	case "recover":
 		return runRecover(rest, out)
 	case "sweep":
@@ -87,6 +96,8 @@ commands:
   sim       one seeded simulation run, checked after the fact
   check     check a recorded history file (or stdin)
   stress    live goroutine stress run or fuzz campaign
+  serve     long-lived networked object server with the fault plane and monitor
+  load      retrying client fleet against a server (-self runs the serve engine)
   recover   recover a commit log, continue the run, verify the stitched history
   sweep     declarative scenario grid: expand, execute, diff against a baseline
   bench     experiment tables / machine-readable timings

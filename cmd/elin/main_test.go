@@ -351,25 +351,38 @@ func TestBenchJSONStressTrajectory(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &records); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
-	if len(records) != 6 { // E4 + three no-WAL stress reports + two WAL-on rows
+	if len(records) != 8 { // E4 + three no-WAL stress reports + two WAL-on rows + two serve rows
 		t.Fatalf("got %d records", len(records))
 	}
-	walRows := 0
+	walRows, serveRows := 0, 0
 	for _, r := range records[1:] {
 		if r["schema"] != "elin/report/v1" || r["verdict"] != "ok" {
 			t.Errorf("stress record: %v", r)
 		}
 		sc := r["scenario"].(map[string]any)
 		name := sc["name"].(string)
-		if !strings.HasPrefix(name, "STRESS-") {
+		switch {
+		case strings.HasPrefix(name, "SERVE-"):
+			serveRows++
+			// Serve rows are the networked latency trajectory: they must
+			// carry the client-side percentiles.
+			perf := r["perf"].(map[string]any)
+			if p99, ok := perf["p99_ns"].(float64); !ok || p99 <= 0 {
+				t.Errorf("serve record %s has no latency percentiles: %v", name, perf)
+			}
+		case strings.HasPrefix(name, "STRESS-"):
+			if strings.Contains(name, "-wal-") {
+				walRows++
+			}
+		default:
 			t.Errorf("stress record name: %v", name)
-		}
-		if strings.Contains(name, "-wal-") {
-			walRows++
 		}
 	}
 	if walRows != 2 {
 		t.Errorf("WAL-on trajectory rows = %d, want 2 (sync never + interval:4096)", walRows)
+	}
+	if serveRows != 2 {
+		t.Errorf("serve trajectory rows = %d, want 2 (clean + flaky-net)", serveRows)
 	}
 }
 

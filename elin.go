@@ -39,17 +39,19 @@ import (
 	"github.com/elin-go/elin/internal/faults"
 	"github.com/elin-go/elin/internal/history"
 	"github.com/elin-go/elin/internal/live"
+	"github.com/elin-go/elin/internal/loadgen"
 	"github.com/elin-go/elin/internal/machine"
 	"github.com/elin-go/elin/internal/scenario"
+	"github.com/elin-go/elin/internal/server"
 	"github.com/elin-go/elin/internal/sim"
 	"github.com/elin-go/elin/internal/spec"
 	"github.com/elin-go/elin/internal/wal"
 )
 
 // Scenario layer — the declarative entry point. One Scenario value runs
-// unchanged on every engine (Explore, Sim, Live) and every engine answers
-// with the same unified Report; the elin CLI is a thin shell over exactly
-// this surface.
+// unchanged on every engine (Explore, Sim, Live, Serve) and every engine
+// answers with the same unified Report; the elin CLI is a thin shell over
+// exactly this surface.
 type (
 	// Scenario is one declarative description of an execution to check:
 	// object/implementation by registry name or value, workload, scheduler,
@@ -57,7 +59,8 @@ type (
 	Scenario = scenario.Scenario
 	// ScenarioBudget bounds a scenario's execution per engine regime.
 	ScenarioBudget = scenario.Budget
-	// Engine executes scenarios in one regime ("explore", "sim", "live").
+	// Engine executes scenarios in one regime ("explore", "sim", "live",
+	// "serve").
 	Engine = scenario.Engine
 	// Report is the unified outcome every engine returns; its JSON
 	// encoding is stable (schema elin/report/v1) and golden-tested.
@@ -409,4 +412,46 @@ var (
 	// log, resume the object, continue with fresh clients, and verify the
 	// stitched history still t-stabilizes.
 	RecoverScenario = scenario.Recover
+)
+
+// Networked runtime — the serve engine's building blocks: a framed-TCP
+// object server with a seeded network fault plane and a monitor that
+// degrades to sampling under overload, plus a retrying client fleet with
+// jittered exponential backoff and idempotent resume (exactly-once across
+// reconnects). RunScenario("serve", s) composes the two; these exports are
+// for embedding either half directly.
+type (
+	// Server is the long-lived framed-TCP object server.
+	Server = server.Server
+	// ServerConfig describes one server instance (object, client id space,
+	// monitor, network faults, commit sink).
+	ServerConfig = server.Config
+	// ServerSummary is a finished server run: merged history, monitor
+	// verdict, overload/sampling counters.
+	ServerSummary = server.Summary
+	// LoadConfig describes a client-fleet run against one server.
+	LoadConfig = loadgen.Config
+	// LoadResult is what a fleet run produced: the exactly-once ledger
+	// (lost/duplicated), retry counters, latency percentiles.
+	LoadResult = loadgen.Result
+	// NetFaultSpec is a parsed network fault spec; injections are pure
+	// functions of (seed, commit ticket) at the connection seam.
+	NetFaultSpec = faults.NetSpec
+)
+
+var (
+	// NewServer builds a server from its config.
+	NewServer = server.New
+	// RunLoad drives a retrying client fleet at a server and verifies the
+	// exactly-once contract.
+	RunLoad = loadgen.Run
+	// LoadBackoff is the deterministic reconnect schedule (exponential
+	// with splitmix64 jitter, a pure function of seed/client/attempt).
+	LoadBackoff = loadgen.Backoff
+	// ParseNetFaults parses the network fault grammar
+	// ("drop:C@T,partition:T+D,slow:C:LAT").
+	ParseNetFaults = faults.ParseNet
+	// BuildServer resolves a Scenario into a ready-to-Serve server — the
+	// construction half of the serve engine.
+	BuildServer = scenario.BuildServer
 )

@@ -150,7 +150,7 @@ func Load(path string) (*Campaign, error) {
 }
 
 // axisNames are the rollup axes, in presentation order.
-var axisNames = []string{"engine", "impl", "workload", "policy", "faults", "procs", "ops", "tolerance", "seed"}
+var axisNames = []string{"engine", "impl", "workload", "policy", "faults", "net-faults", "wal-sync", "procs", "ops", "tolerance", "seed"}
 
 // AxisNames lists the sweepable axes of a spec — the vocabulary `elin
 // list` prints.
@@ -159,15 +159,17 @@ func AxisNames() []string { return append([]string(nil), axisNames...) }
 // coordinates projects a point onto the named axes as strings.
 func (p Point) coordinates() map[string]string {
 	return map[string]string{
-		"engine":    p.Engine,
-		"impl":      p.Impl,
-		"workload":  p.Workload,
-		"policy":    p.Policy,
-		"faults":    resolvedFaults(p.Faults),
-		"procs":     strconv.Itoa(p.Procs),
-		"ops":       strconv.Itoa(p.Ops),
-		"tolerance": strconv.Itoa(p.Tolerance),
-		"seed":      strconv.FormatInt(p.Seed, 10),
+		"engine":     p.Engine,
+		"impl":       p.Impl,
+		"workload":   p.Workload,
+		"policy":     p.Policy,
+		"faults":     resolvedFaults(p.Faults),
+		"net-faults": resolvedNetFaults(p.NetFaults),
+		"wal-sync":   resolvedWALSync(p.WALSync),
+		"procs":      strconv.Itoa(p.Procs),
+		"ops":        strconv.Itoa(p.Ops),
+		"tolerance":  strconv.Itoa(p.Tolerance),
+		"seed":       strconv.FormatInt(p.Seed, 10),
 	}
 }
 

@@ -202,8 +202,13 @@ func (c *Cell) repro(sp *Spec) string {
 		return ""
 	}
 	sub := engine
-	if sub == "live" {
+	switch sub {
+	case "live":
 		sub = "stress"
+	case "serve":
+		// A serve cell reruns as a self-contained load run: `elin load
+		// -self` stands the server up in-process exactly like the engine.
+		sub = "load -self"
 	}
 	var b strings.Builder
 	fmt.Fprintf(&b, "elin %s -impl %s -workload %s -policy %s -procs %d -ops %d -seed %d -tolerance %d",
@@ -233,6 +238,17 @@ func (c *Cell) repro(sp *Spec) string {
 		if sp != nil && sp.Stride > 0 {
 			fmt.Fprintf(&b, " -stride %d", sp.Stride)
 		}
+	case "serve":
+		if inf.NetFaults != "" {
+			fmt.Fprintf(&b, " -net-faults %s", shellArg(inf.NetFaults))
+		}
+		if sp != nil && sp.Stride > 0 {
+			fmt.Fprintf(&b, " -stride %d", sp.Stride)
+		}
+	}
+	if inf.WALSync != "" {
+		// The cell wrote a run-scoped temp log; the rerun gets its own.
+		fmt.Fprintf(&b, " -wal /tmp/elin-rerun.wal -wal-sync %s", shellArg(inf.WALSync))
 	}
 	return b.String()
 }

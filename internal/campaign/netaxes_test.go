@@ -1,0 +1,149 @@
+package campaign
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNetFaultsAxis(t *testing.T) {
+	sp := &Spec{
+		Schema: SpecSchema,
+		Name:   "nf",
+		Axes: Axes{
+			Engine:    []string{"serve"},
+			Impl:      []string{"atomic-fi"},
+			NetFaults: []string{"none", "partition-heal", "drop:0@40"},
+		},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("net-faulted spec rejected: %v", err)
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("expansion: %d cells, want 3", len(points))
+	}
+	// "none" is the zero coordinate; presets canonicalize to grammar.
+	if points[0].NetFaults != "" || points[1].NetFaults != "partition:60+40" || points[2].NetFaults != "drop:0@40" {
+		t.Errorf("net-faults coordinates = %q, %q, %q",
+			points[0].NetFaults, points[1].NetFaults, points[2].NetFaults)
+	}
+	if s := sp.Scenario(points[1]); s.NetFaults != "partition:60+40" {
+		t.Errorf("scenario net-faults = %q", s.NetFaults)
+	}
+
+	// Predicates match canonicalized, by preset name or grammar.
+	sp.Exclude = []Match{{NetFaults: "partition-heal"}}
+	points, err = sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("preset exclude left %d cells", len(points))
+	}
+
+	// Repeats across spellings and unknown values are rejected.
+	sp.Exclude = nil
+	sp.Axes.NetFaults = []string{"partition-heal", "partition:60+40"}
+	if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "repeats") {
+		t.Errorf("duplicate net-faults axis accepted: %v", err)
+	}
+	sp.Axes.NetFaults = []string{"sever:everything"}
+	if err := sp.Validate(); err == nil {
+		t.Error("unknown net-faults axis value accepted")
+	}
+}
+
+func TestWALSyncAxis(t *testing.T) {
+	sp := &Spec{
+		Schema: SpecSchema,
+		Name:   "ws",
+		Axes: Axes{
+			Engine:  []string{"serve"},
+			Impl:    []string{"atomic-fi"},
+			WALSync: []string{"none", "never", "interval:8", "always"},
+		},
+	}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("wal-sync spec rejected: %v", err)
+	}
+	points, err := sp.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 {
+		t.Fatalf("expansion: %d cells, want 4", len(points))
+	}
+	// "none" (no log) is the zero coordinate and stays distinct from
+	// "never" (a log, unsynced).
+	if points[0].WALSync != "" || points[1].WALSync != "never" ||
+		points[2].WALSync != "interval:8" || points[3].WALSync != "always" {
+		t.Errorf("wal-sync coordinates = %q, %q, %q, %q",
+			points[0].WALSync, points[1].WALSync, points[2].WALSync, points[3].WALSync)
+	}
+	if s := sp.Scenario(points[0]); s.WALSync != "" || s.WAL != "" {
+		t.Errorf("wal-sync=none cell still configures a log: %q %q", s.WAL, s.WALSync)
+	}
+
+	sp.Axes.WALSync = []string{"none", ""}
+	if err := sp.Validate(); err == nil || !strings.Contains(err.Error(), "repeats") {
+		t.Errorf("duplicate wal-sync axis (none vs empty) accepted: %v", err)
+	}
+	sp.Axes.WALSync = []string{"fsync-sometimes"}
+	if err := sp.Validate(); err == nil {
+		t.Error("unknown wal-sync axis value accepted")
+	}
+}
+
+// A small serve grid actually runs: net-faulted and WAL-synced cells come
+// back ok with clean exactly-once ledgers, cell identities carry the new
+// coordinates, and the repro commands name `elin load -self`.
+func TestServeSweepRuns(t *testing.T) {
+	sp := &Spec{
+		Schema: SpecSchema,
+		Name:   "serve-smoke",
+		Axes: Axes{
+			Engine:    []string{"serve"},
+			Impl:      []string{"atomic-fi"},
+			NetFaults: []string{"none", "drop-one"},
+			WALSync:   []string{"none", "interval:4"},
+			Procs:     []int{3},
+			Ops:       []int{60},
+			Seed:      []int64{1},
+		},
+	}
+	camp, err := Run(sp, RunOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if camp.Totals.Cells != 4 || camp.Totals.OK != 4 {
+		t.Fatalf("totals = %+v, want 4 ok cells", camp.Totals)
+	}
+	var sawNet, sawWAL bool
+	for i := range camp.Cells {
+		cell := &camp.Cells[i]
+		if strings.Contains(cell.ID, "netfaults=drop:0@40") {
+			sawNet = true
+			if cell.Report.Net == nil || cell.Report.Net.Lost != 0 || cell.Report.Net.Duplicated != 0 {
+				t.Errorf("net-faulted cell ledger: %+v", cell.Report.Net)
+			}
+		}
+		if strings.Contains(cell.ID, "walsync=interval:4") {
+			sawWAL = true
+		}
+		if repro := cell.repro(sp); !strings.HasPrefix(repro, "elin load -self ") {
+			t.Errorf("serve repro = %q", repro)
+		}
+	}
+	if !sawNet || !sawWAL {
+		t.Fatalf("cell identities missing coordinates (net=%v wal=%v):\n%s\n%s\n%s\n%s",
+			sawNet, sawWAL, camp.Cells[0].ID, camp.Cells[1].ID, camp.Cells[2].ID, camp.Cells[3].ID)
+	}
+	// The wal-sync rollup distinguishes the logged and unlogged halves.
+	rows := camp.Rollups["wal-sync"]
+	if len(rows) != 2 {
+		t.Fatalf("wal-sync rollup rows = %+v", rows)
+	}
+}

@@ -2,6 +2,7 @@ package campaign
 
 import (
 	"fmt"
+	"os"
 	"runtime"
 	"sort"
 	"sync"
@@ -87,10 +88,23 @@ func Run(sp *Spec, opts RunOptions) (*Campaign, error) {
 // runCell executes one grid point. Scenario errors (unresolvable names,
 // impossible monitor configurations) become error cells, not run
 // failures: the grid completes and the report says exactly which
-// coordinates broke.
+// coordinates broke. A wal-sync coordinate gives the cell a run-scoped
+// temporary commit log — the durability policy is the coordinate, the
+// path is noise and never enters a report.
 func runCell(sp *Spec, p Point, cellWorkers, gomax int) Cell {
 	s := sp.Scenario(p)
 	cell := Cell{ID: s.CellID(p.Engine), point: p}
+	if s.WALSync != "" {
+		tmp, err := os.CreateTemp("", "elin-cell-*.wal")
+		if err != nil {
+			cell.Verdict = VerdictError
+			cell.Error = fmt.Sprintf("campaign: wal-sync cell temp log: %v", err)
+			return cell
+		}
+		tmp.Close()
+		s.WAL = tmp.Name()
+		defer os.Remove(tmp.Name())
+	}
 	start := time.Now()
 	rep, err := scenario.Run(p.Engine, s)
 	elapsed := time.Since(start)

@@ -22,6 +22,7 @@ import (
 
 	"github.com/elin-go/elin/internal/registry"
 	"github.com/elin-go/elin/internal/scenario"
+	"github.com/elin-go/elin/internal/wal"
 )
 
 // SpecSchema is the sweep-spec JSON schema identifier.
@@ -41,7 +42,18 @@ type Axes struct {
 	// faulted scenarios, so grids mixing engines with a faults axis must
 	// exclude the faulted non-live cells explicitly — the expansion never
 	// drops them silently.
-	Faults    []string `json:"faults,omitempty"`
+	Faults []string `json:"faults,omitempty"`
+	// NetFaults sweeps network fault specs over serve cells (presets or
+	// the net-faults grammar; default "none"). Every other engine rejects
+	// them, under the same exclude-explicitly rule as Faults.
+	NetFaults []string `json:"net-faults,omitempty"`
+	// WALSync sweeps commit-log durability over live and serve cells:
+	// "none" (no WAL at all — the default), or a durability policy
+	// ("always", "never", "interval:N") under which each cell writes its
+	// merged stream to a run-scoped temporary log. "none" and "never" are
+	// distinct coordinates: "never" still pays the write path, just not
+	// the fsyncs.
+	WALSync   []string `json:"wal-sync,omitempty"`
 	Procs     []int    `json:"procs,omitempty"`
 	Ops       []int    `json:"ops,omitempty"`
 	Tolerance []int    `json:"tolerance,omitempty"`
@@ -59,6 +71,8 @@ type Match struct {
 	Workload  string `json:"workload,omitempty"`
 	Policy    string `json:"policy,omitempty"`
 	Faults    string `json:"faults,omitempty"`
+	NetFaults string `json:"net-faults,omitempty"`
+	WALSync   string `json:"wal-sync,omitempty"`
 	Procs     *int   `json:"procs,omitempty"`
 	Ops       *int   `json:"ops,omitempty"`
 	Tolerance *int   `json:"tolerance,omitempty"`
@@ -69,7 +83,8 @@ type Match struct {
 // every cell, always a spec mistake.
 func (m Match) zero() bool {
 	return m.Engine == "" && m.Impl == "" && m.Workload == "" && m.Policy == "" &&
-		m.Faults == "" && m.Procs == nil && m.Ops == nil && m.Tolerance == nil && m.Seed == nil
+		m.Faults == "" && m.NetFaults == "" && m.WALSync == "" &&
+		m.Procs == nil && m.Ops == nil && m.Tolerance == nil && m.Seed == nil
 }
 
 // matches reports whether the point satisfies every set field.
@@ -80,6 +95,8 @@ func (m Match) matches(p Point) bool {
 		m.Workload != "" && m.Workload != p.Workload,
 		m.Policy != "" && m.Policy != p.Policy,
 		m.Faults != "" && resolvedFaults(m.Faults) != resolvedFaults(p.Faults),
+		m.NetFaults != "" && resolvedNetFaults(m.NetFaults) != resolvedNetFaults(p.NetFaults),
+		m.WALSync != "" && resolvedWALSync(m.WALSync) != resolvedWALSync(p.WALSync),
 		m.Procs != nil && *m.Procs != p.Procs,
 		m.Ops != nil && *m.Ops != p.Ops,
 		m.Tolerance != nil && *m.Tolerance != p.Tolerance,
@@ -96,6 +113,8 @@ type Point struct {
 	Workload  string
 	Policy    string
 	Faults    string
+	NetFaults string
+	WALSync   string
 	Procs     int
 	Ops       int
 	Tolerance int
@@ -196,6 +215,16 @@ func (sp *Spec) Validate() error {
 			return err
 		}
 	}
+	for _, f := range sp.Axes.NetFaults {
+		if err := registry.ValidateNetFaults(f); err != nil {
+			return err
+		}
+	}
+	for _, ws := range sp.Axes.WALSync {
+		if err := validateWALSync(ws); err != nil {
+			return err
+		}
+	}
 	for _, n := range sp.Axes.Procs {
 		if n <= 0 {
 			return fmt.Errorf("procs axis value %d (want >= 1)", n)
@@ -263,6 +292,12 @@ func uniqueAxes(a Axes) error {
 	if err := dup("faults", a.Faults, resolvedFaults); err != nil {
 		return err
 	}
+	if err := dup("net-faults", a.NetFaults, resolvedNetFaults); err != nil {
+		return err
+	}
+	if err := dup("wal-sync", a.WALSync, resolvedWALSync); err != nil {
+		return err
+	}
 	ints := func(axis string, vals []int) error {
 		seen := map[int]bool{}
 		for _, v := range vals {
@@ -294,8 +329,8 @@ func uniqueAxes(a Axes) error {
 
 // Expand resolves the cartesian product of the axes minus the exclusions,
 // in deterministic axis order (engine, impl, workload, policy, faults,
-// procs, ops, tolerance, seed). It errors when nothing survives — an
-// all-excluded grid is always a spec mistake.
+// net-faults, wal-sync, procs, ops, tolerance, seed). It errors when
+// nothing survives — an all-excluded grid is always a spec mistake.
 func (sp *Spec) Expand() ([]Point, error) {
 	engines := sp.Axes.Engine
 	if len(engines) == 0 {
@@ -305,6 +340,8 @@ func (sp *Spec) Expand() ([]Point, error) {
 	workloads := orList(sp.Axes.Workload, scenario.DefaultWorkload)
 	policies := orList(sp.Axes.Policy, scenario.DefaultPolicy)
 	faultSpecs := orList(sp.Axes.Faults, "none")
+	netFaultSpecs := orList(sp.Axes.NetFaults, "none")
+	walSyncs := orList(sp.Axes.WALSync, "none")
 	procs := orInts(sp.Axes.Procs, scenario.DefaultProcs)
 	ops := orInts(sp.Axes.Ops, scenario.DefaultOps)
 	tols := sp.Axes.Tolerance
@@ -327,20 +364,26 @@ func (sp *Spec) Expand() ([]Point, error) {
 			for _, w := range workloads {
 				for _, pol := range policies {
 					for _, f := range faultSpecs {
-						for _, n := range procs {
-							for _, k := range ops {
-								for _, t := range tols {
-									for _, s := range seeds {
-										p := Point{
-											Engine: canon, Impl: resolved(impl, scenario.DefaultImpl), Workload: resolved(w, scenario.DefaultWorkload),
-											Policy: resolved(pol, scenario.DefaultPolicy),
-											Faults: faultsOrEmpty(resolvedFaults(f)),
-											Procs:  n, Ops: k, Tolerance: t, Seed: s,
+						for _, nf := range netFaultSpecs {
+							for _, ws := range walSyncs {
+								for _, n := range procs {
+									for _, k := range ops {
+										for _, t := range tols {
+											for _, s := range seeds {
+												p := Point{
+													Engine: canon, Impl: resolved(impl, scenario.DefaultImpl), Workload: resolved(w, scenario.DefaultWorkload),
+													Policy:    resolved(pol, scenario.DefaultPolicy),
+													Faults:    faultsOrEmpty(resolvedFaults(f)),
+													NetFaults: faultsOrEmpty(resolvedNetFaults(nf)),
+													WALSync:   faultsOrEmpty(resolvedWALSync(ws)),
+													Procs:     n, Ops: k, Tolerance: t, Seed: s,
+												}
+												if sp.excluded(p, hits) {
+													continue
+												}
+												points = append(points, p)
+											}
 										}
-										if sp.excluded(p, hits) {
-											continue
-										}
-										points = append(points, p)
 									}
 								}
 							}
@@ -384,6 +427,8 @@ func (sp *Spec) Scenario(p Point) scenario.Scenario {
 		Workload:  p.Workload,
 		Policy:    p.Policy,
 		Faults:    p.Faults,
+		NetFaults: p.NetFaults,
+		WALSync:   p.WALSync,
 		Procs:     p.Procs,
 		Ops:       p.Ops,
 		Tolerance: p.Tolerance,
@@ -453,4 +498,42 @@ func faultsOrEmpty(v string) string {
 		return ""
 	}
 	return v
+}
+
+// resolvedNetFaults canonicalizes a net-faults axis value, mirroring
+// resolvedFaults: "", "none", presets and reordered grammar spellings of
+// one spec all resolve to the same coordinate name.
+func resolvedNetFaults(v string) string {
+	sp, err := registry.NetFaults(v)
+	if err != nil {
+		return v
+	}
+	return sp.String()
+}
+
+// resolvedWALSync canonicalizes a wal-sync axis value. "" and "none" name
+// the no-WAL coordinate; everything else resolves through the durability
+// policy parser, so "interval:1" and "always" stay the distinct names the
+// parser gives them. "none" (no log) and "never" (a log that is never
+// fsynced) are deliberately different coordinates.
+func resolvedWALSync(v string) string {
+	if v == "" || v == "none" {
+		return "none"
+	}
+	pol, err := wal.ParseSyncPolicy(v)
+	if err != nil {
+		return v
+	}
+	return pol.String()
+}
+
+// validateWALSync rejects unknown wal-sync axis values at spec load.
+func validateWALSync(v string) error {
+	if v == "" || v == "none" {
+		return nil
+	}
+	if _, err := wal.ParseSyncPolicy(v); err != nil {
+		return fmt.Errorf("wal-sync axis value %q (want none, always, never or interval:N): %w", v, err)
+	}
+	return nil
 }

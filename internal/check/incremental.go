@@ -109,6 +109,18 @@ type Incremental struct {
 	violation *WindowViolation
 	// checks counts windows closed (violating or not).
 	checks int
+
+	// Sampling fallback: with sampleEvery > 1 only every Nth closed window
+	// pays the MinT search; skipped windows still fold their completed
+	// operations into the rebased state (the fold is cheap and required for
+	// later windows to check against the right initial state) but record no
+	// sample. All plain ints: they are touched only from the single
+	// goroutine driving Feed.
+	sampleEvery    int // 0 or 1 = exhaustive
+	winCount       int // windows closed, measured or skipped
+	skipped        int // windows whose MinT search was skipped
+	escalations    int // times a near-violation forced sampling back to 1
+	maxSampleEvery int // high-water mark of sampleEvery over the run
 }
 
 // NewIncremental returns a monitor for a single-object history against obj.
@@ -136,6 +148,41 @@ func (m *Incremental) Samples() []Sample { return m.samples }
 // Violation returns the recorded violation, if any.
 func (m *Incremental) Violation() *WindowViolation { return m.violation }
 
+// SetSampleEvery switches the monitor to every-Nth-window sampling (n <= 1
+// restores exhaustive checking). The graceful-degradation knob: under
+// overload a server trades per-window MinT coverage for line rate, and the
+// monitor escalates itself back to exhaustive on a near-violation. Safe to
+// call between Feeds only (same goroutine discipline as Feed).
+func (m *Incremental) SetSampleEvery(n int) {
+	if n < 1 {
+		n = 1
+	}
+	m.sampleEvery = n
+	if n > m.maxSampleEvery {
+		m.maxSampleEvery = n
+	}
+}
+
+// SampleEvery returns the current sampling interval (1 = exhaustive).
+func (m *Incremental) SampleEvery() int {
+	if m.sampleEvery < 1 {
+		return 1
+	}
+	return m.sampleEvery
+}
+
+// SkippedWindows returns how many closed windows skipped their MinT search
+// under sampling.
+func (m *Incremental) SkippedWindows() int { return m.skipped }
+
+// Escalations returns how many times a near-violation (measured MinT past
+// half the tolerance) forced sampling back to exhaustive.
+func (m *Incremental) Escalations() int { return m.escalations }
+
+// MaxSampleEvery returns the largest sampling interval the run reached
+// (0 when sampling was never engaged).
+func (m *Incremental) MaxSampleEvery() int { return m.maxSampleEvery }
+
 // Verdict classifies the trend of the per-window MinT series.
 func (m *Incremental) Verdict() Verdict {
 	v := Verdict{Samples: m.samples}
@@ -161,7 +208,7 @@ func (m *Incremental) Feed(e history.Event) (*WindowViolation, error) {
 	if m.win.Len() < m.cfg.stride() {
 		return nil, nil
 	}
-	return m.closeWindow()
+	return m.closeWindow(false)
 }
 
 // Finish checks the final partial window (if it has any events). Call it
@@ -170,12 +217,20 @@ func (m *Incremental) Finish() (*WindowViolation, error) {
 	if m.violation != nil || m.win.Len() == 0 {
 		return m.violation, nil
 	}
-	return m.closeWindow()
+	return m.closeWindow(true)
 }
 
 // closeWindow measures the current window, records the sample, raises a
 // violation if tolerated MinT is exceeded, and otherwise advances the cut.
-func (m *Incremental) closeWindow() (*WindowViolation, error) {
+// Under sampling, unsampled windows skip the MinT search but still advance
+// the cut; force (Finish's tail window) always measures, so a run never
+// ends on an unchecked window.
+func (m *Incremental) closeWindow(force bool) (*WindowViolation, error) {
+	m.winCount++
+	if !force && m.sampleEvery > 1 && m.winCount%m.sampleEvery != 0 {
+		m.skipped++
+		return nil, m.advanceCut()
+	}
 	t, ok, err := MinT(m.obj, m.win, m.cfg.Opts)
 	if err != nil {
 		return nil, fmt.Errorf("check: incremental window [%d,%d): %w", m.start, m.events, err)
@@ -195,6 +250,15 @@ func (m *Incremental) closeWindow() (*WindowViolation, error) {
 			MaxT:   m.cfg.MaxT,
 		}
 		return m.violation, nil
+	}
+	// Near-violation escalation: a measured MinT past half the tolerance
+	// ends sampling — the trend is drifting toward the threshold, so every
+	// window matters again. Observe-only runs (NoViolation or negative
+	// MaxT) never escalate: positive t is the normal EL signature there,
+	// not an approaching failure.
+	if m.sampleEvery > 1 && !m.cfg.NoViolation && m.cfg.MaxT > 0 && 2*t > m.cfg.MaxT {
+		m.sampleEvery = 1
+		m.escalations++
 	}
 	return nil, m.advanceCut()
 }

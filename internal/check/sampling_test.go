@@ -1,0 +1,130 @@
+package check
+
+import (
+	"testing"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// Under sampling only every Nth window pays the MinT search, the skipped
+// windows are counted, and the verdict over the sampled series still
+// stabilizes on a clean run.
+func TestIncrementalSamplingSkipsWindows(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	m := NewIncremental(obj, IncrementalConfig{Stride: 16})
+	m.SetSampleEvery(4)
+	h := serialCounter(t, 200) // 400 events = 25 full windows
+	if v := feedAll(t, m, h); v != nil {
+		t.Fatalf("clean sampled run flagged: %v", v)
+	}
+	if m.SkippedWindows() == 0 {
+		t.Fatal("sampling engaged but no window was skipped")
+	}
+	// Skipped + measured = all closed windows; measured = Checks.
+	if m.SkippedWindows()+m.Checks() != 25 {
+		t.Fatalf("skipped %d + checks %d != 25 windows", m.SkippedWindows(), m.Checks())
+	}
+	if m.MaxSampleEvery() != 4 {
+		t.Fatalf("MaxSampleEvery = %d, want 4", m.MaxSampleEvery())
+	}
+	if v := m.Verdict(); v.Trend != TrendStabilized {
+		t.Fatalf("trend = %s, want stabilized", v.Trend)
+	}
+}
+
+// The rebase fold still runs on skipped windows: a violation inside an
+// unsampled window is invisible, but later sampled windows check against
+// the correctly folded state, so a clean tail stays clean.
+func TestIncrementalSamplingFoldStaysCorrect(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	for _, every := range []int{1, 2, 3, 5} {
+		m := NewIncremental(obj, IncrementalConfig{Stride: 10})
+		m.SetSampleEvery(every)
+		if v := feedAll(t, m, serialCounter(t, 150)); v != nil {
+			t.Fatalf("sampleEvery=%d: clean run flagged: %v", every, v)
+		}
+	}
+}
+
+// Finish always measures the tail window, even when the sampling cadence
+// would have skipped it — a run never ends on an unchecked window.
+func TestIncrementalSamplingFinishMeasures(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	m := NewIncremental(obj, IncrementalConfig{Stride: 16})
+	m.SetSampleEvery(100) // would skip essentially everything
+	h := serialCounter(t, 40)
+	// Tail violation: duplicate response in the final partial window.
+	mustDo(t, h.Call(0, "C", spec.MakeOp(spec.MethodFetchInc), 40))
+	mustDo(t, h.Call(1, "C", spec.MakeOp(spec.MethodFetchInc), 40))
+	if v := feedAll(t, m, h); v == nil {
+		t.Fatal("tail violation escaped a sampled run")
+	}
+}
+
+// A measured window past half the tolerance escalates sampling back to
+// exhaustive checking.
+func TestIncrementalSamplingEscalation(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	m := NewIncremental(obj, IncrementalConfig{Stride: 8, MaxT: 3})
+	m.SetSampleEvery(2)
+	h := history.New()
+	// Every window needs t = 2 (a genuinely stale serial read per round):
+	// within tolerance 3, but 2t > MaxT, so the first measured window must
+	// flip sampling off.
+	k := int64(0)
+	for round := 0; round < 8; round++ {
+		mustDo(t, h.Call(0, "C", spec.MakeOp(spec.MethodFetchInc), k+1))
+		mustDo(t, h.Call(1, "C", spec.MakeOp(spec.MethodFetchInc), k))
+		mustDo(t, h.Call(0, "C", spec.MakeOp(spec.MethodFetchInc), k+2))
+		mustDo(t, h.Call(1, "C", spec.MakeOp(spec.MethodFetchInc), k+3))
+		k += 4
+	}
+	if v := feedAll(t, m, h); v != nil {
+		t.Fatalf("tolerated staleness flagged: %v", v)
+	}
+	if m.Escalations() == 0 {
+		t.Fatal("near-violation did not escalate sampling")
+	}
+	if m.SampleEvery() != 1 {
+		t.Fatalf("SampleEvery = %d after escalation, want 1", m.SampleEvery())
+	}
+	if m.MaxSampleEvery() != 2 {
+		t.Fatalf("MaxSampleEvery = %d, want 2", m.MaxSampleEvery())
+	}
+}
+
+// Observe-only monitors (NoViolation / negative MaxT) never escalate:
+// positive window MinT is the normal EL signature there.
+func TestIncrementalSamplingNoEscalationObserved(t *testing.T) {
+	obj := spec.NewObject(spec.FetchInc{})
+	for _, cfg := range []IncrementalConfig{
+		{Stride: 8, NoViolation: true},
+		{Stride: 8, MaxT: -1},
+	} {
+		m := NewIncremental(obj, cfg)
+		m.SetSampleEvery(2)
+		h := history.New()
+		resp := int64(0)
+		for round := 0; round < 6; round++ {
+			mustDo(t, h.Invoke(0, "C", spec.MakeOp(spec.MethodFetchInc)))
+			mustDo(t, h.Invoke(1, "C", spec.MakeOp(spec.MethodFetchInc)))
+			mustDo(t, h.Invoke(2, "C", spec.MakeOp(spec.MethodFetchInc)))
+			mustDo(t, h.Invoke(3, "C", spec.MakeOp(spec.MethodFetchInc)))
+			mustDo(t, h.Respond(3, resp+3))
+			mustDo(t, h.Respond(2, resp+2))
+			mustDo(t, h.Respond(1, resp+1))
+			mustDo(t, h.Respond(0, resp))
+			resp += 4
+		}
+		if v := feedAll(t, m, h); v != nil {
+			t.Fatalf("observe-only run flagged: %v", v)
+		}
+		if m.Escalations() != 0 {
+			t.Fatalf("observe-only monitor escalated %d times", m.Escalations())
+		}
+		if m.SampleEvery() != 2 {
+			t.Fatalf("observe-only SampleEvery = %d, want 2", m.SampleEvery())
+		}
+	}
+}

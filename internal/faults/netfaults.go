@@ -1,0 +1,239 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// NetSpec is the network half of the fault plane: the failures a served
+// object's connections suffer — one-shot connection drops, a symmetric
+// partition window, and per-link latency. Like Spec, every decision is a
+// pure function of the run's commit ticket (and the directive parameters),
+// never of a wall clock or an unseeded random source, so a faulted
+// serve/load run is reproducible from its seed and recorded commit order.
+//
+// The textual grammar is a comma-separated list of directives:
+//
+//	drop:C@T         sever client C's connection once, at the first
+//	                 read/write after the commit ticket reaches T
+//	partition:T+D    while the ticket is in [T, T+D) the server severs and
+//	                 refuses the connections of odd-numbered clients (the
+//	                 minority side of a symmetric split; even clients keep
+//	                 committing, which is what moves the ticket to T+D and
+//	                 heals the partition)
+//	slow:C:LAT       delay every response to client C by LAT microseconds
+//	none             the empty spec
+//
+// Example: "drop:0@40,drop:1@80,slow:2:200,partition:120+40".
+type NetSpec struct {
+	// Drops are the one-shot connection severs, evaluated independently.
+	Drops []Drop
+	// Partition is the symmetric split window, at most one per spec.
+	Partition *Partition
+	// Slows are the per-client response delays, at most one per client.
+	Slows []SlowLink
+}
+
+// Drop severs one client's connection once the commit ticket reaches
+// Ticket. It fires exactly once: the client is expected to reconnect and
+// resume, which is precisely the retry contract under test.
+type Drop struct {
+	// Client is the victim client id (0-based).
+	Client int
+	// Ticket is the trigger commit ticket.
+	Ticket uint64
+}
+
+// String renders the drop in spec grammar.
+func (d Drop) String() string { return fmt.Sprintf("drop:%d@%d", d.Client, d.Ticket) }
+
+// Partition is a symmetric split: while the commit ticket is in
+// [Ticket, Ticket+Width) the server severs and refuses odd-numbered
+// clients. Even clients keep committing, so the ticket provably reaches
+// Ticket+Width and the partition heals on its own.
+type Partition struct {
+	// Ticket is the split trigger, Width its length in commit tickets.
+	Ticket, Width uint64
+}
+
+// String renders the partition in spec grammar.
+func (p Partition) String() string { return fmt.Sprintf("partition:%d+%d", p.Ticket, p.Width) }
+
+// Active reports whether the split covers the given commit ticket.
+func (p *Partition) Active(tick uint64) bool {
+	return p != nil && tick >= p.Ticket && tick < p.Ticket+p.Width
+}
+
+// SlowLink delays every response written to one client.
+type SlowLink struct {
+	// Client is the slowed client id (0-based).
+	Client int
+	// LatencyUS is the added per-response delay in microseconds.
+	LatencyUS int
+}
+
+// String renders the slow link in spec grammar.
+func (s SlowLink) String() string { return fmt.Sprintf("slow:%d:%d", s.Client, s.LatencyUS) }
+
+// Zero reports whether the spec injects nothing.
+func (s *NetSpec) Zero() bool {
+	return s == nil || (len(s.Drops) == 0 && s.Partition == nil && len(s.Slows) == 0)
+}
+
+// String renders the spec in the ParseNet grammar (canonical directive
+// order: drops sorted by client then ticket, slows sorted by client,
+// partition last).
+func (s *NetSpec) String() string {
+	if s.Zero() {
+		return "none"
+	}
+	var parts []string
+	drops := append([]Drop(nil), s.Drops...)
+	sort.Slice(drops, func(i, j int) bool {
+		if drops[i].Client != drops[j].Client {
+			return drops[i].Client < drops[j].Client
+		}
+		return drops[i].Ticket < drops[j].Ticket
+	})
+	for _, d := range drops {
+		parts = append(parts, d.String())
+	}
+	slows := append([]SlowLink(nil), s.Slows...)
+	sort.Slice(slows, func(i, j int) bool { return slows[i].Client < slows[j].Client })
+	for _, sl := range slows {
+		parts = append(parts, sl.String())
+	}
+	if s.Partition != nil {
+		parts = append(parts, s.Partition.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+// SlowUS returns the response delay for the client in microseconds (0 when
+// the client has no slow link).
+func (s *NetSpec) SlowUS(client int) int {
+	if s == nil {
+		return 0
+	}
+	for _, sl := range s.Slows {
+		if sl.Client == client {
+			return sl.LatencyUS
+		}
+	}
+	return 0
+}
+
+// ParseNet reads the network directive grammar. "" and "none" parse to nil
+// (no network faults); unknown directives and malformed parameters are
+// errors that echo the grammar.
+func ParseNet(text string) (*NetSpec, error) {
+	text = strings.TrimSpace(text)
+	if text == "" || text == "none" {
+		return nil, nil
+	}
+	sp := &NetSpec{}
+	for _, dir := range strings.Split(text, ",") {
+		dir = strings.TrimSpace(dir)
+		kind, arg, hasArg := strings.Cut(dir, ":")
+		switch kind {
+		case "drop":
+			d, err := parseDrop(arg, hasArg)
+			if err != nil {
+				return nil, fmt.Errorf("faults: directive %q: %w", dir, err)
+			}
+			for _, prev := range sp.Drops {
+				if prev == d {
+					return nil, fmt.Errorf("faults: duplicate drop directive %q", dir)
+				}
+			}
+			sp.Drops = append(sp.Drops, d)
+		case "partition":
+			p, err := parsePartition(arg, hasArg)
+			if err != nil {
+				return nil, fmt.Errorf("faults: directive %q: %w", dir, err)
+			}
+			if sp.Partition != nil {
+				return nil, fmt.Errorf("faults: duplicate partition directive %q", dir)
+			}
+			sp.Partition = &p
+		case "slow":
+			sl, err := parseSlow(arg, hasArg)
+			if err != nil {
+				return nil, fmt.Errorf("faults: directive %q: %w", dir, err)
+			}
+			for _, prev := range sp.Slows {
+				if prev.Client == sl.Client {
+					return nil, fmt.Errorf("faults: duplicate slow directive for client %d", sl.Client)
+				}
+			}
+			sp.Slows = append(sp.Slows, sl)
+		case "none":
+			return nil, fmt.Errorf("faults: %q cannot be combined with other directives", dir)
+		default:
+			return nil, fmt.Errorf("faults: unknown network directive %q (grammar: drop:C@T, partition:T+D, slow:C:LAT, none)", dir)
+		}
+	}
+	return sp, nil
+}
+
+// parseDrop reads "C@T".
+func parseDrop(arg string, hasArg bool) (Drop, error) {
+	if !hasArg {
+		return Drop{}, fmt.Errorf("want drop:C@T")
+	}
+	cs, ts, ok := strings.Cut(arg, "@")
+	if !ok {
+		return Drop{}, fmt.Errorf("want drop:C@T")
+	}
+	c, err := strconv.Atoi(cs)
+	if err != nil || c < 0 {
+		return Drop{}, fmt.Errorf("client %q (want an index >= 0)", cs)
+	}
+	t, err := strconv.ParseUint(ts, 10, 64)
+	if err != nil || t == 0 {
+		return Drop{}, fmt.Errorf("trigger ticket %q (want >= 1)", ts)
+	}
+	return Drop{Client: c, Ticket: t}, nil
+}
+
+// parsePartition reads "T+D".
+func parsePartition(arg string, hasArg bool) (Partition, error) {
+	if !hasArg {
+		return Partition{}, fmt.Errorf("want partition:T+D")
+	}
+	ts, ds, ok := strings.Cut(arg, "+")
+	if !ok {
+		return Partition{}, fmt.Errorf("want partition:T+D")
+	}
+	t, err := strconv.ParseUint(ts, 10, 64)
+	if err != nil || t == 0 {
+		return Partition{}, fmt.Errorf("trigger ticket %q (want >= 1)", ts)
+	}
+	d, err := strconv.ParseUint(ds, 10, 64)
+	if err != nil || d == 0 {
+		return Partition{}, fmt.Errorf("width %q (want >= 1 tickets)", ds)
+	}
+	return Partition{Ticket: t, Width: d}, nil
+}
+
+// parseSlow reads "C:LAT".
+func parseSlow(arg string, hasArg bool) (SlowLink, error) {
+	if !hasArg {
+		return SlowLink{}, fmt.Errorf("want slow:C:LAT")
+	}
+	cs, ls, ok := strings.Cut(arg, ":")
+	if !ok {
+		return SlowLink{}, fmt.Errorf("want slow:C:LAT")
+	}
+	c, err := strconv.Atoi(cs)
+	if err != nil || c < 0 {
+		return SlowLink{}, fmt.Errorf("client %q (want an index >= 0)", cs)
+	}
+	l, err := strconv.Atoi(ls)
+	if err != nil || l <= 0 {
+		return SlowLink{}, fmt.Errorf("latency %q (want >= 1 microseconds)", ls)
+	}
+	return SlowLink{Client: c, LatencyUS: l}, nil
+}

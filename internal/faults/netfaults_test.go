@@ -1,0 +1,86 @@
+package faults
+
+import "testing"
+
+func TestParseNetGrammar(t *testing.T) {
+	sp, err := ParseNet("drop:1@80,slow:2:200,drop:0@40,partition:120+40")
+	if err != nil {
+		t.Fatalf("ParseNet: %v", err)
+	}
+	if len(sp.Drops) != 2 || sp.Partition == nil || len(sp.Slows) != 1 {
+		t.Fatalf("unexpected spec: %+v", sp)
+	}
+	if got, want := sp.String(), "drop:0@40,drop:1@80,slow:2:200,partition:120+40"; got != want {
+		t.Fatalf("String() = %q, want canonical %q", got, want)
+	}
+	// The canonical rendering re-parses to the same spec.
+	again, err := ParseNet(sp.String())
+	if err != nil {
+		t.Fatalf("re-parse canonical: %v", err)
+	}
+	if again.String() != sp.String() {
+		t.Fatalf("canonical not a fixpoint: %q vs %q", again.String(), sp.String())
+	}
+}
+
+func TestParseNetEmpty(t *testing.T) {
+	for _, text := range []string{"", "none", "  none  "} {
+		sp, err := ParseNet(text)
+		if err != nil {
+			t.Fatalf("ParseNet(%q): %v", text, err)
+		}
+		if sp != nil {
+			t.Fatalf("ParseNet(%q) = %+v, want nil", text, sp)
+		}
+		if !sp.Zero() || sp.String() != "none" {
+			t.Fatalf("nil spec: Zero()=%v String()=%q", sp.Zero(), sp.String())
+		}
+	}
+}
+
+func TestParseNetErrors(t *testing.T) {
+	bad := []string{
+		"drop",                        // missing args
+		"drop:0",                      // missing trigger
+		"drop:0@0",                    // ticket must be >= 1
+		"drop:-1@5",                   // negative client
+		"drop:0@5,drop:0@5",           // duplicate
+		"partition:5",                 // missing width
+		"partition:0+10",              // trigger must be >= 1
+		"partition:5+0",               // width must be >= 1
+		"partition:5+5,partition:9+2", // duplicate
+		"slow:1",                      // missing latency
+		"slow:1:0",                    // latency must be >= 1
+		"slow:1:5,slow:1:9",           // duplicate client
+		"drop:0@5,none",               // none cannot combine
+		"stall:0@2+2",                 // schedule-fault grammar is not network grammar
+		"bogus:1",                     // unknown directive
+	}
+	for _, text := range bad {
+		if _, err := ParseNet(text); err == nil {
+			t.Errorf("ParseNet(%q): want error, got nil", text)
+		}
+	}
+}
+
+func TestNetSpecHelpers(t *testing.T) {
+	sp, err := ParseNet("slow:2:200,partition:60+40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sp.SlowUS(2); got != 200 {
+		t.Fatalf("SlowUS(2) = %d, want 200", got)
+	}
+	if got := sp.SlowUS(0); got != 0 {
+		t.Fatalf("SlowUS(0) = %d, want 0", got)
+	}
+	for tick, want := range map[uint64]bool{0: false, 59: false, 60: true, 99: true, 100: false} {
+		if got := sp.Partition.Active(tick); got != want {
+			t.Errorf("Active(%d) = %v, want %v", tick, got, want)
+		}
+	}
+	var none *Partition
+	if none.Active(5) {
+		t.Error("nil partition must never be active")
+	}
+}

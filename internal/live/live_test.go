@@ -143,19 +143,19 @@ func TestMergerOrdersByKey(t *testing.T) {
 	// Hand-built shards: client 0 commits tickets 1 and 3, client 1 commits
 	// ticket 2. Invocation stamps interleave them.
 	op := spec.MakeOp(spec.MethodFetchInc)
-	s0 := newShard(4)
-	s1 := newShard(2)
-	s0.push(rec{pos: 0, invoke: true, op: op}) // inv a  (gap 0)
-	s1.push(rec{pos: 0, invoke: true, op: op}) // inv b  (gap 0, after a: client order)
-	s0.push(rec{pos: 1, resp: 0, op: op})      // commit a @1
-	s1.push(rec{pos: 2, resp: 1, op: op})      // commit b @2
-	s0.push(rec{pos: 2, invoke: true, op: op}) // inv c  (gap 2)
-	s0.push(rec{pos: 3, resp: 2, op: op})      // commit c @3
-	s0.finish()
-	s1.finish()
-	m := newMerger("C", 0, []*shard{s0, s1})
+	s0 := NewShard(4)
+	s1 := NewShard(2)
+	s0.PushInvoke(0, op)    // inv a  (gap 0)
+	s1.PushInvoke(0, op)    // inv b  (gap 0, after a: client order)
+	s0.PushCommit(1, 0, op) // commit a @1
+	s1.PushCommit(2, 1, op) // commit b @2
+	s0.PushInvoke(2, op)    // inv c  (gap 2)
+	s0.PushCommit(3, 2, op) // commit c @3
+	s0.Finish()
+	s1.Finish()
+	m := NewMerger("C", 0, []*Shard{s0, s1})
 	h := newHist(t)
-	if _, err := m.drain(h, nil); err != nil {
+	if _, err := m.Drain(h, nil); err != nil {
 		t.Fatal(err)
 	}
 	want := []string{
@@ -179,16 +179,16 @@ func TestMergerOrdersByKey(t *testing.T) {
 func TestMergerWatermarkStalls(t *testing.T) {
 	// A drained, unfinished shard blocks records above its watermark.
 	op := spec.MakeOp(spec.MethodFetchInc)
-	s0 := newShard(2)
-	s1 := newShard(2)
-	s0.push(rec{pos: 0, invoke: true, op: op})
-	s0.push(rec{pos: 1, resp: 0, op: op})
-	s0.finish()
+	s0 := NewShard(2)
+	s1 := NewShard(2)
+	s0.PushInvoke(0, op)
+	s0.PushCommit(1, 0, op)
+	s0.Finish()
 	// s1 has published nothing and is not done: nothing may merge (its
 	// first invocation could be stamped 0 and belong before everything).
-	m := newMerger("C", 0, []*shard{s0, s1})
+	m := NewMerger("C", 0, []*Shard{s0, s1})
 	h := newHist(t)
-	n, err := m.drain(h, nil)
+	n, err := m.Drain(h, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,9 +198,9 @@ func TestMergerWatermarkStalls(t *testing.T) {
 	// Once s1 publishes an invocation stamped 1 (key above s0's records),
 	// s0's records flow; s1's invocation then waits on nothing and merges
 	// too.
-	s1.push(rec{pos: 1, invoke: true, op: op})
-	s1.finish()
-	if _, err := m.drain(h, nil); err != nil {
+	s1.PushInvoke(1, op)
+	s1.Finish()
+	if _, err := m.Drain(h, nil); err != nil {
 		t.Fatal(err)
 	}
 	if h.Len() != 3 {

@@ -1,0 +1,95 @@
+package live
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// A growable shard accepts pushes far past its initial allocation while a
+// concurrent merger drains it, and the merge output matches the push order.
+func TestShardGrowsUnderConcurrentDrain(t *testing.T) {
+	op := spec.MakeOp(spec.MethodFetchInc)
+	const ops = 5000
+	sh := NewShard(0)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer sh.Finish()
+		for i := uint64(0); i < ops; i++ {
+			if !sh.PushInvoke(i, op) {
+				t.Error("growable shard refused a push")
+				return
+			}
+			if !sh.PushCommit(i+1, int64(i), op) {
+				t.Error("growable shard refused a push")
+				return
+			}
+		}
+	}()
+	h := history.New()
+	m := NewMerger("C", 0, []*Shard{sh})
+	for h.Len() < 2*ops {
+		if _, err := m.Drain(h, nil); err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	}
+	wg.Wait()
+	for i := 0; i < ops; i++ {
+		if e := h.Event(2*i + 1); e.Resp != int64(i) {
+			t.Fatalf("event %d: resp %d, want %d", 2*i+1, e.Resp, i)
+		}
+	}
+}
+
+// A fixed-capacity shard still reports overflow (the in-process runtime's
+// accounting guard).
+func TestShardFixedOverflow(t *testing.T) {
+	op := spec.MakeOp(spec.MethodFetchInc)
+	sh := NewShard(2)
+	if !sh.PushInvoke(0, op) || !sh.PushCommit(1, 0, op) {
+		t.Fatal("pushes within capacity must succeed")
+	}
+	if sh.PushInvoke(1, op) {
+		t.Fatal("push past fixed capacity must fail")
+	}
+}
+
+// An idle shard's published bound releases records the watermark would
+// otherwise hold back, without the shard pushing anything.
+func TestMergerIdleBound(t *testing.T) {
+	op := spec.MakeOp(spec.MethodFetchInc)
+	busy := NewShard(0)
+	idle := NewShard(0)
+	busy.PushInvoke(0, op)
+	busy.PushCommit(1, 0, op)
+	h := history.New()
+	m := NewMerger("C", 0, []*Shard{busy, idle})
+
+	// The idle shard has published nothing: its (0,-1) watermark blocks
+	// everything.
+	if n, err := m.Drain(h, nil); err != nil || n != 0 {
+		t.Fatalf("drain before bound: n=%d err=%v, want 0 merged", n, err)
+	}
+	// Bound (1,0) releases busy's invoke at (0,1) and commit at (1,0) —
+	// equal keys are safe (the idle client's future records are strictly
+	// above its bound).
+	idle.SetBound(1)
+	if n, err := m.Drain(h, nil); err != nil || n != 2 {
+		t.Fatalf("drain after bound: n=%d err=%v, want 2 merged", n, err)
+	}
+	// A later record from the previously idle shard still merges in order.
+	idle.PushInvoke(1, op)
+	idle.PushCommit(2, 1, op)
+	idle.Finish()
+	busy.Finish()
+	if n, err := m.Drain(h, nil); err != nil || n != 2 {
+		t.Fatalf("final drain: n=%d err=%v, want 2 merged", n, err)
+	}
+	if h.Len() != 4 {
+		t.Fatalf("history length %d, want 4", h.Len())
+	}
+}

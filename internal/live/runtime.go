@@ -342,11 +342,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 	defer env.closeSink()
 
-	shards := make([]*shard, cfg.Clients)
+	shards := make([]*Shard, cfg.Clients)
 	lats := make([][]int64, cfg.Clients)
 	clientOps := make([]int, cfg.Clients)
 	for c := range shards {
-		shards[c] = newShard(2 * cfg.Ops)
+		shards[c] = NewShard(2 * cfg.Ops)
 		lats[c] = make([]int64, 0, cfg.Ops/cfg.LatencySample+1)
 	}
 
@@ -375,7 +375,7 @@ func Run(cfg Config) (*Result, error) {
 		go func(c int) {
 			defer wg.Done()
 			defer active.Add(-1)
-			defer shards[c].finish()
+			defer shards[c].Finish()
 			r := rand.New(rand.NewSource(cfg.Seed ^ int64(c+1)*0x5DEECE66D))
 			sh := shards[c]
 			proc := cfg.ProcBase + c
@@ -417,7 +417,7 @@ func Run(cfg Config) (*Result, error) {
 				} else if sample {
 					t0 = time.Now()
 				}
-				if !sh.push(rec{pos: env.seq.Load(), invoke: true, op: op}) {
+				if !sh.PushInvoke(env.seq.Load(), op) {
 					fail(c, fmt.Errorf("live: client %d shard overflow", c))
 					return
 				}
@@ -426,7 +426,7 @@ func Run(cfg Config) (*Result, error) {
 					fail(c, fmt.Errorf("live: client %d op %d (ticket %d): %w", c, i, env.seq.Load(), err))
 					return
 				}
-				if !sh.push(rec{pos: ticket, resp: resp, op: op}) {
+				if !sh.PushCommit(ticket, resp, op) {
 					fail(c, fmt.Errorf("live: client %d shard overflow", c))
 					return
 				}
@@ -445,10 +445,10 @@ func Run(cfg Config) (*Result, error) {
 	}()
 
 	// Merge-and-monitor loop (runs on this goroutine).
-	m := newMerger(cfg.Object.Name(), cfg.ProcBase, shards)
+	m := NewMerger(cfg.Object.Name(), cfg.ProcBase, shards)
 	done := false
 	for {
-		if _, err := m.drain(env.h, env.feed); err != nil && err != errStopMerge && err != errCrash {
+		if _, err := m.Drain(env.h, env.feed); err != nil && err != errStopMerge && err != errCrash {
 			env.stop.Store(true)
 			<-clientsDone
 			return nil, err

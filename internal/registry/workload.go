@@ -179,7 +179,7 @@ func defaultOpGen(obj spec.Object) live.OpGen {
 
 // EngineNames lists the registered scenario-engine names.
 func EngineNames() []string {
-	return []string{"explore", "live", "sim"}
+	return []string{"explore", "live", "serve", "sim"}
 }
 
 // Engine canonicalizes a scenario-engine name ("" defaults to "sim").
@@ -187,7 +187,7 @@ func Engine(name string) (string, error) {
 	switch name {
 	case "":
 		return "sim", nil
-	case "explore", "sim", "live":
+	case "explore", "sim", "live", "serve":
 		return name, nil
 	default:
 		return "", fmt.Errorf("registry: unknown engine %q (known: %s)",

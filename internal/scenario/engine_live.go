@@ -67,6 +67,9 @@ func monitorStride(obj live.Object, clients, stride int) (int, error) {
 // Run implements Engine.
 func (Live) Run(s Scenario) (*Report, error) {
 	s = s.withDefaults()
+	if s.NetFaults != "" && s.NetFaults != "none" {
+		return nil, fmt.Errorf("scenario: net-faults %q are a serve-engine feature; engine %q rejects them (the live engine has no connections to sever)", s.NetFaults, "live")
+	}
 	obj, err := s.resolveLive()
 	if err != nil {
 		return nil, err

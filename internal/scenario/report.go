@@ -47,6 +47,11 @@ type ScenarioInfo struct {
 	// nothing is injected); Serial reports the deterministic serial driver.
 	Faults string `json:"faults,omitempty"`
 	Serial bool   `json:"serial,omitempty"`
+	// NetFaults is the canonical network fault spec of a Serve run ("" when
+	// nothing is injected); WALSync the resolved durability policy of a run
+	// writing a commit log ("" when none is).
+	NetFaults string `json:"net_faults,omitempty"`
+	WALSync   string `json:"wal_sync,omitempty"`
 }
 
 // Checks reports the after-the-fact decision procedures an engine ran on
@@ -158,6 +163,29 @@ type PerfInfo struct {
 	P99NS int64 `json:"p99_ns,omitempty"`
 	// Gomaxprocs records the scheduler parallelism the run had available.
 	Gomaxprocs int `json:"gomaxprocs,omitempty"`
+	// Overloaded reports that the Serve engine's overload controller
+	// degraded the monitor to sampling; MonSampleEvery is the widest
+	// sampling interval reached (0 when never degraded), MonWindowsSkipped
+	// the windows that skipped their MinT search (their events still fold
+	// into the incremental state), MonEscalations the near-violation
+	// escalations back to exhaustive checking.
+	Overloaded        bool `json:"overloaded,omitempty"`
+	MonSampleEvery    int  `json:"mon_sample_every,omitempty"`
+	MonWindowsSkipped int  `json:"mon_windows_skipped,omitempty"`
+	MonEscalations    int  `json:"mon_escalations,omitempty"`
+}
+
+// NetInfo describes what the Serve engine's client fleet endured on the
+// wire: reconnects and resends under the network fault plane, and the
+// exactly-once ledger (Lost/Duplicated are the contract — both zero on any
+// ok report).
+type NetInfo struct {
+	Clients    int `json:"clients"`
+	Retries    int `json:"retries,omitempty"`
+	Reconnects int `json:"reconnects,omitempty"`
+	Refused    int `json:"refused,omitempty"`
+	Lost       int `json:"lost"`
+	Duplicated int `json:"duplicated"`
 }
 
 // RecoveryInfo describes a crash-recovery pipeline: what a commit log
@@ -209,7 +237,9 @@ type Report struct {
 	Stable  *StableInfo  `json:"stable,omitempty"`
 	Witness *WitnessInfo `json:"witness,omitempty"`
 	Perf    *PerfInfo    `json:"perf,omitempty"`
-	Fuzz    *FuzzInfo    `json:"fuzz,omitempty"`
+	// Net is present on Serve reports whose client fleet ran.
+	Net  *NetInfo  `json:"net,omitempty"`
+	Fuzz *FuzzInfo `json:"fuzz,omitempty"`
 	// Recovery is present on reports of the crash-recovery pipeline
 	// (scenario.Recover): log recovery, replay, continuation.
 	Recovery *RecoveryInfo `json:"recovery,omitempty"`
@@ -261,7 +291,18 @@ func (r *Report) Canonical() *Report {
 		perf.ThroughputOpsS = 0
 		perf.P50NS, perf.P95NS, perf.P99NS = 0, 0, 0
 		perf.Gomaxprocs = 0
+		// Overload and sampling depend on load timing, not the scenario.
+		perf.Overloaded = false
+		perf.MonSampleEvery, perf.MonWindowsSkipped, perf.MonEscalations = 0, 0, 0
 		cp.Perf = &perf
+	}
+	if r.Net != nil {
+		net := *r.Net
+		// Reconnect counts ride wall-clock races (when a drop fires relative
+		// to in-flight requests, how often a partitioned client knocks); the
+		// exactly-once ledger and the fleet size are the scenario's contract.
+		net.Retries, net.Reconnects, net.Refused = 0, 0, 0
+		cp.Net = &net
 	}
 	return &cp
 }
@@ -286,8 +327,15 @@ func (r *Report) EncodeJSON(w io.Writer) error {
 // Render writes the human-readable form of the report.
 func (r *Report) Render(w io.Writer) error {
 	sc := r.Scenario
-	fmt.Fprintf(w, "engine=%s impl=%s workload=%s procs=%d ops=%d seed=%d\n",
+	fmt.Fprintf(w, "engine=%s impl=%s workload=%s procs=%d ops=%d seed=%d",
 		r.Engine, sc.Impl, sc.Workload, sc.Procs, sc.Ops, sc.Seed)
+	if sc.NetFaults != "" {
+		fmt.Fprintf(w, " net-faults=%s", sc.NetFaults)
+	}
+	if sc.WALSync != "" {
+		fmt.Fprintf(w, " wal-sync=%s", sc.WALSync)
+	}
+	fmt.Fprintln(w)
 	if r.Detail != "" {
 		fmt.Fprintf(w, "verdict: %s (%s)\n", r.Verdict, r.Detail)
 	} else {
@@ -338,8 +386,16 @@ func (r *Report) Render(w io.Writer) error {
 				fmt.Fprintf(w, " ns=%d throughput=%.0f/s p50=%dns p95=%dns p99=%dns",
 					p.NS, p.ThroughputOpsS, p.P50NS, p.P95NS, p.P99NS)
 			}
+			if p.Overloaded {
+				fmt.Fprintf(w, " overloaded sample-every=%d skipped=%d escalations=%d",
+					p.MonSampleEvery, p.MonWindowsSkipped, p.MonEscalations)
+			}
 			fmt.Fprintln(w)
 		}
+	}
+	if n := r.Net; n != nil {
+		fmt.Fprintf(w, "net: clients=%d retries=%d reconnects=%d refused=%d lost=%d duplicated=%d\n",
+			n.Clients, n.Retries, n.Reconnects, n.Refused, n.Lost, n.Duplicated)
 	}
 	if rc := r.Recovery; rc != nil {
 		fmt.Fprintf(w, "recovery: frames=%d", rc.Frames)

@@ -3,7 +3,7 @@
 // options, tolerance, budget, workers, seed — runs unchanged on every
 // execution engine, and every engine answers with the same unified Report.
 //
-// The three engines cover the three regimes the repository implements:
+// The four engines cover the four regimes the repository implements:
 //
 //   - Explore: bounded exhaustive model checking of every interleaving
 //     (and every weakly consistent response choice), with valency analysis
@@ -12,7 +12,10 @@
 //     and base-object adversary, checked after the fact (package sim);
 //   - Live: real goroutine clients hammering a genuinely shared object
 //     with online windowed monitoring, fuzzing and shrink-to-simulator
-//     replay (package live).
+//     replay (package live);
+//   - Serve: the same object behind a framed-TCP server, driven by a
+//     retrying client fleet through the network fault plane, with the
+//     online monitor running server-side (packages server/loadgen).
 //
 // Implementations, workloads, schedulers, choosers, policies and engines
 // are all resolved by registry name, so adding one registry entry lights up
@@ -31,6 +34,7 @@ import (
 	"github.com/elin-go/elin/internal/machine"
 	"github.com/elin-go/elin/internal/registry"
 	"github.com/elin-go/elin/internal/sim"
+	"github.com/elin-go/elin/internal/wal"
 )
 
 // Analysis names the exhaustive-exploration analyses of the Explore
@@ -164,9 +168,15 @@ type Scenario struct {
 	// regimes already quantify over (or deterministically pick) schedules,
 	// so wall-clock fault injection is meaningless there.
 	Faults string
-	// WAL, when non-empty, is a filesystem path the Live engine writes a
-	// durable commit log to (package wal), one CRC-framed record per merged
-	// history event in commit order.
+	// NetFaults names a network fault spec for the Serve engine: a registry
+	// preset ("flaky-net", "partition-heal", ...) or the net-faults grammar
+	// directly ("drop:0@40,slow:2:200,partition:120+40"). Empty or "none"
+	// injects nothing. Every other engine rejects it: only the networked
+	// runtime has connections to drop, sever or slow.
+	NetFaults string
+	// WAL, when non-empty, is a filesystem path the Live and Serve engines
+	// write a durable commit log to (package wal), one CRC-framed record per
+	// merged history event in commit order.
 	WAL string
 	// WALSync names the WAL durability policy: "always", "never" (default),
 	// or "interval:N" (fsync every N appends).
@@ -247,7 +257,7 @@ type Engine interface {
 }
 
 // Engines returns every engine, in registry-name order.
-func Engines() []Engine { return []Engine{Explore{}, Live{}, Sim{}} }
+func Engines() []Engine { return []Engine{Explore{}, Live{}, Serve{}, Sim{}} }
 
 // EngineByName resolves an engine by registry name ("" defaults to "sim").
 func EngineByName(name string) (Engine, error) {
@@ -260,6 +270,8 @@ func EngineByName(name string) (Engine, error) {
 		return Explore{}, nil
 	case "live":
 		return Live{}, nil
+	case "serve":
+		return Serve{}, nil
 	default:
 		return Sim{}, nil
 	}
@@ -323,6 +335,10 @@ func (s Scenario) info(engine string) ScenarioInfo {
 	case "live":
 		inf.Faults = s.faultsName()
 		inf.Serial = s.Serial
+		inf.WALSync = s.walSyncName()
+	case "serve":
+		inf.NetFaults = s.netFaultsName()
+		inf.WALSync = s.walSyncName()
 	}
 	return inf
 }
@@ -342,10 +358,28 @@ func (s Scenario) rejectLiveOnly(engine string) error {
 	switch {
 	case s.Faults != "" && s.Faults != "none":
 		return fmt.Errorf("scenario: faults %q are a live-engine feature; engine %q rejects them (exclude faulted cells from %s sweeps)", s.Faults, engine, engine)
+	case s.NetFaults != "" && s.NetFaults != "none":
+		return fmt.Errorf("scenario: net-faults %q are a serve-engine feature; engine %q rejects them", s.NetFaults, engine)
 	case s.WAL != "" || s.WALSync != "":
-		return fmt.Errorf("scenario: WAL commit logging is a live-engine feature; engine %q rejects it", engine)
+		return fmt.Errorf("scenario: WAL commit logging is a live/serve-engine feature; engine %q rejects it", engine)
 	case s.Serial:
 		return fmt.Errorf("scenario: the serial driver is a live-engine feature; engine %q rejects it", engine)
+	}
+	return nil
+}
+
+// rejectNonServe errors when a scenario carries another regime's features
+// into the Serve engine: the process fault plane (stalls, crashes, jitter,
+// flips) acts inside live.Run's client goroutines, which a networked run
+// does not have — its fault plane is NetFaults, acting on connections.
+func (s Scenario) rejectNonServe() error {
+	switch {
+	case s.Faults != "" && s.Faults != "none":
+		return fmt.Errorf("scenario: process faults %q are a live-engine feature; the serve engine's fault plane is NetFaults", s.Faults)
+	case s.Serial:
+		return fmt.Errorf("scenario: the serial driver is a live-engine feature; the serve engine rejects it")
+	case s.FuzzRuns > 0:
+		return fmt.Errorf("scenario: fuzz campaigns are a live-engine feature; the serve engine rejects them")
 	}
 	return nil
 }
@@ -366,6 +400,33 @@ func (s Scenario) faultsName() string {
 	return sp.String()
 }
 
+// netFaultsName is faultsName's counterpart for the network fault plane:
+// the canonical spelling of the net-fault spec ("" when none is injected).
+func (s Scenario) netFaultsName() string {
+	sp, err := registry.NetFaults(s.NetFaults)
+	if err != nil {
+		return s.NetFaults
+	}
+	if sp.Zero() {
+		return ""
+	}
+	return sp.String()
+}
+
+// walSyncName resolves the WAL durability policy to its canonical name
+// ("" when no commit log is written) — "never" and "" on a WAL-writing
+// scenario name the same policy and must name the same grid cell.
+func (s Scenario) walSyncName() string {
+	if s.WAL == "" && s.WALSync == "" {
+		return ""
+	}
+	pol, err := wal.ParseSyncPolicy(s.WALSync)
+	if err != nil {
+		return s.WALSync
+	}
+	return pol.String()
+}
+
 // Info returns the resolved scenario echo a report for the named engine
 // would carry, defaults filled in — the same projection executed cells
 // embed, available without running anything (campaign uses it to build
@@ -383,7 +444,7 @@ func (s Scenario) Info(engine string) ScenarioInfo {
 // (engine, impl, workload, policy, procs, ops, tolerance, seed) plus the
 // engine-relevant resolved names (analysis for explore, scheduler and
 // chooser for sim, the canonical fault spec for live when one is
-// injected). Defaults are filled in first, so Workload "" and
+// injected, the canonical net-fault spec and WAL sync policy for serve). Defaults are filled in first, so Workload "" and
 // "default" — or Engine "" and "sim" — name the same cell. Two scenarios
 // with equal CellIDs on the same engine occupy the same grid point, which
 // is what campaign baseline diffing matches on across runs and commits.
@@ -397,6 +458,12 @@ func (s Scenario) CellID(engine string) string {
 	fmt.Fprintf(&b, "engine=%s impl=%s workload=%s policy=%s", canon, inf.Impl, inf.Workload, inf.Policy)
 	if inf.Faults != "" {
 		fmt.Fprintf(&b, " faults=%s", inf.Faults)
+	}
+	if inf.NetFaults != "" {
+		fmt.Fprintf(&b, " netfaults=%s", inf.NetFaults)
+	}
+	if inf.WALSync != "" {
+		fmt.Fprintf(&b, " walsync=%s", inf.WALSync)
 	}
 	if inf.Analysis != "" {
 		fmt.Fprintf(&b, " analysis=%s", inf.Analysis)

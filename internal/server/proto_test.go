@@ -1,0 +1,76 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/elin-go/elin/internal/spec"
+)
+
+func TestProtoRoundTrips(t *testing.T) {
+	h := Hello{Client: 7, Done: 123456}
+	if got, err := DecodeHello(AppendHello(nil, h)); err != nil || got != h {
+		t.Fatalf("hello round trip: %+v, %v", got, err)
+	}
+	a := HelloAck{Applied: 42, LastResp: -7, LastTicket: 999}
+	if got, err := DecodeHelloAck(AppendHelloAck(nil, a)); err != nil || got != a {
+		t.Fatalf("hello-ack round trip: %+v, %v", got, err)
+	}
+	r := Request{OpIndex: 5, Op: spec.MakeOp1(spec.MethodWrite, -3)}
+	if got, err := DecodeRequest(AppendRequest(nil, r)); err != nil || got != r {
+		t.Fatalf("request round trip: %+v, %v", got, err)
+	}
+	resp := Response{OpIndex: 5, Resp: -3, Ticket: 88}
+	if got, err := DecodeResponse(AppendResponse(nil, resp)); err != nil || got != resp {
+		t.Fatalf("response round trip: %+v, %v", got, err)
+	}
+	if text, ok := DecodeError(AppendError(nil, "boom")); !ok || text != "boom" {
+		t.Fatalf("error round trip: %q, %v", text, ok)
+	}
+}
+
+func TestProtoRoundTripQuick(t *testing.T) {
+	f := func(opIndex uint64, resp int64, ticket uint64, arg int64, nargs uint8) bool {
+		op := spec.MakeOp(spec.MethodFetchInc)
+		if nargs%2 == 1 {
+			op = spec.MakeOp1(spec.MethodWrite, arg)
+		}
+		r := Request{OpIndex: opIndex, Op: op}
+		got, err := DecodeRequest(AppendRequest(nil, r))
+		if err != nil || got != r {
+			return false
+		}
+		rs := Response{OpIndex: opIndex, Resp: resp, Ticket: ticket}
+		gotR, err := DecodeResponse(AppendResponse(nil, rs))
+		return err == nil && gotR == rs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrameRoundTripAndCorruption(t *testing.T) {
+	payload := AppendRequest(nil, Request{OpIndex: 3, Op: spec.MakeOp(spec.MethodFetchInc)})
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, payload); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), buf.Bytes()...)
+	got, err := ReadFrame(bufio.NewReader(bytes.NewReader(frame)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("frame payload diverged")
+	}
+	// Any flipped payload byte must fail the CRC.
+	for i := 8; i < len(frame); i++ {
+		bad := append([]byte(nil), frame...)
+		bad[i] ^= 0x40
+		if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(bad))); err == nil {
+			t.Fatalf("flipped byte %d went unnoticed", i)
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package server_test
+
+import (
+	"bufio"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/faults"
+	"github.com/elin-go/elin/internal/history"
+	"github.com/elin-go/elin/internal/live"
+	"github.com/elin-go/elin/internal/loadgen"
+	"github.com/elin-go/elin/internal/server"
+	"github.com/elin-go/elin/internal/wal"
+)
+
+// startServer stands up a server on 127.0.0.1:0 and returns it with its
+// address.
+func startServer(t *testing.T, cfg server.Config) (*server.Server, string) {
+	t.Helper()
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Serve(ln)
+	return s, ln.Addr().String()
+}
+
+// load runs a fleet against addr and requires every client to succeed.
+func load(t *testing.T, cfg loadgen.Config) *loadgen.Result {
+	t.Helper()
+	res, err := loadgen.Run(cfg)
+	if err != nil {
+		t.Fatalf("loadgen: %v (result %+v)", err, res)
+	}
+	return res
+}
+
+func requireExactlyOnce(t *testing.T, res *loadgen.Result) {
+	t.Helper()
+	if res.Lost != 0 || res.Duplicated != 0 {
+		t.Fatalf("exactly-once broken: lost=%d duplicated=%d (completed %d)",
+			res.Lost, res.Duplicated, res.Completed)
+	}
+}
+
+func TestServeBasic(t *testing.T) {
+	const clients, ops = 4, 200
+	s, addr := startServer(t, server.Config{
+		Object:  live.NewAtomicFetchInc("C", 0),
+		Clients: clients,
+		Seed:    1,
+		Monitor: check.IncrementalConfig{Stride: 64, MaxT: 0},
+	})
+	res := load(t, loadgen.Config{
+		Addr: addr, Clients: clients, Ops: ops,
+		Gen: live.FetchIncGen(), Seed: 1,
+	})
+	requireExactlyOnce(t, res)
+	sum, err := s.Shutdown()
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if sum.Violation != nil {
+		t.Fatalf("monitor violation on a linearizable object: %v", sum.Violation)
+	}
+	if sum.Commits != clients*ops {
+		t.Fatalf("commits = %d, want %d", sum.Commits, clients*ops)
+	}
+	if sum.Events != 2*clients*ops {
+		t.Fatalf("events = %d, want %d", sum.Events, 2*clients*ops)
+	}
+	for id, a := range sum.Applied {
+		if a != ops {
+			t.Fatalf("session %d applied %d, want %d", id, a, ops)
+		}
+	}
+}
+
+// The acceptance headline: under flaky-net (drops, a slow link, one
+// partition-and-heal) the fleet completes with zero lost and zero
+// duplicated commits and the monitor verdict matches the fault-free
+// baseline (no violation, same commit count).
+func TestServeFlakyNetExactlyOnce(t *testing.T) {
+	const clients, ops = 4, 150
+	nf, err := faults.ParseNet("drop:0@40,drop:1@80,slow:2:200,partition:120+40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, addr := startServer(t, server.Config{
+		Object:    live.NewAtomicFetchInc("C", 0),
+		Clients:   clients,
+		Seed:      7,
+		Monitor:   check.IncrementalConfig{Stride: 64, MaxT: 0},
+		NetFaults: nf,
+	})
+	res := load(t, loadgen.Config{
+		Addr: addr, Clients: clients, Ops: ops,
+		Gen: live.FetchIncGen(), Seed: 7,
+	})
+	requireExactlyOnce(t, res)
+	if res.Reconnects == 0 {
+		t.Fatal("flaky-net run saw no reconnects — faults did not fire")
+	}
+	sum, err := s.Shutdown()
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if sum.Violation != nil {
+		t.Fatalf("faulted run violated: %v", sum.Violation)
+	}
+	if sum.Commits != clients*ops {
+		t.Fatalf("commits = %d, want %d (faults must not duplicate or lose commits)",
+			sum.Commits, clients*ops)
+	}
+	if sum.Events != 2*clients*ops {
+		t.Fatalf("events = %d, want %d (resumed ops must not re-record)",
+			sum.Events, 2*clients*ops)
+	}
+}
+
+// A partition severs the odd clients and heals when the even side's
+// commits move the ticket past the window (or by knocking): everyone
+// finishes, exactly once.
+func TestServePartitionHeals(t *testing.T) {
+	const clients, ops = 4, 120
+	nf, err := faults.ParseNet("partition:60+40")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, addr := startServer(t, server.Config{
+		Object:    live.NewAtomicFetchInc("C", 0),
+		Clients:   clients,
+		Seed:      3,
+		Monitor:   check.IncrementalConfig{Stride: 64, MaxT: 0},
+		NetFaults: nf,
+	})
+	res := load(t, loadgen.Config{
+		Addr: addr, Clients: clients, Ops: ops,
+		Gen: live.FetchIncGen(), Seed: 3,
+	})
+	requireExactlyOnce(t, res)
+	sum, err := s.Shutdown()
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if sum.Violation != nil {
+		t.Fatalf("partitioned run violated: %v", sum.Violation)
+	}
+	if sum.Commits != clients*ops {
+		t.Fatalf("commits = %d, want %d", sum.Commits, clients*ops)
+	}
+}
+
+// Overload degrades the monitor to sampling, and the Summary reports it.
+func TestServeOverloadSampling(t *testing.T) {
+	const clients, ops = 8, 300
+	s, addr := startServer(t, server.Config{
+		Object:         live.NewAtomicFetchInc("C", 0),
+		Clients:        clients,
+		Seed:           1,
+		Monitor:        check.IncrementalConfig{Stride: 64, MaxT: 0},
+		OverloadQueued: 1, // any backlog at all counts as overload
+		SampleEvery:    4,
+	})
+	res := load(t, loadgen.Config{
+		Addr: addr, Clients: clients, Ops: ops,
+		Gen: live.FetchIncGen(), Seed: 1,
+	})
+	requireExactlyOnce(t, res)
+	sum, err := s.Shutdown()
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if !sum.Overloaded {
+		t.Fatal("overload controller never engaged at threshold 1")
+	}
+	if sum.MonMaxSampleEvery != 4 {
+		t.Fatalf("MonMaxSampleEvery = %d, want 4", sum.MonMaxSampleEvery)
+	}
+	if sum.MonSkipped == 0 {
+		t.Fatal("sampling engaged but no window was skipped")
+	}
+	if sum.Violation != nil {
+		t.Fatalf("clean overloaded run violated: %v", sum.Violation)
+	}
+}
+
+// A WAL-backed server persists the merged stream: recovery reads back
+// exactly the events the server merged, with the last commit matching the
+// final ticket.
+func TestServeWALPersistsMergedStream(t *testing.T) {
+	const clients, ops = 3, 100
+	path := filepath.Join(t.TempDir(), "serve.wal")
+	log, err := wal.Create(path, wal.Header{
+		Object: "atomic-fi", ObjName: "C", Procs: clients, Ops: ops, Seed: 5,
+	}, wal.SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, addr := startServer(t, server.Config{
+		Object:  live.NewAtomicFetchInc("C", 0),
+		Clients: clients,
+		Seed:    5,
+		Monitor: check.IncrementalConfig{Stride: 64, MaxT: 0},
+		Sink:    log,
+	})
+	res := load(t, loadgen.Config{
+		Addr: addr, Clients: clients, Ops: ops,
+		Gen: live.FetchIncGen(), Seed: 5,
+	})
+	requireExactlyOnce(t, res)
+	sum, err := s.Shutdown()
+	if err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	rec, err := wal.Recover(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Torn {
+		t.Fatalf("cleanly closed log torn at %d", rec.TornAt)
+	}
+	if rec.Frames != sum.Events {
+		t.Fatalf("recovered %d frames, server merged %d events", rec.Frames, sum.Events)
+	}
+	if rec.LastCommit() != sum.Commits {
+		t.Fatalf("recovered last commit %d, server at %d", rec.LastCommit(), sum.Commits)
+	}
+	for i, e := range rec.Events {
+		got := sum.History.Event(i)
+		if e.Kind != got.Kind || e.Proc != got.Proc || e.Resp != got.Resp {
+			t.Fatalf("event %d diverges: wal %+v vs history %+v", i, e, got)
+		}
+	}
+}
+
+// newReader wraps a test connection for frame reads.
+func newReader(c net.Conn) *bufio.Reader { return bufio.NewReader(c) }
+
+// An out-of-sequence op index is a protocol error, answered and closed.
+func TestServeRejectsOutOfSequence(t *testing.T) {
+	s, addr := startServer(t, server.Config{
+		Object:    live.NewAtomicFetchInc("C", 0),
+		Clients:   1,
+		NoMonitor: true,
+	})
+	defer s.Shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := server.WriteFrame(conn, server.AppendHello(nil, server.Hello{Client: 0, Done: 0})); err != nil {
+		t.Fatal(err)
+	}
+	br := newReader(conn)
+	if _, err := server.ReadFrame(br); err != nil { // hello-ack
+		t.Fatal(err)
+	}
+	req := server.Request{OpIndex: 5}
+	req.Op.Method = "fetchinc"
+	if err := server.WriteFrame(conn, server.AppendRequest(nil, req)); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := server.ReadFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isErr := server.DecodeError(payload); !isErr {
+		t.Fatalf("out-of-sequence op answered with %x, want error frame", payload[0])
+	}
+}
+
+// A client claiming more progress than the server has applied is a lost
+// commit — refused at the handshake.
+func TestServeRejectsLostCommitClaim(t *testing.T) {
+	s, addr := startServer(t, server.Config{
+		Object:    live.NewAtomicFetchInc("C", 0),
+		Clients:   1,
+		NoMonitor: true,
+	})
+	defer s.Shutdown()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := server.WriteFrame(conn, server.AppendHello(nil, server.Hello{Client: 0, Done: 3})); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := server.ReadFrame(newReader(conn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isErr := server.DecodeError(payload); !isErr {
+		t.Fatal("over-claiming hello accepted")
+	}
+}
+
+// The merged history of a server run replays byte-identically (the same
+// contract live.Run keeps).
+func TestServeHistoryReplays(t *testing.T) {
+	const clients, ops = 3, 80
+	s, addr := startServer(t, server.Config{
+		Object:  live.NewAtomicFetchInc("C", 0),
+		Clients: clients,
+		Seed:    2,
+		Monitor: check.IncrementalConfig{Stride: 64, MaxT: 0},
+	})
+	res := load(t, loadgen.Config{
+		Addr: addr, Clients: clients, Ops: ops,
+		Gen: live.FetchIncGen(), Seed: 2,
+	})
+	requireExactlyOnce(t, res)
+	sum, err := s.Shutdown()
+	if err != nil {
+		t.Fatal(err)
+	}
+	identical, err := live.Verify(live.NewAtomicFetchInc("C", 0), sum.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !identical {
+		t.Fatal("server-merged history did not replay identically")
+	}
+	// And it is a valid history object-wise.
+	if sum.History.Len() != 2*clients*ops {
+		t.Fatalf("history length %d, want %d", sum.History.Len(), 2*clients*ops)
+	}
+	var _ *history.History = sum.History
+}
