@@ -123,6 +123,15 @@ func stressTrajectory(ops int) ([]any, error) {
 		// — measurable with elin stress -wal-sync always, too slow to archive.)
 		{"live", scenario.Scenario{Name: "STRESS-atomic-fi-c8-nomon-wal-never", Impl: "atomic-fi", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8, WALSync: "never"}},
 		{"live", scenario.Scenario{Name: "STRESS-atomic-fi-c8-nomon-wal-i4096", Impl: "atomic-fi", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8, WALSync: "interval:4096"}},
+		// The stabilizing-log rows price the promotion knob on the lock-free
+		// fast path: batch 1 pays a full promotion per op (linearizable —
+		// comparable head-on with atomic-fi), batch 64 answers speculatively
+		// and promotes 1/64th as often. Monitored at batch 1; the batch-64
+		// row is throughput-only (its speculative staleness is the point,
+		// not a verdict).
+		{"live", scenario.Scenario{Name: "SLOG-fi-b1-c4", Impl: "slog-fi:1", Procs: 4, Ops: ops, Seed: 1, Stride: 512, LatencySample: 8}},
+		{"live", scenario.Scenario{Name: "SLOG-fi-b1-c8-nomon", Impl: "slog-fi:1", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8}},
+		{"live", scenario.Scenario{Name: "SLOG-fi-b64-c8-nomon", Impl: "slog-fi:64", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8}},
 		// The networked rows: client-observed latency percentiles under load
 		// (p50/p95/p99 in the perf section), clean and under the flaky-net
 		// fault plane — the retry/backoff cost shows up as the tail spread

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/elin-go/elin/internal/campaign"
+	"github.com/elin-go/elin/internal/compare"
+)
+
+// runCompare is the head-to-head subcommand: match the cells of two
+// implementation families coordinate-for-coordinate and report per-cell
+// t-lin trends, stabilization points, throughput and a deterministic
+// winner (schema elin/compare/v1). Two input forms:
+//
+//	elin compare -a slog.json -b localcopy.json
+//	    two campaign reports (elin sweep -json) sweeping the same grid
+//	    with different impl axes
+//	elin compare -grid e19.json -impls-a slog-register -impls-b localcopy-register
+//	    one file holding both families: a campaign report, or a sweep
+//	    spec (schema elin/sweep/v1) to expand and run in place
+func runCompare(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("elin compare", flag.ContinueOnError)
+	aPath := fs.String("a", "", "side-a campaign report file")
+	bPath := fs.String("b", "", "side-b campaign report file")
+	gridPath := fs.String("grid", "", "one grid holding both families: campaign report or sweep spec (runs the sweep)")
+	implsA := fs.String("impls-a", "", "comma-separated side-a impl coordinates of the -grid file")
+	implsB := fs.String("impls-b", "", "comma-separated side-b impl coordinates of the -grid file")
+	workers := fs.Int("workers", 0, "concurrent cells when -grid runs a sweep spec (0 = GOMAXPROCS)")
+	jsonOut := fs.Bool("json", false, "emit the comparison report as JSON (schema elin/compare/v1)")
+	canonical := fs.Bool("canonical", false, "emit the canonical (throughput-free) report JSON — byte-stable for deterministic grids; implies -json")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var rep *compare.Report
+	switch {
+	case *gridPath != "":
+		if *aPath != "" || *bPath != "" {
+			return fmt.Errorf("compare: -grid and -a/-b are mutually exclusive")
+		}
+		a, b := splitImplList(*implsA), splitImplList(*implsB)
+		if len(a) == 0 || len(b) == 0 {
+			return fmt.Errorf("compare: -grid needs -impls-a and -impls-b to name the two families")
+		}
+		camp, err := loadOrRunGrid(*gridPath, *workers)
+		if err != nil {
+			return err
+		}
+		rep, err = compare.Split(camp, a, b)
+		if err != nil {
+			return err
+		}
+	case *aPath != "" && *bPath != "":
+		a, err := campaign.Load(*aPath)
+		if err != nil {
+			return err
+		}
+		b, err := campaign.Load(*bPath)
+		if err != nil {
+			return err
+		}
+		rep, err = compare.Campaigns(a, b)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("compare: need either -a and -b (two campaign reports) or -grid with -impls-a/-impls-b")
+	}
+
+	switch {
+	case *canonical:
+		return rep.Canonical().EncodeJSON(out)
+	case *jsonOut:
+		return rep.EncodeJSON(out)
+	default:
+		return rep.Render(out)
+	}
+}
+
+// loadOrRunGrid reads a -grid file: a campaign report loads directly, a
+// sweep spec expands and runs (the one-shot E19-style flow).
+func loadOrRunGrid(path string, workers int) (*campaign.Campaign, error) {
+	camp, loadErr := campaign.Load(path)
+	if loadErr == nil {
+		return camp, nil
+	}
+	sp, specErr := campaign.LoadSpec(path)
+	if specErr != nil {
+		return nil, fmt.Errorf("compare: %s is neither a campaign report (%v) nor a sweep spec (%v)", path, loadErr, specErr)
+	}
+	return campaign.Run(sp, campaign.RunOptions{Workers: workers})
+}
+
+// splitImplList parses a comma-separated impl list, dropping empty
+// entries.
+func splitImplList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

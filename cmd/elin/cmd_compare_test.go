@@ -1,0 +1,179 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// e19GridSpec is the E19-style two-family grid the compare CLI tests
+// sweep.
+const e19GridSpec = `{
+  "schema": "elin/sweep/v1",
+  "name": "e19-cli",
+  "axes": {
+    "engine": ["sim"],
+    "impl": ["slog-register", "localcopy-register"],
+    "ops": [4, 8],
+    "tolerance": [-1],
+    "seed": [1]
+  }
+}
+`
+
+func writeE19Spec(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "e19.json")
+	if err := os.WriteFile(path, []byte(e19GridSpec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompareGridMode(t *testing.T) {
+	spec := writeE19Spec(t)
+	out := runOut(t, "compare", "-grid", spec, "-impls-a", "slog-register", "-impls-b", "localcopy-register")
+	for _, want := range []string{
+		"compare slog-register (a) vs localcopy-register (b): cells=2 a-wins=2 b-wins=0 ties=0",
+		"ok/stabilized minT=0",
+		"ok/diverging minT=30",
+		"winner=a (trend)",
+		"impl=*",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("compare output misses %q:\n%s", want, out)
+		}
+	}
+}
+
+// The canonical comparison of a deterministic grid is byte-stable — the
+// acceptance bar for committed reports — and the -grid file may equally
+// be a pre-swept campaign report.
+func TestCompareCanonicalByteStableAcrossInputForms(t *testing.T) {
+	spec := writeE19Spec(t)
+	canonical := func(grid string) string {
+		return runOut(t, "compare", "-grid", grid, "-canonical",
+			"-impls-a", "slog-register", "-impls-b", "localcopy-register")
+	}
+	a := canonical(spec)
+	if a != canonical(spec) {
+		t.Fatal("canonical comparison not byte-stable across sweeps")
+	}
+	var rep struct {
+		Schema string `json:"schema"`
+		Totals struct {
+			Cells int `json:"cells"`
+			AWins int `json:"a_wins"`
+		} `json:"totals"`
+		Cells []struct {
+			A struct {
+				ThroughputOpsS float64 `json:"throughput_ops_s"`
+			} `json:"a"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal([]byte(a), &rep); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if rep.Schema != "elin/compare/v1" || rep.Totals.Cells != 2 || rep.Totals.AWins != 2 {
+		t.Fatalf("report: %+v", rep)
+	}
+	for _, c := range rep.Cells {
+		if c.A.ThroughputOpsS != 0 {
+			t.Fatal("canonical report carries throughput")
+		}
+	}
+
+	// Sweep the grid to a campaign report, compare that file: identical
+	// canonical bytes.
+	campPath := filepath.Join(t.TempDir(), "camp.json")
+	campJSON := runOut(t, "sweep", "-spec", spec, "-json")
+	if err := os.WriteFile(campPath, []byte(campJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if b := canonical(campPath); b != a {
+		t.Fatalf("campaign-report input diverged from sweep-spec input:\n%s\nvs\n%s", b, a)
+	}
+}
+
+// TestCommittedE19GridCompare exercises the committed nightly comparison
+// grid directly, so the workflow's impl-compare legs cannot rot: both
+// rival pairs must keep reproducing the paper-level outcome (stabilizing
+// log wins every matched cell on trend class).
+func TestCommittedE19GridCompare(t *testing.T) {
+	const spec = "../../.github/sweeps/e19.json"
+	for _, leg := range []struct{ a, b string }{
+		{"slog-register", "localcopy-register"},
+		{"slog-batch:1", "slog-counter"},
+	} {
+		out := runOut(t, "compare", "-grid", spec, "-impls-a", leg.a, "-impls-b", leg.b)
+		want := "compare " + leg.a + " (a) vs " + leg.b + " (b): cells=2 a-wins=2 b-wins=0 ties=0"
+		if !strings.Contains(out, want) {
+			t.Errorf("%s vs %s misses %q:\n%s", leg.a, leg.b, want, out)
+		}
+		if !strings.Contains(out, "ok/stabilized minT=0") || !strings.Contains(out, "ok/diverging") {
+			t.Errorf("%s vs %s lost the trend-class split:\n%s", leg.a, leg.b, out)
+		}
+	}
+}
+
+func TestCompareFlagErrors(t *testing.T) {
+	spec := writeE19Spec(t)
+	for _, args := range [][]string{
+		{"compare"},
+		{"compare", "-grid", spec},
+		{"compare", "-grid", spec, "-impls-a", "slog-register"},
+		{"compare", "-grid", spec, "-a", "x.json", "-impls-a", "a", "-impls-b", "b"},
+		{"compare", "-a", "only-one-side.json"},
+		{"compare", "-grid", "/nonexistent.json", "-impls-a", "a", "-impls-b", "b"},
+	} {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+// The impls detail view is a stable, exact-line format: every registry
+// family, sorted, with its parameter syntax and one-line doc.
+func TestListDetailGolden(t *testing.T) {
+	want := []string{
+		"announced-cas       cas-counter wrapped in the Figure 1 announce/verify algorithm",
+		"announced-junk      junk-counter wrapped in the Figure 1 announce/verify algorithm",
+		"base-consensus      passthrough over one atomic consensus object",
+		"cas-counter         linearizable fetch&increment from one CAS word (retry loop)",
+		"cas-testset         linearizable test&set from CAS",
+		"el-consensus        Proposition 16 consensus over eventually linearizable registers",
+		"el-register         passthrough over one eventually linearizable register",
+		"el-sloppy-counter   sloppy counter over eventually linearizable registers",
+		"el-testset          communication-free eventually linearizable test&set",
+		"junk-counter        weak-consistency violator (announce-wrapper demo input)",
+		"localcopy-register  Theorem 12 local-copy construction of el-register (diverges)",
+		"reg-consensus       the Proposition 16 consensus algorithm over atomic registers",
+		"slog-batch:K        stabilizing-log counter with promotion batch K (1 = linearizable)",
+		"slog-counter        stabilizing-log counter (arXiv 1512.08258): speculate, promote every 4",
+		"slog-register       stabilizing-log register: speculative apply, stabilized prefix",
+		"slog-testset        stabilizing-log test&set",
+		"sloppy-counter      register-only counter: weakly consistent, never stabilizes",
+		"warmup-counter:K    EL counter answering privately below count K, exact after",
+	}
+	got := strings.Split(strings.TrimRight(runOut(t, "list", "-detail"), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("list -detail: %d lines, want %d:\n%s", len(got), len(want), strings.Join(got, "\n"))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("list -detail line %d:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+	// -section impls -detail prints the same view; other sections reject it.
+	if out := runOut(t, "list", "-section", "impls", "-detail"); !strings.Contains(out, want[0]) {
+		t.Errorf("-section impls -detail:\n%s", out)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"list", "-section", "engines", "-detail"}, &buf); err == nil {
+		t.Error("-detail on a non-impls section accepted")
+	}
+}

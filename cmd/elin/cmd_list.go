@@ -14,8 +14,24 @@ import (
 func runList(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elin list", flag.ContinueOnError)
 	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | faults | net-faults | types | experiments | axes")
+	detail := fs.Bool("detail", false, "annotate the impls section with each family's parameter syntax and one-line doc")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *detail {
+		if *section != "" && *section != "impls" {
+			return fmt.Errorf("-detail only applies to the impls section (got %q)", *section)
+		}
+		width := 0
+		for _, d := range registry.ImplDocs() {
+			if len(d.Name) > width {
+				width = len(d.Name)
+			}
+		}
+		for _, d := range registry.ImplDocs() {
+			fmt.Fprintf(out, "%-*s  %s\n", width, d.Name, d.Doc)
+		}
+		return nil
 	}
 	sections := []struct {
 		name  string

@@ -9,6 +9,7 @@
 //	elin load     retrying client fleet against a server (-self = serve engine)
 //	elin recover  recover a crashed run's commit log and continue it
 //	elin sweep    declarative scenario grid with baseline diffing (the CI gate)
+//	elin compare  head-to-head of two impl families over matched grid cells
 //	elin bench    regenerate the experiment tables / machine-readable timings
 //	elin list     registry contents (implementations, engines, workloads, ...)
 //
@@ -31,6 +32,7 @@
 //	elin recover -wal run.wal -ops 2000
 //	elin recover -wal run.wal -corrupt trunc:7
 //	elin sweep -spec .github/sweeps/smoke.json -baseline .github/sweeps/smoke.baseline.json
+//	elin compare -grid .github/sweeps/e19.json -impls-a slog-register -impls-b localcopy-register
 //	elin bench -run E8,E11 -json
 package main
 
@@ -75,6 +77,8 @@ func run(args []string, out io.Writer) error {
 		return runRecover(rest, out)
 	case "sweep":
 		return runSweep(rest, out)
+	case "compare":
+		return runCompare(rest, out)
 	case "bench":
 		return runBench(rest, out)
 	case "list":
@@ -100,6 +104,7 @@ commands:
   load      retrying client fleet against a server (-self runs the serve engine)
   recover   recover a commit log, continue the run, verify the stitched history
   sweep     declarative scenario grid: expand, execute, diff against a baseline
+  compare   head-to-head of two impl families over matched grid cells
   bench     experiment tables / machine-readable timings
   list      registry contents
   help      this text
@@ -129,7 +134,7 @@ type scenarioFlags struct {
 func addScenarioFlags(fs *flag.FlagSet, defImpl string, defProcs, defOps int, defPolicy string, defSeed int64) *scenarioFlags {
 	return &scenarioFlags{
 		impl:      fs.String("impl", defImpl, "object/implementation under test (see 'elin list')"),
-		workload:  fs.String("workload", "default", "operation mix: default | uniform:OP | rw:P"),
+		workload:  fs.String("workload", "default", "operation mix: default | uniform:OP | rw:P | zipf:S"),
 		policy:    fs.String("policy", defPolicy, "EL stabilization policy: immediate | never | window:K"),
 		procs:     fs.Int("procs", defProcs, "number of processes / client goroutines"),
 		ops:       fs.Int("ops", defOps, "operations per process"),

@@ -351,10 +351,10 @@ func TestBenchJSONStressTrajectory(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &records); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
-	if len(records) != 8 { // E4 + three no-WAL stress reports + two WAL-on rows + two serve rows
+	if len(records) != 11 { // E4 + three no-WAL stress + two WAL-on + three SLOG + two serve rows
 		t.Fatalf("got %d records", len(records))
 	}
-	walRows, serveRows := 0, 0
+	walRows, serveRows, slogRows := 0, 0, 0
 	for _, r := range records[1:] {
 		if r["schema"] != "elin/report/v1" || r["verdict"] != "ok" {
 			t.Errorf("stress record: %v", r)
@@ -370,6 +370,13 @@ func TestBenchJSONStressTrajectory(t *testing.T) {
 			if p99, ok := perf["p99_ns"].(float64); !ok || p99 <= 0 {
 				t.Errorf("serve record %s has no latency percentiles: %v", name, perf)
 			}
+		case strings.HasPrefix(name, "SLOG-"):
+			slogRows++
+			// The SLOG rows ride the lock-free fast path, never the
+			// serialized step machine: the impl coordinate says so.
+			if impl := sc["impl"].(string); !strings.HasPrefix(impl, "slog-fi:") {
+				t.Errorf("SLOG record %s impl = %q", name, impl)
+			}
 		case strings.HasPrefix(name, "STRESS-"):
 			if strings.Contains(name, "-wal-") {
 				walRows++
@@ -380,6 +387,9 @@ func TestBenchJSONStressTrajectory(t *testing.T) {
 	}
 	if walRows != 2 {
 		t.Errorf("WAL-on trajectory rows = %d, want 2 (sync never + interval:4096)", walRows)
+	}
+	if slogRows != 3 {
+		t.Errorf("SLOG trajectory rows = %d, want 3 (b1-c4, b1-c8-nomon, b64-c8-nomon)", slogRows)
 	}
 	if serveRows != 2 {
 		t.Errorf("serve trajectory rows = %d, want 2 (clean + flaky-net)", serveRows)

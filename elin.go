@@ -35,6 +35,7 @@ import (
 	"github.com/elin-go/elin/internal/base"
 	"github.com/elin-go/elin/internal/campaign"
 	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/compare"
 	"github.com/elin-go/elin/internal/explore"
 	"github.com/elin-go/elin/internal/faults"
 	"github.com/elin-go/elin/internal/history"
@@ -125,6 +126,29 @@ var (
 	LoadCampaign = campaign.Load
 	// CompareCampaigns diffs a campaign against a baseline campaign.
 	CompareCampaigns = campaign.Compare
+)
+
+// Comparison layer — head-to-head of two implementation families over
+// matched grid cells (schema elin/compare/v1). Cells pair by their
+// family-blind identity (the cell ID with impl=* wildcarded) and the
+// winner ladder is deterministic-only: verdict, then trend class, then
+// final MinT, then stabilization point — throughput is reported but
+// never decides. The canonical form zeroes throughput and is
+// byte-stable, the committed-report contract `elin compare -canonical`
+// emits.
+type (
+	// Comparison is one head-to-head report over matched grid cells.
+	Comparison = compare.Report
+	// ComparisonCell is one matched pair of cells with its winner.
+	ComparisonCell = compare.Cell
+)
+
+var (
+	// CompareFamilies pairs the cells of two separately swept campaigns.
+	CompareFamilies = compare.Campaigns
+	// SplitFamilies splits one mixed-grid campaign into two sides by
+	// implementation lists and pairs the matched cells.
+	SplitFamilies = compare.Split
 )
 
 // Specification layer.

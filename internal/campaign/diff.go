@@ -194,6 +194,13 @@ func (c *Cell) repro(sp *Spec) string {
 	switch {
 	case c.Report != nil:
 		engine, inf = c.Report.Engine, c.Report.Scenario
+		if c.point.Impl != "" {
+			// The echo names the resolved object, which for parameterized
+			// impls can normalize away the grid's spelling (a default-batch
+			// "slog-batch" echoes without its :K); the rerun must use the
+			// coordinate the sweep actually selected.
+			inf.Impl = c.point.Impl
+		}
 	case sp != nil && c.point != (Point{}):
 		engine = c.point.Engine
 		inf = sp.Scenario(c.point).Info(engine)

@@ -202,6 +202,24 @@ func TestReproShapes(t *testing.T) {
 	if got := (&Cell{ID: "y", Verdict: "ok"}).repro(sp); got != "" {
 		t.Errorf("baseline cell repro = %q", got)
 	}
+
+	// A parameterized impl keeps its :K in the rerun command even when the
+	// report's scenario echo normalized the spelling away: the grid
+	// coordinate, not the echo, names what the sweep selected.
+	normalized := Cell{
+		ID:      "z",
+		Verdict: "ok",
+		Report: &scenario.Report{
+			Engine: "sim",
+			Scenario: scenario.ScenarioInfo{Impl: "slog-batch", Workload: "default",
+				Policy: "immediate", Procs: 2, Ops: 4, Seed: 1},
+		},
+		point: Point{Engine: "sim", Impl: "slog-batch:7", Workload: "default",
+			Policy: "immediate", Procs: 2, Ops: 4, Seed: 1},
+	}
+	if repro := normalized.repro(sp); !strings.Contains(repro, "-impl slog-batch:7") {
+		t.Errorf("parameterized repro dropped :K: %q", repro)
+	}
 }
 
 func TestDiffRender(t *testing.T) {

@@ -135,6 +135,7 @@ func All() []Experiment {
 		{"E16", E16Hierarchy},
 		{"E17", E17Stress},
 		{"E18", E18Recovery},
+		{"E19", E19SlogVersusLocalCopy},
 	}
 }
 

@@ -359,3 +359,51 @@ func TestE18RecoveryShape(t *testing.T) {
 		t.Errorf("E18 torn row: %v", tab.Rows[3])
 	}
 }
+
+// E19 is the comparison-harness experiment: its golden claims are the
+// exact per-cell trend classes and winners — the acceptance bar is at
+// least one cell where the two families' trend classes differ, and here
+// every cell does.
+func TestE19SlogComparisonGolden(t *testing.T) {
+	tab := runExp(t, "E19")
+	want := [][]string{
+		{"slog/localcopy", "4", "slog-register", "stabilized", "0", "localcopy-register", "diverging", "14", "a", "trend"},
+		{"slog/localcopy", "8", "slog-register", "stabilized", "0", "localcopy-register", "diverging", "30", "a", "trend"},
+		{"strong/fast", "4", "slog-batch:1", "stabilized", "0", "slog-counter", "diverging", "15", "a", "trend"},
+		{"strong/fast", "8", "slog-batch:1", "stabilized", "0", "slog-counter", "diverging", "28", "a", "trend"},
+	}
+	if len(tab.Rows) != len(want) {
+		t.Fatalf("E19 rows = %d, want %d: %v", len(tab.Rows), len(want), tab.Rows)
+	}
+	for i, w := range want {
+		for j, cellWant := range w {
+			if got := cell(t, tab, i, j); got != cellWant {
+				t.Errorf("E19 row %d col %d (%s) = %q, want %q", i, j, tab.Columns[j], got, cellWant)
+			}
+		}
+	}
+}
+
+// E19 must be deterministic for any worker count: two independent runs
+// (one parallel) produce identical tables.
+func TestE19Deterministic(t *testing.T) {
+	e, _ := ByID("E19")
+	a, err := e.Run(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(tab *Table) string {
+		var buf bytes.Buffer
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if render(a) != render(b) {
+		t.Fatalf("E19 not deterministic:\n%s\nvs\n%s", render(a), render(b))
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/elin-go/elin/internal/base"
 	"github.com/elin-go/elin/internal/check"
+	"github.com/elin-go/elin/internal/core/stablog"
 	"github.com/elin-go/elin/internal/live"
 	"github.com/elin-go/elin/internal/spec"
 )
@@ -17,6 +18,7 @@ import (
 func LiveObjectNames() []string {
 	return []string{
 		"atomic-fi[:init]", "el-fi[:init]", "junk-fi:K", "mutex-fi[:init]", "mutex-reg[:init]",
+		"slog-fi[:K]",
 	}
 }
 
@@ -30,6 +32,13 @@ func LiveObjectNames() []string {
 //	el-fi[:init]       mutex-serialized eventually linearizable counter
 //	                   (stabilization from policy)
 //	junk-fi:K          injected bug: loses every increment past K
+//	slog-fi[:K]        lock-free stabilizing-log counter, promotion batch K
+//
+// The stabilizing-log counter family (slog-counter, slog-batch:K) routes
+// to the same lock-free fast path instead of the serialized step machine:
+// an all-fetchinc log degenerates to the commit sequencer, so the fast
+// path computes the identical speculation semantics with one atomic
+// fetch-add per operation.
 //
 // Any other name resolves through Impl and runs as a mutex-serialized step
 // machine (live.SerializedImpl), so the scenario vocabulary is identical
@@ -80,6 +89,17 @@ func LiveObject(name string, clients int, policy base.Policy, seed int64, opts c
 			return nil, err
 		}
 		return live.NewJunkFetchInc("C", stick), nil
+	case "slog-fi", "slog-batch":
+		batch, err := argInt(stablog.DefaultBatch)
+		if err != nil {
+			return nil, err
+		}
+		return live.NewSlogFetchInc("C", batch, clients)
+	case "slog-counter":
+		if hasArg {
+			return nil, fmt.Errorf("registry: implementation %q takes no parameter (got %q in %q)", kind, arg, name)
+		}
+		return live.NewSlogFetchInc("C", stablog.DefaultBatch, clients)
 	default:
 		impl, err := Impl(name)
 		if err != nil {

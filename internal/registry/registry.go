@@ -17,6 +17,7 @@ import (
 	"github.com/elin-go/elin/internal/core/eltestset"
 	"github.com/elin-go/elin/internal/core/localcopy"
 	"github.com/elin-go/elin/internal/core/passthrough"
+	"github.com/elin-go/elin/internal/core/stablog"
 	"github.com/elin-go/elin/internal/machine"
 	"github.com/elin-go/elin/internal/sim"
 	"github.com/elin-go/elin/internal/spec"
@@ -35,6 +36,10 @@ import (
 //	cas-testset            linearizable test&set from CAS
 //	el-register            passthrough over one EL register
 //	localcopy-register     Theorem 12 local-copy of el-register
+//	slog-counter           stabilizing-log counter (arXiv 1512.08258)
+//	slog-register          stabilizing-log register
+//	slog-testset           stabilizing-log test&set
+//	slog-batch:K           stabilizing-log counter, promotion batch K
 func Impl(name string) (machine.Impl, error) {
 	base, arg, hasArg := strings.Cut(name, ":")
 	ent, ok := implTable[base]
@@ -65,6 +70,8 @@ type implEntry struct {
 	param string
 	// paramDef is the parameter's default when omitted.
 	paramDef int64
+	// doc is the one-line description `elin list -detail` prints.
+	doc string
 	// make constructs the implementation (arg is paramDef for
 	// parameterless entries).
 	make func(arg int64) (machine.Impl, error)
@@ -75,29 +82,60 @@ func implOK(impl machine.Impl) func(int64) (machine.Impl, error) {
 }
 
 var implTable = map[string]implEntry{
-	"cas-counter":       {make: implOK(counter.CAS{})},
-	"sloppy-counter":    {make: implOK(counter.Sloppy{})},
-	"el-sloppy-counter": {make: implOK(counter.Sloppy{EventualBases: true})},
-	"warmup-counter": {param: "K", paramDef: 4, make: func(k int64) (machine.Impl, error) {
-		return counter.Warmup{Threshold: k}, nil
-	}},
-	"junk-counter": {make: implOK(counter.Junk{})},
-	"announced-junk": {make: func(int64) (machine.Impl, error) {
-		return announce.New(counter.Junk{}, announce.FetchIncCodec(), check.Options{})
-	}},
-	"announced-cas": {make: func(int64) (machine.Impl, error) {
-		return announce.New(counter.CAS{}, announce.FetchIncCodec(), check.Options{})
-	}},
-	"el-consensus":  {make: implOK(elconsensus.Impl{})},
-	"reg-consensus": {make: implOK(elconsensus.Impl{AtomicBases: true})},
-	"el-testset":    {make: implOK(eltestset.Local{})},
-	"cas-testset":   {make: implOK(eltestset.FromCAS{})},
-	"el-register":   {make: implOK(passthrough.New("el-register", spec.NewObject(spec.Register{}), true))},
-	"localcopy-register": {make: func(int64) (machine.Impl, error) {
-		inner := passthrough.New("el-register", spec.NewObject(spec.Register{}), true)
-		return localcopy.New(inner, 0)
-	}},
-	"base-consensus": {make: implOK(passthrough.New("base-consensus", spec.NewObject(spec.Consensus{}), false))},
+	"cas-counter": {doc: "linearizable fetch&increment from one CAS word (retry loop)",
+		make: implOK(counter.CAS{})},
+	"sloppy-counter": {doc: "register-only counter: weakly consistent, never stabilizes",
+		make: implOK(counter.Sloppy{})},
+	"el-sloppy-counter": {doc: "sloppy counter over eventually linearizable registers",
+		make: implOK(counter.Sloppy{EventualBases: true})},
+	"warmup-counter": {param: "K", paramDef: 4, doc: "EL counter answering privately below count K, exact after",
+		make: func(k int64) (machine.Impl, error) {
+			return counter.Warmup{Threshold: k}, nil
+		}},
+	"junk-counter": {doc: "weak-consistency violator (announce-wrapper demo input)",
+		make: implOK(counter.Junk{})},
+	"announced-junk": {doc: "junk-counter wrapped in the Figure 1 announce/verify algorithm",
+		make: func(int64) (machine.Impl, error) {
+			return announce.New(counter.Junk{}, announce.FetchIncCodec(), check.Options{})
+		}},
+	"announced-cas": {doc: "cas-counter wrapped in the Figure 1 announce/verify algorithm",
+		make: func(int64) (machine.Impl, error) {
+			return announce.New(counter.CAS{}, announce.FetchIncCodec(), check.Options{})
+		}},
+	"el-consensus": {doc: "Proposition 16 consensus over eventually linearizable registers",
+		make: implOK(elconsensus.Impl{})},
+	"reg-consensus": {doc: "the Proposition 16 consensus algorithm over atomic registers",
+		make: implOK(elconsensus.Impl{AtomicBases: true})},
+	"el-testset": {doc: "communication-free eventually linearizable test&set",
+		make: implOK(eltestset.Local{})},
+	"cas-testset": {doc: "linearizable test&set from CAS",
+		make: implOK(eltestset.FromCAS{})},
+	"el-register": {doc: "passthrough over one eventually linearizable register",
+		make: implOK(passthrough.New("el-register", spec.NewObject(spec.Register{}), true))},
+	"localcopy-register": {doc: "Theorem 12 local-copy construction of el-register (diverges)",
+		make: func(int64) (machine.Impl, error) {
+			inner := passthrough.New("el-register", spec.NewObject(spec.Register{}), true)
+			return localcopy.New(inner, 0)
+		}},
+	"base-consensus": {doc: "passthrough over one atomic consensus object",
+		make: implOK(passthrough.New("base-consensus", spec.NewObject(spec.Consensus{}), false))},
+	"slog-counter": {doc: "stabilizing-log counter (arXiv 1512.08258): speculate, promote every 4",
+		make: func(int64) (machine.Impl, error) {
+			return stablog.New("slog-counter", spec.NewObject(spec.FetchInc{}), stablog.DefaultBatch)
+		}},
+	"slog-register": {doc: "stabilizing-log register: speculative apply, stabilized prefix",
+		make: func(int64) (machine.Impl, error) {
+			return stablog.New("slog-register", spec.NewObject(spec.Register{}), stablog.DefaultBatch)
+		}},
+	"slog-testset": {doc: "stabilizing-log test&set",
+		make: func(int64) (machine.Impl, error) {
+			return stablog.New("slog-testset", spec.NewObject(spec.TestSet{}), stablog.DefaultBatch)
+		}},
+	"slog-batch": {param: "K", paramDef: stablog.DefaultBatch,
+		doc: "stabilizing-log counter with promotion batch K (1 = linearizable)",
+		make: func(k int64) (machine.Impl, error) {
+			return stablog.New(fmt.Sprintf("slog-batch:%d", k), spec.NewObject(spec.FetchInc{}), k)
+		}},
 }
 
 // ImplNames lists the registered implementation names (parameterized ones
@@ -112,6 +150,28 @@ func ImplNames() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// ImplDoc is one row of the implementation listing: the name (annotated
+// name:PARAM when parameterized) and a one-line description.
+type ImplDoc struct {
+	Name string
+	Doc  string
+}
+
+// ImplDocs lists every registered implementation with its parameter
+// syntax and doc string, sorted by name — the `elin list -detail` view,
+// drawn from the same table as Impl so the two cannot desynchronize.
+func ImplDocs() []ImplDoc {
+	docs := make([]ImplDoc, 0, len(implTable))
+	for n, ent := range implTable {
+		if ent.param != "" {
+			n += ":" + ent.param
+		}
+		docs = append(docs, ImplDoc{Name: n, Doc: ent.doc})
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	return docs
 }
 
 // DefaultOp returns the operation a process of the named implementation

@@ -2,7 +2,9 @@ package registry
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"strconv"
 	"strings"
 
 	"github.com/elin-go/elin/internal/live"
@@ -12,7 +14,7 @@ import (
 
 // WorkloadNames lists the registered workload names.
 func WorkloadNames() []string {
-	return []string{"default", "rw:P", "uniform:OP"}
+	return []string{"default", "rw:P", "uniform:OP", "zipf:S"}
 }
 
 // opAliases maps the short operation names the workload vocabulary accepts
@@ -41,9 +43,10 @@ func parseWorkloadOp(s string) (spec.Op, error) {
 // WorkloadByName, OpGenByName and ValidateWorkload, so the three cannot
 // drift when a workload kind is added.
 type workloadSpec struct {
-	kind string  // "default" | "uniform" | "rw"
+	kind string  // "default" | "uniform" | "rw" | "zipf"
 	op   spec.Op // uniform only
 	pct  int     // rw only: write percentage
+	skew float64 // zipf only: the distribution exponent
 }
 
 // parseWorkload resolves a workload name's syntax (no implementation
@@ -54,6 +57,8 @@ type workloadSpec struct {
 //	              fetchinc otherwise)
 //	uniform:OP    every process repeats OP ("inc", "read", "write(3)", ...)
 //	rw:P          register read/write mix with write probability P%
+//	zipf:S        skewed mix: register writes draw zipf-ranked values with
+//	              exponent S (single-op types fall back to the default op)
 func parseWorkload(name string) (workloadSpec, error) {
 	kind, arg, hasArg := strings.Cut(name, ":")
 	switch kind {
@@ -77,6 +82,16 @@ func parseWorkload(name string) (workloadSpec, error) {
 			return workloadSpec{}, err
 		}
 		return workloadSpec{kind: "rw", pct: pct}, nil
+	case "zipf":
+		skew := 1.2
+		if hasArg {
+			v, err := strconv.ParseFloat(arg, 64)
+			if err != nil || v <= 0 || v > 8 {
+				return workloadSpec{}, fmt.Errorf("registry: bad zipf skew %q (want a positive exponent, e.g. zipf:1.2)", arg)
+			}
+			skew = v
+		}
+		return workloadSpec{kind: "zipf", skew: skew}, nil
 	default:
 		return workloadSpec{}, fmt.Errorf("registry: unknown workload %q (known: %s)",
 			name, strings.Join(WorkloadNames(), ", "))
@@ -113,8 +128,67 @@ func WorkloadByName(name string, impl machine.Impl, procs, ops int) ([][]spec.Op
 			}
 		}
 		return w, nil
+	case "zipf":
+		cum := zipfCum(ws.skew)
+		w := make([][]spec.Op, procs)
+		for p := range w {
+			r := rand.New(rand.NewSource(int64(p) + 1))
+			for k := 0; k < ops; k++ {
+				w[p] = append(w[p], zipfOp(impl.Spec(), cum, p, r))
+			}
+		}
+		return w, nil
 	default:
 		return Workload(impl, procs, ops), nil
+	}
+}
+
+// zipfValues is the zipf value domain size (matches the register mix
+// generators' value range).
+const zipfValues = 16
+
+// zipfCum precomputes the cumulative zipf weight table for exponent s:
+// rank k (1-based) has weight 1/k^s. One table serves a whole workload, so
+// drawing a value costs one Float64 and a short scan, no allocation.
+func zipfCum(s float64) []float64 {
+	cum := make([]float64, zipfValues)
+	total := 0.0
+	for k := 0; k < zipfValues; k++ {
+		total += 1 / math.Pow(float64(k+1), s)
+		cum[k] = total
+	}
+	return cum
+}
+
+// zipfDraw maps one uniform draw u in [0,1) to a 1-based zipf-ranked value.
+func zipfDraw(cum []float64, u float64) int64 {
+	x := u * cum[len(cum)-1]
+	for k, c := range cum {
+		if x < c {
+			return int64(k + 1)
+		}
+	}
+	return int64(len(cum))
+}
+
+// zipfOp draws one operation of the zipf workload. Register-shaped types
+// get a 30% write mix whose values are zipf-ranked (rank 1 hottest);
+// single-op types fall back to the default operation, so the workload
+// axis composes across implementation families. The result is a pure
+// function of the rand stream, hence of the per-process seed.
+func zipfOp(obj spec.Object, cum []float64, client int, r *rand.Rand) spec.Op {
+	switch obj.Type.(type) {
+	case spec.Register:
+		if r.Intn(100) < 30 {
+			return spec.MakeOp1(spec.MethodWrite, zipfDraw(cum, r.Float64()))
+		}
+		return spec.MakeOp(spec.MethodRead)
+	case spec.Consensus:
+		return spec.MakeOp1(spec.MethodPropose, int64(client+1))
+	case spec.TestSet:
+		return spec.MakeOp(spec.MethodTestSet)
+	default:
+		return spec.MakeOp(spec.MethodFetchInc)
 	}
 }
 
@@ -155,6 +229,11 @@ func OpGenByName(name string, obj spec.Object) (live.OpGen, error) {
 		return func(int, int, *rand.Rand) spec.Op { return op }, nil
 	case "rw":
 		return live.RegisterMixGen(float64(ws.pct)/100, 16), nil
+	case "zipf":
+		cum := zipfCum(ws.skew)
+		return func(client, _ int, r *rand.Rand) spec.Op {
+			return zipfOp(obj, cum, client, r)
+		}, nil
 	default:
 		return defaultOpGen(obj), nil
 	}

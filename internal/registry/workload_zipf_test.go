@@ -1,0 +1,121 @@
+package registry
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"github.com/elin-go/elin/internal/spec"
+)
+
+// The zipf generator must be a pure function of seed: the same name and
+// dimensions build the same workload every time, and the live generator
+// produces identical streams from identically-seeded rands.
+func TestZipfWorkloadPureFunctionOfSeed(t *testing.T) {
+	impl, err := Impl("el-register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(procsRaw, opsRaw uint8, seed int64) bool {
+		procs := int(procsRaw%4) + 1
+		ops := int(opsRaw%16) + 1
+		a, err := WorkloadByName("zipf:1.2", impl, procs, ops)
+		if err != nil {
+			return false
+		}
+		b, err := WorkloadByName("zipf:1.2", impl, procs, ops)
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(a, b) {
+			return false
+		}
+		gen, err := OpGenByName("zipf:1.2", impl.Spec())
+		if err != nil {
+			return false
+		}
+		r1 := rand.New(rand.NewSource(seed))
+		r2 := rand.New(rand.NewSource(seed))
+		for i := 0; i < ops; i++ {
+			if gen(0, i, r1) != gen(0, i, r2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The skew must bite: rank 1 is the hottest write value, and heavier
+// exponents concentrate more mass on it.
+func TestZipfWorkloadSkewsValues(t *testing.T) {
+	impl, err := Impl("el-register")
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := func(name string) map[int64]int {
+		w, err := WorkloadByName(name, impl, 4, 400)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := map[int64]int{}
+		for _, ops := range w {
+			for _, op := range ops {
+				if op.Method == spec.MethodWrite {
+					c[op.Args[0]]++
+				}
+			}
+		}
+		return c
+	}
+	mild, heavy := count("zipf:1.1"), count("zipf:3")
+	if len(mild) == 0 || len(heavy) == 0 {
+		t.Fatal("zipf workloads produced no writes")
+	}
+	for v, n := range mild {
+		if v < 1 || v > zipfValues {
+			t.Fatalf("zipf write value %d outside [1,%d]", v, zipfValues)
+		}
+		if n > mild[1] {
+			t.Fatalf("zipf:1.1 value %d (%d writes) hotter than rank 1 (%d)", v, n, mild[1])
+		}
+	}
+	total := 0
+	for _, n := range heavy {
+		total += n
+	}
+	if 2*heavy[1] < total {
+		t.Fatalf("zipf:3 rank 1 got %d of %d writes, want a majority", heavy[1], total)
+	}
+}
+
+// Non-register families still build: the axis composes across impl
+// families by falling back to the default operation.
+func TestZipfWorkloadFallsBackForSingleOpTypes(t *testing.T) {
+	impl, err := Impl("slog-counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := WorkloadByName("zipf", impl, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ops := range w {
+		for _, op := range ops {
+			if op.Method != spec.MethodFetchInc {
+				t.Fatalf("counter zipf workload produced %v", op)
+			}
+		}
+	}
+	if err := ValidateWorkload("zipf:2.5"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"zipf:0", "zipf:-1", "zipf:x", "zipf:99"} {
+		if err := ValidateWorkload(bad); err == nil {
+			t.Errorf("ValidateWorkload(%q) accepted", bad)
+		}
+	}
+}

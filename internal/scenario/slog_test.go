@@ -1,0 +1,128 @@
+package scenario
+
+import "testing"
+
+// TestSlogFamilyEveryEngine mirrors the cas-counter three-engine contract
+// for the stabilizing-log family: one Scenario value runs unchanged on
+// explore, sim and live, and the verdicts agree. The live engine routes
+// the counter spellings to the lock-free fast path, so this test also
+// pins the fast path and the step machine to one semantics.
+func TestSlogFamilyEveryEngine(t *testing.T) {
+	// Batch 1: every operation waits for promotion, so the construction is
+	// linearizable — ok everywhere at strict tolerance.
+	strong := Scenario{
+		Impl:     "slog-batch:1",
+		Workload: "uniform:inc",
+		Procs:    2,
+		Ops:      2,
+		Seed:     3,
+		Budget:   Budget{Depth: 30},
+	}
+	for _, e := range Engines() {
+		rep, err := e.Run(strong)
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		if !rep.OK() {
+			t.Errorf("%s slog-batch:1 verdict = %s (%s), want ok", e.Name(), rep.Verdict, rep.Detail)
+		}
+		if rep.Scenario.Impl != "slog-batch:1" {
+			t.Errorf("%s scenario echo dropped the batch: %+v", e.Name(), rep.Scenario)
+		}
+	}
+
+	// The default batch speculates. Explore proves the violation exists in
+	// some interleaving; sim's seeded round-robin realizes one (each
+	// process's first operation lands below the promotion threshold and
+	// answers the initial value); the live serial driver deterministically
+	// realizes the same alternation. (The free-running live driver is
+	// excluded on purpose: a schedule that lets one client race ahead
+	// promotes every other client on arrival and can produce a
+	// linearizable history — speculation is a property of the family of
+	// executions, which is the paper's point.)
+	fast := Scenario{
+		Impl:      "slog-counter",
+		Workload:  "uniform:inc",
+		Procs:     2,
+		Ops:       2,
+		Seed:      5,
+		Tolerance: 0,
+		Budget:    Budget{Depth: 30},
+	}
+	fastLive := fast
+	fastLive.Serial = true
+	for _, run := range []struct {
+		engine string
+		s      Scenario
+	}{{"explore", fast}, {"sim", fast}, {"live", fastLive}} {
+		rep, err := Run(run.engine, run.s)
+		if err != nil {
+			t.Fatalf("%s: %v", run.engine, err)
+		}
+		if rep.Verdict != VerdictViolation {
+			t.Errorf("%s slog-counter verdict = %s (%s), want violation", run.engine, rep.Verdict, rep.Detail)
+		}
+		if rep.Witness == nil || rep.Witness.History == "" {
+			t.Errorf("%s slog-counter violation carries no witness history", run.engine)
+		}
+	}
+}
+
+// TestSlogTrendClassesAcrossEngines pins the trend vocabulary across the
+// two engines that classify trends, on deterministic runs (sim; live
+// under the serial driver with a pinned stride):
+//
+//   - slog-batch:1 is linearizable, so both methodologies agree:
+//     stabilized at MinT 0.
+//   - slog-counter separates the methodologies, and the split is the
+//     interesting measurement: sim's checker computes strict MinT over
+//     growing prefixes, where an early speculative duplicate must move
+//     further in every longer prefix — diverging. The live monitor
+//     checks bounded windows, and within any window the fast path's
+//     staleness is bounded by the promotion batch — stabilized at a
+//     small positive MinT strictly below the batch. Both are correct:
+//     the log speculates by a bounded amount forever, which a windowed
+//     monitor forgives and a whole-history checker does not.
+func TestSlogTrendClassesAcrossEngines(t *testing.T) {
+	run := func(engine, impl string) *Report {
+		t.Helper()
+		s := Scenario{
+			Impl:      impl,
+			Workload:  "uniform:inc",
+			Procs:     2,
+			Ops:       8,
+			Seed:      1,
+			Tolerance: -1,
+		}
+		if engine == "live" {
+			s.Serial = true
+			s.Stride = 4
+		}
+		rep, err := Run(engine, s)
+		if err != nil {
+			t.Fatalf("%s %s: %v", engine, impl, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("%s %s verdict = %s (%s), want ok", engine, impl, rep.Verdict, rep.Detail)
+		}
+		if rep.Trend == nil {
+			t.Fatalf("%s %s produced no trend", engine, impl)
+		}
+		return rep
+	}
+	// The linearizable member: both engines classify identically.
+	if sim, lv := run("sim", "slog-batch:1").Trend, run("live", "slog-batch:1").Trend; sim.Trend != "stabilized" ||
+		lv.Trend != "stabilized" || sim.FinalMinT != 0 || lv.FinalMinT != 0 {
+		t.Errorf("slog-batch:1 trends: sim=%s/%d live=%s/%d, want stabilized/0 on both",
+			sim.Trend, sim.FinalMinT, lv.Trend, lv.FinalMinT)
+	}
+	// The speculating member: strict prefixes diverge, bounded windows
+	// stabilize strictly below the promotion batch.
+	sim, lv := run("sim", "slog-counter").Trend, run("live", "slog-counter").Trend
+	if sim.Trend != "diverging" {
+		t.Errorf("sim slog-counter trend = %s/%d, want diverging", sim.Trend, sim.FinalMinT)
+	}
+	if lv.Trend != "stabilized" || lv.FinalMinT <= 0 || lv.FinalMinT >= 4 {
+		t.Errorf("live slog-counter trend = %s/%d, want stabilized at MinT in (0,4)", lv.Trend, lv.FinalMinT)
+	}
+}

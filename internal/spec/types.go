@@ -18,6 +18,7 @@ const (
 	MethodWriteMax = "writemax"
 	MethodEnq      = "enq"
 	MethodDeq      = "deq"
+	MethodAppend   = "append"
 )
 
 // EmptyDeq is the response returned by a dequeue on an empty queue. Using an
@@ -461,6 +462,87 @@ func (q Queue) EnumOps() []Op {
 		ops = append(ops, MakeOp1(MethodEnq, v))
 	}
 	return ops
+}
+
+// ----------------------------------------------------------------------------
+// Append-only operation log.
+
+// OpLog is a linearizable append-only log of non-negative int64 entries —
+// the shared base object of the stabilizing-log construction
+// (internal/core/stablog, after arXiv 1512.08258). append(v) adds an entry
+// and returns its position; read(i) returns the entry at position i, or
+// NoValue when i is past the end. Entries must be non-negative so the
+// NoValue sentinel stays out of band. States are encoded as comma-separated
+// strings, like Queue, so that they are comparable.
+type OpLog struct{}
+
+var _ Type = OpLog{}
+var _ OpEnumerator = OpLog{}
+
+// Name implements Type.
+func (OpLog) Name() string { return "oplog" }
+
+// Init implements Type.
+func (OpLog) Init() State { return "" }
+
+// Deterministic implements Type.
+func (OpLog) Deterministic() bool { return true }
+
+// Step implements Type.
+func (l OpLog) Step(s State, op Op) []Outcome {
+	return detStep(l, s, op)
+}
+
+// StepDet implements DetStepper.
+func (OpLog) StepDet(s State, op Op) (Outcome, bool) {
+	enc, ok := s.(string)
+	if !ok {
+		return Outcome{}, false
+	}
+	switch op.Method {
+	case MethodAppend:
+		if op.NArgs != 1 || op.Args[0] < 0 {
+			return Outcome{}, false
+		}
+		entry := strconv.FormatInt(op.Args[0], 10)
+		if enc == "" {
+			return Outcome{Resp: 0, Next: entry}, true
+		}
+		return Outcome{Resp: int64(strings.Count(enc, ",")) + 1, Next: enc + "," + entry}, true
+	case MethodRead:
+		if op.NArgs != 1 || op.Args[0] < 0 {
+			return Outcome{}, false
+		}
+		if enc == "" {
+			return Outcome{Resp: NoValue, Next: enc}, true
+		}
+		rest := enc
+		for i := int64(0); ; i++ {
+			head := rest
+			if j := strings.IndexByte(rest, ','); j >= 0 {
+				head, rest = rest[:j], rest[j+1:]
+			} else {
+				rest = ""
+			}
+			if i == op.Args[0] {
+				v, err := strconv.ParseInt(head, 10, 64)
+				if err != nil {
+					return Outcome{}, false
+				}
+				return Outcome{Resp: v, Next: enc}, true
+			}
+			if rest == "" {
+				return Outcome{Resp: NoValue, Next: enc}, true
+			}
+		}
+	default:
+		return Outcome{}, false
+	}
+}
+
+// EnumOps implements OpEnumerator.
+func (OpLog) EnumOps() []Op {
+	return []Op{MakeOp1(MethodAppend, 0), MakeOp1(MethodAppend, 1), MakeOp1(MethodRead, 0)}
 }
 
 // ----------------------------------------------------------------------------
