@@ -54,6 +54,7 @@ func BenchmarkE14Checker(b *testing.B)        { benchExperiment(b, "E14") }
 func BenchmarkE15Progress(b *testing.B)       { benchExperiment(b, "E15") }
 func BenchmarkE16Hierarchy(b *testing.B)      { benchExperiment(b, "E16") }
 func BenchmarkE18Recovery(b *testing.B)       { benchExperiment(b, "E18") }
+func BenchmarkE20MonitorGap(b *testing.B)     { benchExperiment(b, "E20") }
 
 // ----------------------------------------------------------------------------
 // Ablations (design choices called out in DESIGN.md).

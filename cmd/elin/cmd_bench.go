@@ -132,6 +132,14 @@ func stressTrajectory(ops int) ([]any, error) {
 		{"live", scenario.Scenario{Name: "SLOG-fi-b1-c4", Impl: "slog-fi:1", Procs: 4, Ops: ops, Seed: 1, Stride: 512, LatencySample: 8}},
 		{"live", scenario.Scenario{Name: "SLOG-fi-b1-c8-nomon", Impl: "slog-fi:1", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8}},
 		{"live", scenario.Scenario{Name: "SLOG-fi-b64-c8-nomon", Impl: "slog-fi:64", Procs: 8, Ops: ops, Seed: 1, NoMonitor: true, LatencySample: 8}},
+		// The MON-* rows price online monitoring itself at one fixed workload
+		// (the ISSUE-10 monitored-gap matrix): full sequential checking vs
+		// the pipelined shard:4 monitor vs record-only. The gap between full
+		// and none is what monitoring costs; shard:4 is how much of it the
+		// worker pool buys back.
+		{"live", scenario.Scenario{Name: "MON-atomic-fi-c4-full", Impl: "atomic-fi", Procs: 4, Ops: ops, Seed: 1, Stride: 512, LatencySample: 8, Monitor: "full"}},
+		{"live", scenario.Scenario{Name: "MON-atomic-fi-c4-shard4", Impl: "atomic-fi", Procs: 4, Ops: ops, Seed: 1, Stride: 512, LatencySample: 8, Monitor: "shard:4"}},
+		{"live", scenario.Scenario{Name: "MON-atomic-fi-c4-none", Impl: "atomic-fi", Procs: 4, Ops: ops, Seed: 1, LatencySample: 8, Monitor: "none"}},
 		// The networked rows: client-observed latency percentiles under load
 		// (p50/p95/p99 in the perf section), clean and under the flaky-net
 		// fault plane — the retry/backoff cost shows up as the tail spread

@@ -13,7 +13,7 @@ import (
 // runList prints the registry contents: everything nameable in a scenario.
 func runList(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("elin list", flag.ContinueOnError)
-	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | faults | net-faults | types | experiments | axes")
+	section := fs.String("section", "", "one section only: impls | objects | engines | workloads | schedulers | choosers | policies | faults | net-faults | monitors | types | experiments | axes")
 	detail := fs.Bool("detail", false, "annotate the impls section with each family's parameter syntax and one-line doc")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,6 +46,7 @@ func runList(args []string, out io.Writer) error {
 		{"policies", registry.PolicyNames()},
 		{"faults", registry.FaultNames()},
 		{"net-faults", registry.NetFaultNames()},
+		{"monitors", monitorLines()},
 		{"types", registry.TypeNames()},
 		{"experiments", experimentIDs()},
 		{"axes", campaign.AxisNames()},
@@ -71,6 +72,23 @@ func runList(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown section %q", *section)
 	}
 	return nil
+}
+
+// monitorLines renders the monitor spec vocabulary with its one-line docs,
+// name-padded like `list -detail` output.
+func monitorLines() []string {
+	docs := registry.MonitorDocs()
+	width := 0
+	for _, d := range docs {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+	lines := make([]string, len(docs))
+	for i, d := range docs {
+		lines[i] = fmt.Sprintf("%-*s  %s", width, d.Name, d.Doc)
+	}
+	return lines
 }
 
 func experimentIDs() []string {

@@ -19,6 +19,7 @@ func runStress(args []string, out io.Writer) error {
 	sf := addScenarioFlags(fs, "atomic-fi", 4, 10000, "window:400", 1)
 	rate := fs.Float64("rate", 0, "open-loop rate per client in ops/sec (0 = closed loop)")
 	stride := fs.Int("stride", 0, "monitor window stride in events (0 = auto)")
+	monitor := fs.String("monitor", "", "monitor spec: full | sample:N | shard:K | shard:key | none (see 'elin list -section monitors')")
 	noMonitor := fs.Bool("nomonitor", false, "disable online monitoring (pure throughput)")
 	latSample := fs.Int("latsample", 1, "record one latency sample every N ops per client")
 	fuzz := fs.Int("fuzz", 0, "run a fuzz campaign over N consecutive seeds instead of one run")
@@ -36,6 +37,7 @@ func runStress(args []string, out io.Writer) error {
 	s := sf.scenario()
 	s.Rate = *rate
 	s.Stride = *stride
+	s.Monitor = *monitor
 	s.NoMonitor = *noMonitor
 	s.LatencySample = *latSample
 	s.FuzzRuns = *fuzz

@@ -22,6 +22,7 @@ func runSweep(args []string, out io.Writer) error {
 	baselinePath := fs.String("baseline", "", "baseline campaign report to diff and gate against")
 	jsonOut := fs.Bool("json", false, "emit the campaign report as JSON (schema elin/campaign/v1)")
 	canonical := fs.Bool("canonical", false, "emit the canonical (wall-clock-free) report JSON — the form baselines are committed in; implies -json")
+	monitor := fs.String("monitor", "", "override the spec's monitor axis with a single spec (full | sample:N | shard:K | shard:key | none)")
 	workers := fs.Int("workers", 0, "concurrent cells on the shared pool (0 = GOMAXPROCS)")
 	perfThreshold := fs.Float64("perf-threshold", 0.20, "gate on cells slowing down by more than this fraction (needs timings on both sides; canonical baselines carry none)")
 	quiet := fs.Bool("quiet", false, "suppress the streamed per-cell progress lines")
@@ -34,6 +35,14 @@ func runSweep(args []string, out io.Writer) error {
 	sp, err := campaign.LoadSpec(*specPath)
 	if err != nil {
 		return err
+	}
+	if *monitor != "" {
+		// Collapse the monitor axis: rerun the whole grid under one monitor
+		// (e.g. -monitor shard:4 to compare against a full-checking baseline).
+		sp.Axes.Monitor = []string{*monitor}
+		if err := sp.Validate(); err != nil {
+			return err
+		}
 	}
 
 	opts := campaign.RunOptions{Workers: *workers}

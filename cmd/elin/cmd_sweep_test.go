@@ -283,7 +283,7 @@ func TestSweepStreamsProgress(t *testing.T) {
 
 func TestListAxes(t *testing.T) {
 	out := runOut(t, "list", "-section", "axes")
-	for _, axis := range []string{"engine", "impl", "workload", "policy", "procs", "ops", "tolerance", "seed"} {
+	for _, axis := range []string{"engine", "impl", "workload", "policy", "monitor", "procs", "ops", "tolerance", "seed"} {
 		if !strings.Contains(out, axis) {
 			t.Errorf("axes listing misses %q:\n%s", axis, out)
 		}

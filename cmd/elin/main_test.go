@@ -351,10 +351,10 @@ func TestBenchJSONStressTrajectory(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &records); err != nil {
 		t.Fatalf("bad JSON: %v", err)
 	}
-	if len(records) != 11 { // E4 + three no-WAL stress + two WAL-on + three SLOG + two serve rows
+	if len(records) != 14 { // E4 + three no-WAL stress + two WAL-on + three SLOG + three MON + two serve rows
 		t.Fatalf("got %d records", len(records))
 	}
-	walRows, serveRows, slogRows := 0, 0, 0
+	walRows, serveRows, slogRows, monRows := 0, 0, 0, 0
 	for _, r := range records[1:] {
 		if r["schema"] != "elin/report/v1" || r["verdict"] != "ok" {
 			t.Errorf("stress record: %v", r)
@@ -377,6 +377,20 @@ func TestBenchJSONStressTrajectory(t *testing.T) {
 			if impl := sc["impl"].(string); !strings.HasPrefix(impl, "slog-fi:") {
 				t.Errorf("SLOG record %s impl = %q", name, impl)
 			}
+		case strings.HasPrefix(name, "MON-"):
+			monRows++
+			// The MON rows are the monitored-gap matrix: the monitor
+			// coordinate distinguishes them, and the record-only row must
+			// really run unmonitored (no trend section).
+			mon := sc["monitor"]
+			if strings.HasSuffix(name, "-none") {
+				if mon != "none" || r["trend"] != nil {
+					t.Errorf("MON record %s: monitor=%v trend=%v", name, mon, r["trend"])
+				}
+			} else if mon != "shard:4" && mon != nil {
+				// full canonicalizes to the empty (default) coordinate.
+				t.Errorf("MON record %s: monitor=%v", name, mon)
+			}
 		case strings.HasPrefix(name, "STRESS-"):
 			if strings.Contains(name, "-wal-") {
 				walRows++
@@ -393,6 +407,9 @@ func TestBenchJSONStressTrajectory(t *testing.T) {
 	}
 	if serveRows != 2 {
 		t.Errorf("serve trajectory rows = %d, want 2 (clean + flaky-net)", serveRows)
+	}
+	if monRows != 3 {
+		t.Errorf("MON trajectory rows = %d, want 3 (full, shard4, none)", monRows)
 	}
 }
 

@@ -201,11 +201,20 @@ type (
 	Sample = check.Sample
 	// Trend classifies MinT growth.
 	Trend = check.Trend
-	// Monitor is the online windowed t-linearizability monitor: a growing
-	// history is fed event by event and checked window by window.
-	Monitor = check.Incremental
+	// Monitor is the online windowed t-linearizability monitor interface: a
+	// growing history is fed event by event and checked window by window.
+	// Implementations: IncrementalMonitor (sequential, the default),
+	// check.ShardedByWindow (pipelined on a worker pool), check.ShardedByKey
+	// (one monitor per object key), check.Null (record-only).
+	Monitor = check.Monitor
+	// IncrementalMonitor is the sequential exhaustive monitor — the
+	// reference implementation every sharded monitor is pinned against.
+	IncrementalMonitor = check.Incremental
 	// MonitorConfig tunes the online monitor (stride, tolerance).
 	MonitorConfig = check.IncrementalConfig
+	// MonitorSpec is a parsed monitor selection (full | sample:N | shard:K
+	// | shard:key | none).
+	MonitorSpec = check.MonitorSpec
 	// WindowViolation is an online monitor stop: the offending window as a
 	// standalone, rebased history.
 	WindowViolation = check.WindowViolation
@@ -216,6 +225,15 @@ const (
 	TrendStabilized   = check.TrendStabilized
 	TrendDiverging    = check.TrendDiverging
 	TrendInconclusive = check.TrendInconclusive
+)
+
+// Monitor spec kinds re-exported for callers of NewMonitor.
+const (
+	MonitorFull        = check.MonitorFull
+	MonitorSample      = check.MonitorSample
+	MonitorShardWindow = check.MonitorShardWindow
+	MonitorShardKey    = check.MonitorShardKey
+	MonitorNone        = check.MonitorNone
 )
 
 // Execution layer.
@@ -289,9 +307,17 @@ var (
 	// TrackMinT measures MinT over growing prefixes and classifies the
 	// trend — the finite-data instrument for Definitions 3/4.
 	TrackMinT = check.TrackMinT
-	// NewMonitor returns an online windowed monitor for a single-object
-	// history.
-	NewMonitor = check.NewIncremental
+	// NewMonitor builds the monitor a parsed spec selects (sequential,
+	// sampling, sharded, or record-only) for a single-object history.
+	NewMonitor = check.NewMonitor
+	// NewIncrementalMonitor returns the sequential online windowed monitor
+	// directly.
+	//
+	// Deprecated: use NewMonitor with MonitorFull (or ParseMonitorSpec).
+	NewIncrementalMonitor = check.NewIncremental
+	// ParseMonitorSpec parses the monitor spec vocabulary ("full",
+	// "sample:N", "shard:K", "shard:key", "none").
+	ParseMonitorSpec = check.ParseMonitorSpec
 	// ClassifyTrend labels the growth trend of a MinT sample series.
 	ClassifyTrend = check.Classify
 )

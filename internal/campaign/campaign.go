@@ -150,7 +150,7 @@ func Load(path string) (*Campaign, error) {
 }
 
 // axisNames are the rollup axes, in presentation order.
-var axisNames = []string{"engine", "impl", "workload", "policy", "faults", "net-faults", "wal-sync", "procs", "ops", "tolerance", "seed"}
+var axisNames = []string{"engine", "impl", "workload", "policy", "faults", "net-faults", "wal-sync", "monitor", "procs", "ops", "tolerance", "seed"}
 
 // AxisNames lists the sweepable axes of a spec — the vocabulary `elin
 // list` prints.
@@ -166,6 +166,7 @@ func (p Point) coordinates() map[string]string {
 		"faults":     resolvedFaults(p.Faults),
 		"net-faults": resolvedNetFaults(p.NetFaults),
 		"wal-sync":   resolvedWALSync(p.WALSync),
+		"monitor":    resolvedMonitor(p.Monitor),
 		"procs":      strconv.Itoa(p.Procs),
 		"ops":        strconv.Itoa(p.Ops),
 		"tolerance":  strconv.Itoa(p.Tolerance),

@@ -242,12 +242,18 @@ func (c *Cell) repro(sp *Spec) string {
 		if inf.Serial {
 			fmt.Fprint(&b, " -serial")
 		}
+		if inf.Monitor != "" {
+			fmt.Fprintf(&b, " -monitor %s", shellArg(inf.Monitor))
+		}
 		if sp != nil && sp.Stride > 0 {
 			fmt.Fprintf(&b, " -stride %d", sp.Stride)
 		}
 	case "serve":
 		if inf.NetFaults != "" {
 			fmt.Fprintf(&b, " -net-faults %s", shellArg(inf.NetFaults))
+		}
+		if inf.Monitor != "" {
+			fmt.Fprintf(&b, " -monitor %s", shellArg(inf.Monitor))
 		}
 		if sp != nil && sp.Stride > 0 {
 			fmt.Fprintf(&b, " -stride %d", sp.Stride)

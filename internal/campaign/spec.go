@@ -53,7 +53,12 @@ type Axes struct {
 	// merged stream to a run-scoped temporary log. "none" and "never" are
 	// distinct coordinates: "never" still pays the write path, just not
 	// the fsyncs.
-	WALSync   []string `json:"wal-sync,omitempty"`
+	WALSync []string `json:"wal-sync,omitempty"`
+	// Monitor sweeps the online monitor implementation over live and serve
+	// cells ("full" — the default, "sample:N", "shard:K", "shard:key",
+	// "none"). The other engines reject non-default monitors, under the
+	// same exclude-explicitly rule as Faults.
+	Monitor   []string `json:"monitor,omitempty"`
 	Procs     []int    `json:"procs,omitempty"`
 	Ops       []int    `json:"ops,omitempty"`
 	Tolerance []int    `json:"tolerance,omitempty"`
@@ -73,6 +78,7 @@ type Match struct {
 	Faults    string `json:"faults,omitempty"`
 	NetFaults string `json:"net-faults,omitempty"`
 	WALSync   string `json:"wal-sync,omitempty"`
+	Monitor   string `json:"monitor,omitempty"`
 	Procs     *int   `json:"procs,omitempty"`
 	Ops       *int   `json:"ops,omitempty"`
 	Tolerance *int   `json:"tolerance,omitempty"`
@@ -83,7 +89,7 @@ type Match struct {
 // every cell, always a spec mistake.
 func (m Match) zero() bool {
 	return m.Engine == "" && m.Impl == "" && m.Workload == "" && m.Policy == "" &&
-		m.Faults == "" && m.NetFaults == "" && m.WALSync == "" &&
+		m.Faults == "" && m.NetFaults == "" && m.WALSync == "" && m.Monitor == "" &&
 		m.Procs == nil && m.Ops == nil && m.Tolerance == nil && m.Seed == nil
 }
 
@@ -97,6 +103,7 @@ func (m Match) matches(p Point) bool {
 		m.Faults != "" && resolvedFaults(m.Faults) != resolvedFaults(p.Faults),
 		m.NetFaults != "" && resolvedNetFaults(m.NetFaults) != resolvedNetFaults(p.NetFaults),
 		m.WALSync != "" && resolvedWALSync(m.WALSync) != resolvedWALSync(p.WALSync),
+		m.Monitor != "" && resolvedMonitor(m.Monitor) != resolvedMonitor(p.Monitor),
 		m.Procs != nil && *m.Procs != p.Procs,
 		m.Ops != nil && *m.Ops != p.Ops,
 		m.Tolerance != nil && *m.Tolerance != p.Tolerance,
@@ -115,6 +122,7 @@ type Point struct {
 	Faults    string
 	NetFaults string
 	WALSync   string
+	Monitor   string
 	Procs     int
 	Ops       int
 	Tolerance int
@@ -225,6 +233,11 @@ func (sp *Spec) Validate() error {
 			return err
 		}
 	}
+	for _, m := range sp.Axes.Monitor {
+		if err := registry.ValidateMonitor(m); err != nil {
+			return err
+		}
+	}
 	for _, n := range sp.Axes.Procs {
 		if n <= 0 {
 			return fmt.Errorf("procs axis value %d (want >= 1)", n)
@@ -298,6 +311,9 @@ func uniqueAxes(a Axes) error {
 	if err := dup("wal-sync", a.WALSync, resolvedWALSync); err != nil {
 		return err
 	}
+	if err := dup("monitor", a.Monitor, resolvedMonitor); err != nil {
+		return err
+	}
 	ints := func(axis string, vals []int) error {
 		seen := map[int]bool{}
 		for _, v := range vals {
@@ -329,7 +345,7 @@ func uniqueAxes(a Axes) error {
 
 // Expand resolves the cartesian product of the axes minus the exclusions,
 // in deterministic axis order (engine, impl, workload, policy, faults,
-// net-faults, wal-sync, procs, ops, tolerance, seed). It errors when
+// net-faults, wal-sync, monitor, procs, ops, tolerance, seed). It errors when
 // nothing survives — an all-excluded grid is always a spec mistake.
 func (sp *Spec) Expand() ([]Point, error) {
 	engines := sp.Axes.Engine
@@ -342,6 +358,7 @@ func (sp *Spec) Expand() ([]Point, error) {
 	faultSpecs := orList(sp.Axes.Faults, "none")
 	netFaultSpecs := orList(sp.Axes.NetFaults, "none")
 	walSyncs := orList(sp.Axes.WALSync, "none")
+	monitors := orList(sp.Axes.Monitor, "full")
 	procs := orInts(sp.Axes.Procs, scenario.DefaultProcs)
 	ops := orInts(sp.Axes.Ops, scenario.DefaultOps)
 	tols := sp.Axes.Tolerance
@@ -366,22 +383,25 @@ func (sp *Spec) Expand() ([]Point, error) {
 					for _, f := range faultSpecs {
 						for _, nf := range netFaultSpecs {
 							for _, ws := range walSyncs {
-								for _, n := range procs {
-									for _, k := range ops {
-										for _, t := range tols {
-											for _, s := range seeds {
-												p := Point{
-													Engine: canon, Impl: resolved(impl, scenario.DefaultImpl), Workload: resolved(w, scenario.DefaultWorkload),
-													Policy:    resolved(pol, scenario.DefaultPolicy),
-													Faults:    faultsOrEmpty(resolvedFaults(f)),
-													NetFaults: faultsOrEmpty(resolvedNetFaults(nf)),
-													WALSync:   faultsOrEmpty(resolvedWALSync(ws)),
-													Procs:     n, Ops: k, Tolerance: t, Seed: s,
+								for _, mon := range monitors {
+									for _, n := range procs {
+										for _, k := range ops {
+											for _, t := range tols {
+												for _, s := range seeds {
+													p := Point{
+														Engine: canon, Impl: resolved(impl, scenario.DefaultImpl), Workload: resolved(w, scenario.DefaultWorkload),
+														Policy:    resolved(pol, scenario.DefaultPolicy),
+														Faults:    faultsOrEmpty(resolvedFaults(f)),
+														NetFaults: faultsOrEmpty(resolvedNetFaults(nf)),
+														WALSync:   faultsOrEmpty(resolvedWALSync(ws)),
+														Monitor:   monitorOrEmpty(resolvedMonitor(mon)),
+														Procs:     n, Ops: k, Tolerance: t, Seed: s,
+													}
+													if sp.excluded(p, hits) {
+														continue
+													}
+													points = append(points, p)
 												}
-												if sp.excluded(p, hits) {
-													continue
-												}
-												points = append(points, p)
 											}
 										}
 									}
@@ -429,6 +449,7 @@ func (sp *Spec) Scenario(p Point) scenario.Scenario {
 		Faults:    p.Faults,
 		NetFaults: p.NetFaults,
 		WALSync:   p.WALSync,
+		Monitor:   p.Monitor,
 		Procs:     p.Procs,
 		Ops:       p.Ops,
 		Tolerance: p.Tolerance,
@@ -525,6 +546,28 @@ func resolvedWALSync(v string) string {
 		return v
 	}
 	return pol.String()
+}
+
+// resolvedMonitor canonicalizes a monitor axis value: "" and "full" name
+// the default sequential exhaustive monitor; the other forms resolve to
+// the parser's canonical spelling. Unresolvable values keep their
+// spelling; Validate has already rejected them.
+func resolvedMonitor(v string) string {
+	ms, err := registry.MonitorSpec(v)
+	if err != nil {
+		return v
+	}
+	return ms.String()
+}
+
+// monitorOrEmpty maps the "full" coordinate to the zero value, so
+// default-monitor points — and the scenarios and repro commands built from
+// them — are byte-identical with and without a monitor axis in the spec.
+func monitorOrEmpty(v string) string {
+	if v == "full" {
+		return ""
+	}
+	return v
 }
 
 // validateWALSync rejects unknown wal-sync axis values at spec load.

@@ -114,16 +114,28 @@ type Incremental struct {
 	// pays the MinT search; skipped windows still fold their completed
 	// operations into the rebased state (the fold is cheap and required for
 	// later windows to check against the right initial state) but record no
-	// sample. All plain ints: they are touched only from the single
-	// goroutine driving Feed.
+	// sample. skipLeft is the countdown to the next measured window: each
+	// measured window re-arms it to sampleEvery-1, and SetSampleEvery resets
+	// it, so re-engaging sampling mid-run always skips exactly n-1 windows
+	// before the next measurement regardless of how many windows have closed
+	// before (a winCount modulus would make the cadence phase-dependent).
+	// All plain ints: they are touched only from the single goroutine
+	// driving Feed.
 	sampleEvery    int // 0 or 1 = exhaustive
+	skipLeft       int // windows to skip before the next measured one
 	winCount       int // windows closed, measured or skipped
 	skipped        int // windows whose MinT search was skipped
 	escalations    int // times a near-violation forced sampling back to 1
 	maxSampleEvery int // high-water mark of sampleEvery over the run
 }
 
-// NewIncremental returns a monitor for a single-object history against obj.
+// NewIncremental returns the sequential monitor for a single-object history
+// against obj.
+//
+// Deprecated: construct monitors through NewMonitor with a MonitorSpec —
+// it covers this monitor (kinds MonitorFull and MonitorSample) alongside
+// the sharded and record-only implementations behind the Monitor interface.
+// NewIncremental stays for callers that need the concrete type.
 func NewIncremental(obj spec.Object, cfg IncrementalConfig) *Incremental {
 	m := &Incremental{
 		cfg: cfg,
@@ -158,6 +170,11 @@ func (m *Incremental) SetSampleEvery(n int) {
 		n = 1
 	}
 	m.sampleEvery = n
+	// Re-arm the countdown from scratch: n-1 skips before the next measured
+	// window, or none when returning to exhaustive checking. Without this a
+	// stale countdown from an earlier sampling phase would bleed into the
+	// new cadence.
+	m.skipLeft = n - 1
 	if n > m.maxSampleEvery {
 		m.maxSampleEvery = n
 	}
@@ -220,6 +237,10 @@ func (m *Incremental) Finish() (*WindowViolation, error) {
 	return m.closeWindow(true)
 }
 
+// Abort implements Monitor. The sequential monitor holds no resources, so
+// aborting just drops the unmeasured tail window.
+func (m *Incremental) Abort() {}
+
 // closeWindow measures the current window, records the sample, raises a
 // violation if tolerated MinT is exceeded, and otherwise advances the cut.
 // Under sampling, unsampled windows skip the MinT search but still advance
@@ -227,7 +248,8 @@ func (m *Incremental) Finish() (*WindowViolation, error) {
 // ends on an unchecked window.
 func (m *Incremental) closeWindow(force bool) (*WindowViolation, error) {
 	m.winCount++
-	if !force && m.sampleEvery > 1 && m.winCount%m.sampleEvery != 0 {
+	if !force && m.skipLeft > 0 {
+		m.skipLeft--
 		m.skipped++
 		return nil, m.advanceCut()
 	}
@@ -258,7 +280,10 @@ func (m *Incremental) closeWindow(force bool) (*WindowViolation, error) {
 	// not an approaching failure.
 	if m.sampleEvery > 1 && !m.cfg.NoViolation && m.cfg.MaxT > 0 && 2*t > m.cfg.MaxT {
 		m.sampleEvery = 1
+		m.skipLeft = 0
 		m.escalations++
+	} else if m.sampleEvery > 1 {
+		m.skipLeft = m.sampleEvery - 1
 	}
 	return nil, m.advanceCut()
 }
@@ -267,8 +292,26 @@ func (m *Incremental) closeWindow(force bool) (*WindowViolation, error) {
 // initial state (in commit order) and starts the next window with the
 // still-open operations' invocations.
 func (m *Incremental) advanceCut() error {
-	state := m.obj.Init
-	ops := m.win.Operations()
+	obj, next, err := rebaseFold(m.obj, m.det, m.win)
+	if err != nil {
+		return err
+	}
+	m.obj = obj
+	m.start = m.events
+	m.win = next
+	return nil
+}
+
+// rebaseFold is the shared window handoff: it folds win's completed
+// operations into obj's initial state (in commit order) and returns the
+// rebased object together with the next window, primed with the still-open
+// operations' invocations. The sequential monitor uses it to advance its
+// cut in place; the window-sharded monitor uses it at dispatch time so the
+// closed window can be handed to a worker while recording continues against
+// the rebased state.
+func rebaseFold(obj spec.Object, det spec.DetStepper, win *history.History) (spec.Object, *history.History, error) {
+	state := obj.Init
+	ops := win.Operations()
 	var open []history.Operation
 	byRes := make([]history.Operation, 0, len(ops))
 	for _, op := range ops {
@@ -282,34 +325,32 @@ func (m *Incremental) advanceCut() error {
 	// placed at their commit tickets, so this is the commit order.
 	sort.Slice(byRes, func(i, j int) bool { return byRes[i].Res < byRes[j].Res })
 	for _, op := range byRes {
-		next, applied := m.stepState(state, op.Op, op.Resp)
+		next, applied := stepRebase(obj, det, state, op.Op, op.Resp)
 		if !applied {
-			return fmt.Errorf("check: incremental rebase: %s inapplicable in state %v", op.Op, state)
+			return obj, nil, fmt.Errorf("check: incremental rebase: %s inapplicable in state %v", op.Op, state)
 		}
 		state = next
 	}
-	m.obj = spec.Object{Type: m.obj.Type, Init: state}
-	m.start = m.events
+	rebased := spec.Object{Type: obj.Type, Init: state}
 	next := history.New()
 	for _, op := range open {
 		if err := next.Invoke(op.Proc, op.Obj, op.Op); err != nil {
-			return fmt.Errorf("check: incremental rebase: %w", err)
+			return obj, nil, fmt.Errorf("check: incremental rebase: %w", err)
 		}
 	}
-	m.win = next
-	return nil
+	return rebased, next, nil
 }
 
-// stepState advances state by op. Deterministic types ignore resp; for a
+// stepRebase advances state by op. Deterministic types ignore resp; for a
 // nondeterministic type the outcome matching the recorded response is
 // selected (the branch the implementation claims to have taken), falling
 // back to the first applicable outcome when none matches.
-func (m *Incremental) stepState(state spec.State, op spec.Op, resp int64) (spec.State, bool) {
-	if m.det != nil {
-		out, ok := m.det.StepDet(state, op)
+func stepRebase(obj spec.Object, det spec.DetStepper, state spec.State, op spec.Op, resp int64) (spec.State, bool) {
+	if det != nil {
+		out, ok := det.StepDet(state, op)
 		return out.Next, ok
 	}
-	outs := m.obj.Type.Step(state, op)
+	outs := obj.Type.Step(state, op)
 	if len(outs) == 0 {
 		return state, false
 	}

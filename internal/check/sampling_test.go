@@ -94,6 +94,59 @@ func TestIncrementalSamplingEscalation(t *testing.T) {
 	}
 }
 
+// The sampling cadence is a countdown from the moment the knob turns, not
+// a phase of the global window count: after SetSampleEvery(n), exactly n-1
+// windows skip and the nth measures, no matter how many windows had
+// already closed. (The old winCount%n bookkeeping measured early or late
+// depending on the enable point.)
+func TestIncrementalSamplingCountdownPhase(t *testing.T) {
+	const stride = 16 // 8 serial ops per window
+	cases := []struct {
+		before int // windows closed exhaustively before the knob turns
+		n      int
+		after  int // windows closed with sampling on
+	}{
+		{before: 0, n: 4, after: 8},
+		{before: 1, n: 4, after: 8},
+		{before: 3, n: 4, after: 8},
+		{before: 4, n: 4, after: 8},
+		{before: 5, n: 3, after: 9},
+	}
+	for _, c := range cases {
+		obj := spec.NewObject(spec.FetchInc{})
+		m := NewIncremental(obj, IncrementalConfig{Stride: stride})
+		h := serialCounter(t, (c.before+c.after)*stride/2)
+		cut := c.before * stride
+		for i := 0; i < cut; i++ {
+			if _, err := m.Feed(h.Event(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.SetSampleEvery(c.n)
+		for i := cut; i < h.Len(); i++ {
+			if _, err := m.Feed(h.Event(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		measured := c.after / c.n
+		if got := m.Checks(); got != c.before+measured {
+			t.Errorf("before=%d n=%d: checks = %d, want %d+%d", c.before, c.n, got, c.before, measured)
+		}
+		if got := m.SkippedWindows(); got != c.after-measured {
+			t.Errorf("before=%d n=%d: skipped = %d, want %d", c.before, c.n, got, c.after-measured)
+		}
+		// The measured windows sit at before+n, before+2n, ... regardless of
+		// phase: the sample stamps pin the positions, not just the counts.
+		samples := m.Samples()[c.before:]
+		for i, s := range samples {
+			want := (c.before + (i+1)*c.n) * stride
+			if s.Events != want {
+				t.Errorf("before=%d n=%d: sample %d at %d events, want %d", c.before, c.n, i, s.Events, want)
+			}
+		}
+	}
+}
+
 // Observe-only monitors (NoViolation / negative MaxT) never escalate:
 // positive window MinT is the normal EL signature there.
 func TestIncrementalSamplingNoEscalationObserved(t *testing.T) {

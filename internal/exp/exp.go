@@ -136,6 +136,7 @@ func All() []Experiment {
 		{"E17", E17Stress},
 		{"E18", E18Recovery},
 		{"E19", E19SlogVersusLocalCopy},
+		{"E20", E20MonitorGap},
 	}
 }
 

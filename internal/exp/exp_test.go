@@ -407,3 +407,41 @@ func TestE19Deterministic(t *testing.T) {
 		t.Fatalf("E19 not deterministic:\n%s\nvs\n%s", render(a), render(b))
 	}
 }
+
+func TestE20MonitorGapShape(t *testing.T) {
+	tab := runExp(t, "E20")
+	if len(tab.Rows) != 10 {
+		t.Fatalf("E20 rows = %d, want 2 workloads x 5 monitors", len(tab.Rows))
+	}
+	for i := range tab.Rows {
+		junk := i >= 5
+		mon, verdict, match := cell(t, tab, i, 1), cell(t, tab, i, 4), cell(t, tab, i, 7)
+		switch mon {
+		case "none":
+			if verdict != "recorded" || match != "n/a" {
+				t.Errorf("E20 row %d: %v", i, tab.Rows[i])
+			}
+		case "sample:4":
+			if match != "verdict" {
+				t.Errorf("E20 sample row %d diverged: %v", i, tab.Rows[i])
+			}
+		case "full":
+			if match != "ref" {
+				t.Errorf("E20 full row %d: %v", i, tab.Rows[i])
+			}
+		default: // shard:4, shard:key — pinned to the full monitor exactly
+			if match != "yes" {
+				t.Errorf("E20 row %d (%s) diverged from full: %v", i, mon, tab.Rows[i])
+			}
+		}
+		if mon != "none" {
+			want := "clean"
+			if junk {
+				want = "caught"
+			}
+			if verdict != want {
+				t.Errorf("E20 row %d verdict = %q, want %q: %v", i, verdict, want, tab.Rows[i])
+			}
+		}
+	}
+}

@@ -84,6 +84,11 @@ type Config struct {
 	Rate float64
 	// Monitor tunes the online windowed monitor.
 	Monitor check.IncrementalConfig
+	// MonitorSpec selects the monitor implementation (full, sample:N,
+	// shard:K, shard:key, none — see check.ParseMonitorSpec). The zero
+	// value is the sequential exhaustive monitor, so existing callers are
+	// unchanged. Kind none is equivalent to NoMonitor.
+	MonitorSpec check.MonitorSpec
 	// NoMonitor disables online checking: the run records and merges only
 	// (the configuration for pure throughput measurement).
 	NoMonitor bool
@@ -186,7 +191,7 @@ type runEnv struct {
 	seq       atomic.Uint64
 	stop      atomic.Bool
 	h         *history.History
-	mon       *check.Incremental
+	mon       check.Monitor
 	violation *check.WindowViolation
 	crashed   bool
 	crashTick uint64
@@ -196,8 +201,15 @@ type runEnv struct {
 func newRunEnv(cfg *Config) (*runEnv, error) {
 	env := &runEnv{cfg: cfg, sinkOpen: cfg.Sink != nil}
 	env.seq.Store(cfg.StartSeq)
-	if !cfg.NoMonitor {
-		env.mon = check.NewIncremental(cfg.Object.Spec(), cfg.Monitor)
+	// MonitorNone and NoMonitor both mean "record only": the monitor stays
+	// nil so the reporting path keeps its monitoring-disabled shape instead
+	// of dressing a Null monitor's empty verdict up as a trend.
+	if !cfg.NoMonitor && cfg.MonitorSpec.Kind != check.MonitorNone {
+		mon, err := check.NewMonitor(cfg.MonitorSpec, cfg.Object.Spec(), cfg.Monitor)
+		if err != nil {
+			return nil, err
+		}
+		env.mon = mon
 	}
 	h := cfg.History
 	if h == nil {
@@ -213,15 +225,27 @@ func newRunEnv(cfg *Config) (*runEnv, error) {
 		for i := 0; i < h.Len(); i++ {
 			v, err := env.mon.Feed(h.Event(i))
 			if err != nil {
+				env.mon.Abort()
 				return nil, fmt.Errorf("live: priming monitor with recovered history: %w", err)
 			}
 			if v != nil {
+				env.mon.Abort()
 				return nil, fmt.Errorf("live: recovered history violates %d-linearizability in window [%d,%d)",
 					v.MaxT, v.Start, v.End)
 			}
 		}
 	}
 	return env, nil
+}
+
+// abortMon releases monitor resources on every exit path. Abort after a
+// normal Finish is a no-op, so this is safe to defer unconditionally; it is
+// what keeps a pipelined monitor's workers from outliving an early return
+// (client error, crash, violation) — campaigns run many cells per process.
+func (env *runEnv) abortMon() {
+	if env.mon != nil {
+		env.mon.Abort()
+	}
 }
 
 // feed observes one merged event at its merge position: persist first (a
@@ -337,6 +361,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 		return nil, err
 	}
+	defer env.abortMon()
 	if cfg.Serial {
 		return runSerial(&cfg, env)
 	}

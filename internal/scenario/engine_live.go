@@ -78,8 +78,12 @@ func (Live) Run(s Scenario) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	mspec, err := s.resolveMonitor()
+	if err != nil {
+		return nil, err
+	}
 	stride := 0
-	if !s.NoMonitor {
+	if !s.monitorOff() {
 		stride, err = monitorStride(obj, s.Procs, s.Stride)
 		if err != nil {
 			return nil, err
@@ -97,6 +101,7 @@ func (Live) Run(s Scenario) (*Report, error) {
 		Seed:          s.Seed,
 		Rate:          s.Rate,
 		Monitor:       check.IncrementalConfig{Stride: stride, MaxT: s.Tolerance, Opts: s.Check},
+		MonitorSpec:   mspec,
 		NoMonitor:     s.NoMonitor,
 		LatencySample: s.LatencySample,
 		Faults:        fspec,
@@ -148,7 +153,7 @@ func (Live) Run(s Scenario) (*Report, error) {
 		P99NS:          res.LatP99.Nanoseconds(),
 		Gomaxprocs:     runtime.GOMAXPROCS(0),
 	}
-	if !s.NoMonitor {
+	if !s.monitorOff() {
 		rep.Trend = trendInfo(res.Verdict)
 	}
 	if res.Violation != nil {
@@ -165,7 +170,7 @@ func (Live) Run(s Scenario) (*Report, error) {
 	switch {
 	case res.Crashed:
 		rep.Detail = fmt.Sprintf("crashed at commit %d (injected fault); %d ops merged before the cut", res.CrashTicket, res.Ops)
-	case s.NoMonitor:
+	case s.monitorOff():
 		rep.Detail = "run completed (monitoring disabled)"
 	default:
 		rep.Detail = "no monitor window exceeded tolerance"

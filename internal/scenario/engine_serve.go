@@ -48,8 +48,12 @@ func BuildServer(s Scenario) (*server.Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	mspec, err := s.resolveMonitor()
+	if err != nil {
+		return nil, err
+	}
 	stride := 0
-	if !s.NoMonitor {
+	if !s.monitorOff() {
 		stride, err = monitorStride(obj, s.Procs, s.Stride)
 		if err != nil {
 			return nil, err
@@ -79,13 +83,14 @@ func BuildServer(s Scenario) (*server.Server, error) {
 		return nil, fmt.Errorf("scenario: WALSync %q set without a WAL path", s.WALSync)
 	}
 	return server.New(server.Config{
-		Object:    obj,
-		Clients:   s.Procs,
-		Seed:      s.Seed,
-		Monitor:   check.IncrementalConfig{Stride: stride, MaxT: s.Tolerance, Opts: s.Check},
-		NoMonitor: s.NoMonitor,
-		NetFaults: nf,
-		Sink:      sink,
+		Object:      obj,
+		Clients:     s.Procs,
+		Seed:        s.Seed,
+		Monitor:     check.IncrementalConfig{Stride: stride, MaxT: s.Tolerance, Opts: s.Check},
+		MonitorSpec: mspec,
+		NoMonitor:   s.NoMonitor,
+		NetFaults:   nf,
+		Sink:        sink,
 	})
 }
 
@@ -124,7 +129,7 @@ func ServerReport(s Scenario, sum *server.Summary, res *loadgen.Result) *Report 
 		}
 	}
 	rep.Perf = perf
-	if s.NoMonitor {
+	if s.monitorOff() {
 		rep.Verdict = VerdictOK
 		rep.Detail = "run completed (monitoring disabled)"
 	} else {

@@ -52,6 +52,9 @@ type ScenarioInfo struct {
 	// writing a commit log ("" when none is).
 	NetFaults string `json:"net_faults,omitempty"`
 	WALSync   string `json:"wal_sync,omitempty"`
+	// Monitor is the canonical monitor spec of a Live/Serve run ("" for the
+	// default full exhaustive monitor).
+	Monitor string `json:"monitor,omitempty"`
 }
 
 // Checks reports the after-the-fact decision procedures an engine ran on
@@ -334,6 +337,9 @@ func (r *Report) Render(w io.Writer) error {
 	}
 	if sc.WALSync != "" {
 		fmt.Fprintf(w, " wal-sync=%s", sc.WALSync)
+	}
+	if sc.Monitor != "" {
+		fmt.Fprintf(w, " monitor=%s", sc.Monitor)
 	}
 	fmt.Fprintln(w)
 	if r.Detail != "" {

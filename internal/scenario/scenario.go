@@ -157,6 +157,11 @@ type Scenario struct {
 	LatencySample int
 	// NoMonitor disables online monitoring (Live; pure throughput).
 	NoMonitor bool
+	// Monitor names the online monitor implementation for the Live and
+	// Serve engines: "full" (default), "sample:N", "shard:K", "shard:key",
+	// or "none" (record only, like NoMonitor). Empty means full. Echoed in
+	// the report header and the campaign cell identity when non-default.
+	Monitor string
 	// NoCheck skips the after-the-fact decision procedures and MinT trend
 	// of the Sim engine: the run executes and records only (history
 	// export, raw timing). The verdict is always ok.
@@ -336,9 +341,11 @@ func (s Scenario) info(engine string) ScenarioInfo {
 		inf.Faults = s.faultsName()
 		inf.Serial = s.Serial
 		inf.WALSync = s.walSyncName()
+		inf.Monitor = s.monitorName()
 	case "serve":
 		inf.NetFaults = s.netFaultsName()
 		inf.WALSync = s.walSyncName()
+		inf.Monitor = s.monitorName()
 	}
 	return inf
 }
@@ -364,6 +371,8 @@ func (s Scenario) rejectLiveOnly(engine string) error {
 		return fmt.Errorf("scenario: WAL commit logging is a live/serve-engine feature; engine %q rejects it", engine)
 	case s.Serial:
 		return fmt.Errorf("scenario: the serial driver is a live-engine feature; engine %q rejects it", engine)
+	case s.Monitor != "" && s.Monitor != "full":
+		return fmt.Errorf("scenario: monitor %q selects the online monitor, a live/serve-engine feature; engine %q rejects it (exclude monitor cells from %s sweeps)", s.Monitor, engine, engine)
 	}
 	return nil
 }
@@ -411,6 +420,39 @@ func (s Scenario) netFaultsName() string {
 		return ""
 	}
 	return sp.String()
+}
+
+// monitorName resolves the monitor spec to its canonical spelling ("" for
+// full exhaustive checking, the default) — "" and "full" name the same grid
+// cell, and "sample:08" never occurs because the canonical form is emitted.
+// Unresolvable specs keep their raw spelling; execution rejects them with a
+// real error.
+func (s Scenario) monitorName() string {
+	ms, err := registry.MonitorSpec(s.Monitor)
+	if err != nil {
+		return s.Monitor
+	}
+	if ms.Kind == check.MonitorFull {
+		return ""
+	}
+	return ms.String()
+}
+
+// monitorOff reports whether online monitoring is disabled — either the
+// NoMonitor switch or the record-only "none" monitor spec. Reporting
+// branches on it so both spellings produce the same monitoring-disabled
+// report shape.
+func (s Scenario) monitorOff() bool {
+	if s.NoMonitor {
+		return true
+	}
+	ms, err := registry.MonitorSpec(s.Monitor)
+	return err == nil && ms.Kind == check.MonitorNone
+}
+
+// resolveMonitor resolves the monitor spec for execution.
+func (s Scenario) resolveMonitor() (check.MonitorSpec, error) {
+	return registry.MonitorSpec(s.Monitor)
 }
 
 // walSyncName resolves the WAL durability policy to its canonical name
@@ -464,6 +506,9 @@ func (s Scenario) CellID(engine string) string {
 	}
 	if inf.WALSync != "" {
 		fmt.Fprintf(&b, " walsync=%s", inf.WALSync)
+	}
+	if inf.Monitor != "" {
+		fmt.Fprintf(&b, " monitor=%s", inf.Monitor)
 	}
 	if inf.Analysis != "" {
 		fmt.Fprintf(&b, " analysis=%s", inf.Analysis)

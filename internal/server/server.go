@@ -35,6 +35,11 @@ type Config struct {
 	// disables it.
 	Monitor   check.IncrementalConfig
 	NoMonitor bool
+	// MonitorSpec selects the monitor implementation (full, sample:N,
+	// shard:K, shard:key, none — see check.ParseMonitorSpec). The zero
+	// value is the sequential exhaustive monitor; kind none is equivalent
+	// to NoMonitor.
+	MonitorSpec check.MonitorSpec
 	// NetFaults is the seeded network fault plane, injected at the
 	// connection read/write seam (nil = no faults).
 	NetFaults *faults.NetSpec
@@ -109,7 +114,7 @@ type Summary struct {
 	// when the monitor was disabled).
 	Verdict   check.Verdict
 	Violation *check.WindowViolation
-	// Monitor degradation counters (see check.Incremental).
+	// Monitor degradation counters (see check.Monitor).
 	MonChecks         int
 	MonSkipped        int
 	MonEscalations    int
@@ -131,7 +136,7 @@ type Server struct {
 	seq      atomic.Uint64
 	sessions []*session
 	h        *history.History
-	mon      *check.Incremental
+	mon      check.Monitor
 
 	queued     atomic.Int64 // requests read but not yet applied
 	queuedHW   atomic.Int64 // high-water mark of queued since start
@@ -165,8 +170,14 @@ func New(cfg Config) (*Server, error) {
 	for i := range s.sessions {
 		s.sessions[i] = &session{id: i, shard: live.NewShard(0)}
 	}
-	if !cfg.NoMonitor {
-		s.mon = check.NewIncremental(cfg.Object.Spec(), cfg.Monitor)
+	// Kind none keeps mon nil, like NoMonitor: the Summary then reports the
+	// monitor as disabled instead of an empty verdict.
+	if !cfg.NoMonitor && cfg.MonitorSpec.Kind != check.MonitorNone {
+		mon, err := check.NewMonitor(cfg.MonitorSpec, cfg.Object.Spec(), cfg.Monitor)
+		if err != nil {
+			return nil, err
+		}
+		s.mon = mon
 	}
 	if cfg.NetFaults != nil {
 		s.dropFired = make([]atomic.Bool, len(cfg.NetFaults.Drops))
@@ -214,6 +225,11 @@ func (s *Server) Shutdown() (*Summary, error) {
 	}
 	s.finishing.Store(true)
 	<-s.mergeDone
+	if s.mon != nil {
+		// No-op after the merge loop's Finish; on the merge-error path it is
+		// what stops a pipelined monitor's workers.
+		s.mon.Abort()
+	}
 
 	sum := &Summary{
 		Events:  s.h.Len(),
